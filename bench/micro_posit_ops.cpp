@@ -1,0 +1,99 @@
+// micro_posit_ops — google-benchmark microbenchmarks of the software posit
+// kernels used throughout training (supporting data, not a paper table).
+#include <benchmark/benchmark.h>
+
+#include "posit/arith.hpp"
+#include "posit/quire.hpp"
+#include "quant/posit_transform.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace pdnn;
+
+std::vector<std::uint32_t> random_codes(const posit::PositSpec& spec, std::size_t count) {
+  tensor::Rng rng(99);
+  std::vector<std::uint32_t> codes(count);
+  for (auto& c : codes) {
+    do {
+      c = static_cast<std::uint32_t>(rng.next_u64()) & spec.mask();
+    } while (c == spec.nar_code());
+  }
+  return codes;
+}
+
+void BM_PositAdd(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  const auto codes = random_codes(spec, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(posit::add(codes[i & 1023], codes[(i + 1) & 1023], spec));
+    ++i;
+  }
+}
+BENCHMARK(BM_PositAdd)->Args({8, 1})->Args({16, 1})->Args({32, 3});
+
+void BM_PositMul(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  const auto codes = random_codes(spec, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(posit::mul(codes[i & 1023], codes[(i + 1) & 1023], spec));
+    ++i;
+  }
+}
+BENCHMARK(BM_PositMul)->Args({8, 1})->Args({16, 1})->Args({32, 3});
+
+void BM_QuireDotProduct(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  const auto codes = random_codes(spec, 1024);
+  for (auto _ : state) {
+    posit::Quire q(spec);
+    for (std::size_t i = 0; i < 256; ++i) q.add_product(codes[i], codes[i + 256]);
+    benchmark::DoNotOptimize(q.to_posit());
+  }
+}
+BENCHMARK(BM_QuireDotProduct)->Args({8, 1})->Args({16, 1});
+
+void BM_TransformAlgorithm1(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  tensor::Rng rng(3);
+  tensor::Tensor t = tensor::Tensor::randn({4096}, rng, 0.05f);
+  for (auto _ : state) {
+    tensor::Tensor copy = t;
+    quant::transform_inplace(copy, spec);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TransformAlgorithm1)->Args({8, 1})->Args({8, 2})->Args({16, 1})->Args({16, 2});
+
+void BM_TransformScaled(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  tensor::Rng rng(3);
+  tensor::Tensor t = tensor::Tensor::randn({4096}, rng, 0.05f);
+  for (auto _ : state) {
+    tensor::Tensor copy = t;
+    quant::transform_scaled_inplace(copy, spec, -4);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TransformScaled)->Args({8, 1})->Args({16, 2});
+
+void BM_FromDoubleNearest(benchmark::State& state) {
+  const posit::PositSpec spec{16, 1};
+  tensor::Rng rng(5);
+  std::vector<double> xs(1024);
+  for (auto& x : xs) x = rng.normal();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(posit::from_double(xs[i & 1023], spec));
+    ++i;
+  }
+}
+BENCHMARK(BM_FromDoubleNearest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

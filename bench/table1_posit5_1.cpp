@@ -1,0 +1,25 @@
+// table1_posit5_1 — regenerates Table I of the paper:
+// "The detail structures of positive values of (5,1) posit number".
+#include <cstdio>
+
+#include "posit/tables.hpp"
+
+int main() {
+  using namespace pdnn::posit;
+  const PositSpec spec{5, 1};
+
+  std::printf("Table I: detail structures of positive values of (5,1) posit\n");
+  std::printf("%-12s %-8s %-10s %-10s %s\n", "Binary Code", "Regime", "Exponent", "Mantissa", "Real Value");
+  for (const CodeDescription& row : enumerate(0u, 0b01111u, spec)) {
+    if (row.is_zero) {
+      std::printf("%-12s %-8s %-10s %-10s %s\n", row.binary.c_str(), "x", "x", "x", "0");
+      continue;
+    }
+    std::printf("%-12s %-8d %-10d %-10s %s\n", row.binary.c_str(), row.regime, row.exponent,
+                row.mantissa_str.c_str(), row.value_str.c_str());
+  }
+
+  std::printf("\nmaxpos = useed^(n-2) = %g, minpos = useed^(2-n) = %g\n", maxpos_value(spec),
+              minpos_value(spec));
+  return 0;
+}

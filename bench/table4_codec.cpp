@@ -1,0 +1,60 @@
+// table4_codec — reproduces Table IV: "Delay comparison of encoder and
+// decoder with [6]" plus our power/area rows, at posit(8,0), (16,1), (32,3).
+//
+// "[6]" rows are the original Zhang et al. structures (Figs. 5a/6a, with the
+// "+1" incrementer on the critical path); "Ours" rows are the paper's
+// optimized structures (Figs. 5b/6b). Absolute ns/mW/um^2 come from the
+// calibrated 28nm-like cell model (DESIGN.md §2); the claim under test is the
+// relative speedup: encoder 25-35%, decoder 15-30% in the paper.
+#include <cstdio>
+
+#include "hw/analysis.hpp"
+#include "hw/posit_codec_hw.hpp"
+
+int main() {
+  using namespace pdnn::hw;
+  const PositHwSpec specs[] = {{8, 0}, {16, 1}, {32, 3}};
+
+  std::printf("Table IV reproduction (750 MHz power; 28nm-like cell model)\n\n");
+  std::printf("%-22s %12s %12s %12s\n", "", "posit(8,0)", "posit(16,1)", "posit(32,3)");
+
+  CircuitReport enc_orig[3], dec_orig[3], enc_opt[3], dec_opt[3];
+  for (int i = 0; i < 3; ++i) {
+    enc_orig[i] = characterize(make_encoder_netlist(specs[i], false), "enc_orig");
+    dec_orig[i] = characterize(make_decoder_netlist(specs[i], false), "dec_orig");
+    enc_opt[i] = characterize(make_encoder_netlist(specs[i], true), "enc_opt");
+    dec_opt[i] = characterize(make_decoder_netlist(specs[i], true), "dec_opt");
+  }
+
+  const auto row = [](const char* label, const CircuitReport* r, double CircuitReport::*field,
+                      const char* fmt) {
+    std::printf("%-22s", label);
+    for (int i = 0; i < 3; ++i) std::printf(fmt, r[i].*field);
+    std::printf("\n");
+  };
+  row("[6] delay(ns) encoder", enc_orig, &CircuitReport::delay_ns, " %12.3f");
+  row("[6] delay(ns) decoder", dec_orig, &CircuitReport::delay_ns, " %12.3f");
+  row("Ours delay(ns) encoder", enc_opt, &CircuitReport::delay_ns, " %12.3f");
+  row("Ours delay(ns) decoder", dec_opt, &CircuitReport::delay_ns, " %12.3f");
+  row("Ours power(mW) encoder", enc_opt, &CircuitReport::power_mw, " %12.3f");
+  row("Ours power(mW) decoder", dec_opt, &CircuitReport::power_mw, " %12.3f");
+  row("Ours area(um2) encoder", enc_opt, &CircuitReport::area_um2, " %12.0f");
+  row("Ours area(um2) decoder", dec_opt, &CircuitReport::area_um2, " %12.0f");
+
+  std::printf("\nspeedups (1 - opt/orig):\n");
+  std::printf("%-22s", "encoder");
+  for (int i = 0; i < 3; ++i)
+    std::printf(" %11.1f%%", 100.0 * (1.0 - enc_opt[i].delay_ns / enc_orig[i].delay_ns));
+  std::printf("   [paper: 25-35%%]\n");
+  std::printf("%-22s", "decoder");
+  for (int i = 0; i < 3; ++i)
+    std::printf(" %11.1f%%", 100.0 * (1.0 - dec_opt[i].delay_ns / dec_orig[i].delay_ns));
+  std::printf("   [paper: 15-30%%]\n");
+
+  std::printf("\npaper Table IV reference delays (TSMC 28nm, Design Compiler):\n");
+  std::printf("  [6]  encoder 0.20 / 0.29 / 0.35 ns, decoder 0.20 / 0.28 / 0.34 ns\n");
+  std::printf("  Ours encoder 0.13 / 0.18 / 0.23 ns, decoder 0.14 / 0.21 / 0.29 ns\n");
+  std::printf("  Ours power (enc/dec): 0.21/0.27, 0.44/0.45, 0.59/0.66 mW\n");
+  std::printf("  Ours area  (enc/dec): 137/201, 295/504, 540/960 um2\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// hw_explorer — sweeps posit formats through the gate-level MAC model and
+// prints a cost landscape (delay / area / power / energy-per-MAC), the kind
+// of design-space exploration the paper's Section IV enables.
+//
+// Usage: hw_explorer [freq_mhz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "hw/analysis.hpp"
+#include "hw/posit_mac.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdnn::hw;
+  const double freq = argc > 1 ? std::atof(argv[1]) : 750.0;
+
+  std::printf("posit MAC design space @ %.0f MHz (paper-optimized codec)\n\n", freq);
+  std::printf("%-12s %8s %10s %10s %10s %12s\n", "format", "gates", "delay(ns)", "area(um2)", "power(mW)",
+              "energy(pJ)");
+
+  const Netlist fp32 = make_fp_mac_netlist(FpFormat{10, 23});
+  const CircuitReport fp32_r = characterize(fp32, "fp32", freq, 800);
+  std::printf("%-12s %8zu %10.3f %10.0f %10.2f %12.3f   (baseline)\n", "FP32", fp32_r.gates,
+              fp32_r.delay_ns, fp32_r.area_um2, fp32_r.power_mw, fp32_r.power_mw / freq * 1e3);
+
+  for (const int n : {8, 12, 16, 24, 32}) {
+    for (const int es : {0, 1, 2, 3}) {
+      if (es >= n - 4) continue;
+      const PositHwSpec spec{n, es};
+      const Netlist mac = make_posit_mac_netlist(spec, /*optimized=*/true);
+      const CircuitReport r = characterize(mac, "mac", freq, 800);
+      std::printf("posit(%2d,%d)  %8zu %10.3f %10.0f %10.2f %12.3f\n", n, es, r.gates, r.delay_ns,
+                  r.area_um2, r.power_mw, r.power_mw / freq * 1e3);
+    }
+  }
+
+  std::printf("\noriginal-[6] vs paper-optimized codec at posit(16,1):\n");
+  for (const bool opt : {false, true}) {
+    const MacDelayBreakdown b = posit_mac_delay_breakdown(PositHwSpec{16, 1}, opt);
+    std::printf("  %-9s decoder %.3f ns, fp-core %.3f ns, encoder %.3f ns, MAC total %.3f ns\n",
+                opt ? "optimized" : "original", b.decoder_ns, b.fp_mac_ns, b.encoder_ns, b.total_ns);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// mixed_precision_mlp — trains an MLP on the 3-arm spiral dataset under
+// several numeric policies and prints a side-by-side comparison. Shows how to
+// assemble a custom QuantConfig (formats, sigma, rounding) for non-CNN models.
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "nn/resnet.hpp"
+#include "nn/trainer.hpp"
+#include "quant/policy.hpp"
+
+namespace {
+
+using namespace pdnn;
+
+float train_once(const data::TrainTest& data, const quant::QuantConfig* cfg, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  auto net = nn::mlp(/*in=*/2, /*hidden=*/32, /*classes=*/3, /*depth=*/2, rng);
+
+  std::unique_ptr<quant::QuantPolicy> policy;
+  nn::TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 32;
+  tc.sgd = {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f};
+  tc.schedule = {.base_lr = 0.1f, .drop_epochs = {45}, .factor = 10.0f};
+  tc.warmup_epochs = cfg != nullptr ? 2 : 0;
+  tc.shuffle_seed = seed;
+  if (cfg != nullptr) {
+    policy = std::make_unique<quant::QuantPolicy>(*cfg);
+    quant::QuantPolicy* raw = policy.get();
+    tc.on_warmup_end = [raw](nn::Sequential& n) {
+      raw->calibrate(n);
+      raw->activate();
+    };
+  }
+  nn::Trainer trainer(*net, policy.get(), tc);
+  const auto hist = trainer.fit(data.train.images, data.train.labels, data.test.images, data.test.labels);
+  return hist.back().test_acc;
+}
+
+}  // namespace
+
+int main() {
+  const auto data = data::make_spirals(/*arms=*/3, /*per_arm=*/200, /*noise=*/0.06f, /*seed=*/11);
+  std::printf("3-arm spirals, MLP 2-32-32-3, 60 epochs\n\n");
+
+  std::printf("%-36s %s\n", "policy", "test accuracy");
+  std::printf("%-36s %.2f%%\n", "FP32", 100.0 * train_once(data, nullptr, 5));
+
+  quant::QuantConfig p16 = quant::QuantConfig::imagenet16();
+  std::printf("%-36s %.2f%%\n", "posit16 (paper ImageNet config)", 100.0 * train_once(data, &p16, 5));
+
+  quant::QuantConfig p8 = quant::QuantConfig::cifar8();
+  std::printf("%-36s %.2f%%\n", "posit8 CONV-style (linear layers)", 100.0 * train_once(data, &p8, 5));
+
+  quant::QuantConfig p8ne = p8;
+  p8ne.round_mode = posit::RoundMode::kNearestEven;
+  std::printf("%-36s %.2f%%\n", "posit8, nearest-even rounding", 100.0 * train_once(data, &p8ne, 5));
+
+  quant::QuantConfig p8ns = p8;
+  p8ns.scale_mode = quant::ScaleMode::kNone;
+  std::printf("%-36s %.2f%%\n", "posit8, no Eq.2 shifting", 100.0 * train_once(data, &p8ns, 5));
+
+  std::printf(
+      "\nnote: unlike the paper's conv-BN networks, this MLP has no BatchNorm to absorb\n"
+      "the systematic shrinkage of round-toward-zero, so 8-bit posit training needs\n"
+      "nearest-even rounding here; 16-bit posit matches FP32 either way.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// quickstart — a five-minute tour of the library's public API:
+// posit values, the quire, Algorithm 1 quantization, and scaling (Eq. 2/3).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "posit/math.hpp"
+#include "posit/posit.hpp"
+#include "posit/quire.hpp"
+#include "posit/tables.hpp"
+#include "quant/posit_transform.hpp"
+#include "quant/scale.hpp"
+
+int main() {
+  using namespace pdnn;
+
+  // --- 1. posit values behave like numbers --------------------------------
+  using posit::Posit16_1;
+  const Posit16_1 a{3.25}, b{-0.125};
+  std::printf("a = %g, b = %g\n", a.value(), b.value());
+  std::printf("a+b = %g, a*b = %g, a/b = %g, sqrt(a) = %g\n", (a + b).value(), (a * b).value(),
+              (a / b).value(), posit::sqrt(a).value());
+  std::printf("posit(16,1): maxpos = %g, minpos = %g\n\n", Posit16_1::maxpos().value(),
+              Posit16_1::minpos().value());
+
+  // --- 2. tapered precision: dense near 1, sparse at the extremes ----------
+  const posit::PositSpec p81{8, 1};
+  std::printf("posit(8,1) neighbors of 1.0:   %g  1.0  %g\n",
+              posit::to_double(posit::from_double(1.0, p81) - 1, p81),
+              posit::to_double(posit::from_double(1.0, p81) + 1, p81));
+  std::printf("posit(8,1) neighbors of 256:   %g  256  %g\n\n",
+              posit::to_double(posit::from_double(256.0, p81) - 1, p81),
+              posit::to_double(posit::from_double(256.0, p81) + 1, p81));
+
+  // --- 3. the quire: exact dot products ------------------------------------
+  posit::Quire q(p81);
+  q.add_product(posit::from_double(100.0, p81), posit::from_double(1.0, p81));
+  q.add_posit(p81.minpos_code());                              // tiny term
+  q.sub_product(posit::from_double(100.0, p81), posit::from_double(1.0, p81));
+  std::printf("quire of 100*1 + minpos - 100*1 = %g (exactly minpos = %g)\n\n", q.to_double(),
+              posit::minpos_value(p81));
+
+  // --- 4. Algorithm 1: the paper's quantization operator -------------------
+  const float x = 0.0137f;
+  std::printf("P_{8,1}(%g) = %g (round toward zero)\n", x, quant::posit_transform(x, p81));
+
+  // --- 5. Eq. (2)/(3): layer-wise scaling ----------------------------------
+  tensor::Rng rng(1);
+  tensor::Tensor w = tensor::Tensor::randn({1000}, rng, 0.01f);
+  const int shift = quant::scale_shift(w);  // center + sigma
+  std::printf("tensor with stddev 0.01: Eq.2 shift = %d (Sf = 2^%d)\n", shift, shift);
+  std::printf("P(x) alone:      %g -> %g\n", static_cast<double>(w[0]),
+              static_cast<double>(quant::posit_transform(w[0], p81)));
+  std::printf("P(x/Sf)*Sf:      %g -> %g  (finer grid where the data lives)\n",
+              static_cast<double>(w[0]),
+              static_cast<double>(quant::posit_transform_scaled(w[0], p81, shift)));
+  return 0;
+}

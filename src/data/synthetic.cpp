@@ -1,0 +1,145 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "tensor/stats.hpp"
+
+namespace pdnn::data {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Paint one image of class `cls` at a random phase/offset. Classes combine
+/// an orientation-frequency grating, a blob layout and a color cast, so no
+/// single channel statistic solves the task.
+void paint_class_image(float* img, std::size_t h, std::size_t w, int cls, Rng& rng, float noise,
+                       bool augment_shift) {
+  const std::size_t plane = h * w;
+  // Class-dependent generative parameters (deterministic per class).
+  const double angle = (cls % 5) * (kPi / 5.0);
+  const double freq = 2.0 + (cls % 3) * 1.5;
+  const double color[3] = {0.3 + 0.5 * ((cls * 37) % 7) / 6.0, 0.3 + 0.5 * ((cls * 53) % 7) / 6.0,
+                           0.3 + 0.5 * ((cls * 71) % 7) / 6.0};
+  const int blob_grid = 2 + (cls % 2);  // 2x2 or 3x3 blob layout
+  const bool blobs_on_diag = (cls / 5) % 2 == 0;
+
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const int dx = augment_shift ? static_cast<int>(rng.uniform_int(5)) - 2 : 0;
+  const int dy = augment_shift ? static_cast<int>(rng.uniform_int(5)) - 2 : 0;
+  const double ca = std::cos(angle), sa = std::sin(angle);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const double u = (static_cast<double>(static_cast<int>(x) + dx)) / static_cast<double>(w);
+        const double v = (static_cast<double>(static_cast<int>(y) + dy)) / static_cast<double>(h);
+        // Oriented grating.
+        const double t = (u * ca + v * sa) * freq * 2.0 * kPi + phase;
+        double val = 0.6 * std::sin(t) * color[c];
+        // Blob layout: bright spots on a class-dependent sub-grid.
+        const double gu = u * blob_grid, gv = v * blob_grid;
+        const double fu = gu - std::floor(gu) - 0.5, fv = gv - std::floor(gv) - 0.5;
+        const bool on_diag = (static_cast<int>(std::floor(gu)) + static_cast<int>(std::floor(gv))) % 2 == 0;
+        if (on_diag == blobs_on_diag) {
+          val += 0.8 * std::exp(-12.0 * (fu * fu + fv * fv)) * (c == static_cast<std::size_t>(cls % 3) ? 1.2 : 0.5);
+        }
+        img[c * plane + y * w + x] = static_cast<float>(val + noise * rng.normal());
+      }
+    }
+  }
+}
+
+Dataset make_split(const SynthCifarConfig& cfg, std::size_t per_class, Rng& rng) {
+  const std::size_t n = per_class * cfg.classes;
+  Dataset d;
+  d.classes = cfg.classes;
+  d.images = Tensor({n, 3, cfg.height, cfg.width});
+  d.labels.resize(n);
+  const std::size_t img_size = 3 * cfg.height * cfg.width;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % cfg.classes);
+    d.labels[i] = cls;
+    paint_class_image(d.images.data() + i * img_size, cfg.height, cfg.width, cls, rng, cfg.noise,
+                      cfg.augment_shift);
+  }
+  return d;
+}
+
+void standardize(Tensor& images) {
+  const auto m = tensor::moments(images);
+  const float mean = static_cast<float>(m.mean);
+  const float inv_std = static_cast<float>(1.0 / (m.stddev + 1e-8));
+  images.apply([mean, inv_std](float v) { return (v - mean) * inv_std; });
+}
+
+}  // namespace
+
+TrainTest make_synth_cifar(const SynthCifarConfig& cfg) {
+  Rng rng(cfg.seed);
+  TrainTest tt;
+  tt.train = make_split(cfg, cfg.train_per_class, rng);
+  tt.test = make_split(cfg, cfg.test_per_class, rng);
+  standardize(tt.train.images);
+  standardize(tt.test.images);
+  return tt;
+}
+
+TrainTest make_two_moons(std::size_t per_class, float noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto build = [&](std::size_t count) {
+    Dataset d;
+    d.classes = 2;
+    d.images = Tensor({count * 2, 2});
+    d.labels.resize(count * 2);
+    for (std::size_t i = 0; i < count * 2; ++i) {
+      const int cls = static_cast<int>(i % 2);
+      const double t = rng.uniform(0.0, kPi);
+      double x, y;
+      if (cls == 0) {
+        x = std::cos(t);
+        y = std::sin(t);
+      } else {
+        x = 1.0 - std::cos(t);
+        y = 0.5 - std::sin(t);
+      }
+      d.images.at(i, 0) = static_cast<float>(x + noise * rng.normal());
+      d.images.at(i, 1) = static_cast<float>(y + noise * rng.normal());
+      d.labels[i] = cls;
+    }
+    return d;
+  };
+  TrainTest tt;
+  tt.train = build(per_class);
+  tt.test = build(per_class / 4 + 1);
+  return tt;
+}
+
+TrainTest make_spirals(std::size_t arms, std::size_t per_arm, float noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto build = [&](std::size_t count) {
+    Dataset d;
+    d.classes = arms;
+    d.images = Tensor({count * arms, 2});
+    d.labels.resize(count * arms);
+    for (std::size_t i = 0; i < count * arms; ++i) {
+      const auto cls = i % arms;
+      const double t = rng.uniform(0.25, 1.0);
+      const double theta = t * 3.0 * kPi + 2.0 * kPi * static_cast<double>(cls) / static_cast<double>(arms);
+      d.images.at(i, 0) = static_cast<float>(t * std::cos(theta) + noise * rng.normal());
+      d.images.at(i, 1) = static_cast<float>(t * std::sin(theta) + noise * rng.normal());
+      d.labels[i] = static_cast<int>(cls);
+    }
+    return d;
+  };
+  TrainTest tt;
+  tt.train = build(per_arm);
+  tt.test = build(per_arm / 4 + 1);
+  return tt;
+}
+
+}  // namespace pdnn::data

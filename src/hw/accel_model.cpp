@@ -1,0 +1,67 @@
+#include "hw/accel_model.hpp"
+
+namespace pdnn::hw {
+
+std::vector<LayerGeom> cifar_resnet18_geometry() {
+  // Cifar-ResNet-18: conv1 + 8 basic blocks (2 per stage x 4 "paired" stages
+  // in the 18-layer Cifar variant the paper trains: 16-16-32-64 channels at
+  // 32x32 -> 8x8) + FC. Downsample 1x1 convs included where the stride drops.
+  std::vector<LayerGeom> net;
+  const auto conv = [&](const std::string& name, std::size_t ic, std::size_t oc, std::size_t hw,
+                        std::size_t k, std::size_t s) {
+    net.push_back(LayerGeom{name, ic, oc, hw, hw, k, s});
+  };
+  conv("conv1", 3, 16, 32, 3, 1);
+  // stage 1: 2 blocks, 16ch @ 32x32
+  for (int b = 0; b < 2; ++b) {
+    conv("s1b" + std::to_string(b) + ".conv1", 16, 16, 32, 3, 1);
+    conv("s1b" + std::to_string(b) + ".conv2", 16, 16, 32, 3, 1);
+  }
+  // stage 2: 2 blocks, 16->32ch, 32x32 -> 16x16
+  conv("s2b0.conv1", 16, 32, 32, 3, 2);
+  conv("s2b0.conv2", 32, 32, 16, 3, 1);
+  conv("s2b0.down", 16, 32, 32, 1, 2);
+  conv("s2b1.conv1", 32, 32, 16, 3, 1);
+  conv("s2b1.conv2", 32, 32, 16, 3, 1);
+  // stage 3: 2 blocks, 32->64ch, 16x16 -> 8x8
+  conv("s3b0.conv1", 32, 64, 16, 3, 2);
+  conv("s3b0.conv2", 64, 64, 8, 3, 1);
+  conv("s3b0.down", 32, 64, 16, 1, 2);
+  conv("s3b1.conv1", 64, 64, 8, 3, 1);
+  conv("s3b1.conv2", 64, 64, 8, 3, 1);
+  // classifier
+  conv("fc", 64, 10, 1, 1, 1);
+  return net;
+}
+
+TrainingStepCost training_step_cost(const std::vector<LayerGeom>& net, const EnergyParams& params) {
+  TrainingStepCost cost;
+  for (const LayerGeom& layer : net) {
+    const double fwd = static_cast<double>(layer.forward_macs());
+    // Fig. 3: forward conv, backward dX conv (same volume), backward dW conv
+    // (same volume), plus the elementwise weight update.
+    const double macs = 3.0 * fwd + static_cast<double>(layer.weight_count());
+    cost.mac_count += macs;
+
+    // Traffic per Fig. 3's tensors: W read twice (fwd, bwd) + written once
+    // (update); A written fwd + read bwd; E read + written; dW written + read.
+    const double w_traffic = 3.0 * static_cast<double>(layer.weight_count());
+    const double a_traffic = 2.0 * static_cast<double>(layer.activation_count()) +
+                             static_cast<double>(layer.input_count());
+    const double e_traffic = 2.0 * static_cast<double>(layer.activation_count());
+    const double g_traffic = 2.0 * static_cast<double>(layer.weight_count());
+    const double values = w_traffic + a_traffic + e_traffic + g_traffic;
+    const double bits = values * params.bits_per_value;
+    cost.traffic_bits += bits;
+
+    cost.compute_energy_uj += macs * params.mac_energy_pj * 1e-6;
+    // Weights/gradients stream from DRAM; activations/errors mostly hit SRAM.
+    const double dram_bits = (w_traffic + g_traffic) * params.bits_per_value;
+    const double sram_bits = bits - dram_bits;
+    cost.dram_energy_uj += dram_bits * params.dram_pj_per_bit * 1e-6;
+    cost.sram_energy_uj += sram_bits * params.sram_pj_per_bit * 1e-6;
+  }
+  return cost;
+}
+
+}  // namespace pdnn::hw

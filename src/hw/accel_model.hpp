@@ -1,0 +1,59 @@
+// accel_model.hpp — first-order DNN training accelerator cost model.
+//
+// The paper's conclusion argues: "If the posit is applied in DNN accelerators,
+// the overhead caused by data communications can be saved by 2-4x" — 16-bit
+// posit halves and 8-bit posit quarters every tensor transfer relative to
+// FP32, and the MAC energy shrinks per Table V. This model combines
+//   * per-layer tensor traffic (weights, activations, errors, gradients,
+//     following the three dataflows of Fig. 3), and
+//   * MAC operation counts,
+// with per-bit transfer energies and the gate-level per-MAC energies from
+// src/hw to estimate energy per training step — the Section V projection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pdnn::hw {
+
+/// One convolutional (or FC, with h=w=1, k=1) layer's geometry.
+struct LayerGeom {
+  std::string name;
+  std::size_t in_c = 0, out_c = 0;
+  std::size_t in_h = 1, in_w = 1;
+  std::size_t kernel = 1;
+  std::size_t stride = 1;
+  std::size_t out_h() const { return (in_h + stride - 1) / stride; }
+  std::size_t out_w() const { return (in_w + stride - 1) / stride; }
+
+  std::size_t weight_count() const { return out_c * in_c * kernel * kernel; }
+  std::size_t activation_count() const { return out_c * out_h() * out_w(); }
+  std::size_t input_count() const { return in_c * in_h * in_w; }
+  /// MACs of one forward pass (backward costs ~2x this: dX and dW).
+  std::size_t forward_macs() const { return out_c * out_h() * out_w() * in_c * kernel * kernel; }
+};
+
+/// The Cifar-ResNet-18-ish stack the paper trains (batch-of-1 granularity).
+std::vector<LayerGeom> cifar_resnet18_geometry();
+
+struct EnergyParams {
+  double bits_per_value = 32.0;     ///< numeric format width
+  double mac_energy_pj = 0.0;       ///< per-MAC energy (from the gate model)
+  double dram_pj_per_bit = 5.0;     ///< off-chip transfer energy
+  double sram_pj_per_bit = 0.15;    ///< on-chip buffer energy
+};
+
+struct TrainingStepCost {
+  double mac_count = 0.0;           ///< forward + backward + weight-update MACs
+  double traffic_bits = 0.0;        ///< W + A + E + dW movement (Fig. 3 flows)
+  double compute_energy_uj = 0.0;
+  double dram_energy_uj = 0.0;
+  double sram_energy_uj = 0.0;
+  double total_energy_uj() const { return compute_energy_uj + dram_energy_uj + sram_energy_uj; }
+};
+
+/// Energy of one training step (one image) over the layer stack.
+TrainingStepCost training_step_cost(const std::vector<LayerGeom>& net, const EnergyParams& params);
+
+}  // namespace pdnn::hw

@@ -1,0 +1,100 @@
+#include "hw/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/random.hpp"
+
+namespace pdnn::hw {
+
+TimingReport analyze_timing(const Netlist& nl) {
+  std::vector<double> arrival(nl.net_count(), 0.0);
+  std::vector<NetId> arrival_from(nl.net_count(), -1);
+
+  for (const auto& g : nl.gates()) {
+    if (g.kind == CellKind::kConst || g.kind == CellKind::kInput) {
+      arrival[static_cast<std::size_t>(g.out)] = 0.0;
+      continue;
+    }
+    double worst = 0.0;
+    NetId worst_in = -1;
+    for (int i = 0; i < cell_arity(g.kind); ++i) {
+      // Mux select is stored in in[2] for arity-3 cells.
+      const NetId in = g.in[static_cast<std::size_t>(i == 2 ? 2 : i)];
+      if (in < 0) continue;
+      if (arrival[static_cast<std::size_t>(in)] >= worst) {
+        worst = arrival[static_cast<std::size_t>(in)];
+        worst_in = in;
+      }
+    }
+    arrival[static_cast<std::size_t>(g.out)] = worst + cell_params(g.kind).delay_ns;
+    arrival_from[static_cast<std::size_t>(g.out)] = worst_in;
+  }
+
+  TimingReport report;
+  NetId worst_out = -1;
+  for (const NetId out : nl.outputs()) {
+    if (arrival[static_cast<std::size_t>(out)] > report.critical_delay_ns) {
+      report.critical_delay_ns = arrival[static_cast<std::size_t>(out)];
+      worst_out = out;
+    }
+  }
+  for (NetId n = worst_out; n >= 0; n = arrival_from[static_cast<std::size_t>(n)]) {
+    report.critical_path.push_back(n);
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+PowerReport analyze_power(const Netlist& nl, double freq_mhz, int vectors, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  const std::size_t in_count = nl.inputs().size();
+  std::vector<std::uint8_t> inputs(in_count, 0);
+  for (auto& v : inputs) v = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+  std::vector<std::uint8_t> prev = nl.evaluate(inputs);
+
+  std::vector<std::uint64_t> toggles(nl.net_count(), 0);
+  for (int vec = 0; vec < vectors; ++vec) {
+    for (auto& v : inputs) v = static_cast<std::uint8_t>(rng.next_u64() & 1u);
+    const auto cur = nl.evaluate(inputs);
+    for (std::size_t n = 0; n < cur.size(); ++n) {
+      if (cur[n] != prev[n]) ++toggles[n];
+    }
+    prev = cur;
+  }
+
+  PowerReport report;
+  double energy_per_cycle_fj = 0.0;
+  double leakage_nw = 0.0;
+  double total_toggles = 0.0;
+  for (const auto& g : nl.gates()) {
+    const CellParams& p = cell_params(g.kind);
+    leakage_nw += p.leakage_nw;
+    const double activity = static_cast<double>(toggles[static_cast<std::size_t>(g.out)]) / vectors;
+    energy_per_cycle_fj += activity * p.energy_fj;
+    total_toggles += activity;
+  }
+  // mW = fJ/cycle * cycles/s = fJ * MHz * 1e6 * 1e-15 * 1e3.
+  report.dynamic_mw = energy_per_cycle_fj * freq_mhz * 1e-6;
+  report.leakage_mw = leakage_nw * 1e-6;
+  report.toggles_per_cycle = total_toggles;
+  return report;
+}
+
+int pipeline_stages(double delay_ns, double freq_mhz) {
+  const double cycle_ns = 1000.0 / freq_mhz;
+  const int stages = static_cast<int>(std::ceil(delay_ns / cycle_ns - 1e-9));
+  return stages < 1 ? 1 : stages;
+}
+
+CircuitReport characterize(const Netlist& nl, const std::string& name, double freq_mhz, int vectors) {
+  CircuitReport r;
+  r.name = name;
+  r.gates = nl.gate_count();
+  r.area_um2 = nl.total_area_um2();
+  r.delay_ns = analyze_timing(nl).critical_delay_ns;
+  r.power_mw = analyze_power(nl, freq_mhz, vectors).total_mw();
+  return r;
+}
+
+}  // namespace pdnn::hw

@@ -1,0 +1,48 @@
+// analysis.hpp — static timing analysis and activity-based power estimation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace pdnn::hw {
+
+struct TimingReport {
+  double critical_delay_ns = 0.0;
+  std::vector<NetId> critical_path;  ///< nets along the slowest path, input to output
+};
+
+/// Longest path through the DAG, summing cell delays (zero wire delay).
+TimingReport analyze_timing(const Netlist& nl);
+
+struct PowerReport {
+  double dynamic_mw = 0.0;   ///< activity * energy * frequency
+  double leakage_mw = 0.0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+  double toggles_per_cycle = 0.0;  ///< average net toggles per input vector
+};
+
+/// Simulates `vectors` random input transitions, counts output toggles per
+/// gate, and converts to power at `freq_mhz`. Deterministic given `seed`.
+PowerReport analyze_power(const Netlist& nl, double freq_mhz, int vectors = 2000,
+                          std::uint64_t seed = 0xACDC);
+
+struct CircuitReport {
+  std::string name;
+  std::size_t gates = 0;
+  double area_um2 = 0.0;
+  double delay_ns = 0.0;
+  double power_mw = 0.0;
+};
+
+/// Full characterization at `freq_mhz` (the paper uses 750 MHz for Table V).
+CircuitReport characterize(const Netlist& nl, const std::string& name, double freq_mhz = 750.0,
+                           int vectors = 2000);
+
+/// Pipeline stages needed to meet a clock target (the paper's units are
+/// synthesized "with a timing constraint of 750MHz", i.e. pipelined): the
+/// combinational critical path divided into cycle-sized chunks.
+int pipeline_stages(double delay_ns, double freq_mhz);
+
+}  // namespace pdnn::hw

@@ -1,0 +1,47 @@
+#include "hw/cell_library.hpp"
+
+namespace pdnn::hw {
+
+namespace {
+
+// Delay ~ FO4-scaled; area from typical 28nm HD cell footprints; energy and
+// leakage chosen so the FP32 MAC reference lands near the paper's Table V.
+constexpr CellParams kParams[] = {
+    /* kInv   */ {0.010, 0.49, 0.6, 1.0},
+    /* kBuf   */ {0.016, 0.65, 0.8, 1.2},
+    /* kAnd2  */ {0.022, 0.81, 1.1, 1.6},
+    /* kOr2   */ {0.023, 0.81, 1.1, 1.6},
+    /* kNand2 */ {0.014, 0.65, 0.9, 1.4},
+    /* kNor2  */ {0.016, 0.65, 0.9, 1.4},
+    /* kXor2  */ {0.032, 1.30, 1.8, 2.6},
+    /* kXnor2 */ {0.032, 1.30, 1.8, 2.6},
+    /* kMux2  */ {0.030, 1.46, 1.7, 2.8},
+    /* kConst */ {0.000, 0.00, 0.0, 0.0},
+    /* kInput */ {0.000, 0.00, 0.0, 0.0},
+};
+
+constexpr const char* kNames[] = {"INV", "BUF", "AND2", "OR2",   "NAND2", "NOR2",
+                                  "XOR2", "XNOR2", "MUX2", "CONST", "INPUT"};
+
+}  // namespace
+
+const CellParams& cell_params(CellKind kind) { return kParams[static_cast<int>(kind)]; }
+
+const char* cell_name(CellKind kind) { return kNames[static_cast<int>(kind)]; }
+
+int cell_arity(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInv:
+    case CellKind::kBuf:
+      return 1;
+    case CellKind::kMux2:
+      return 3;
+    case CellKind::kConst:
+    case CellKind::kInput:
+      return 0;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace pdnn::hw

@@ -1,0 +1,303 @@
+#include "hw/components.hpp"
+
+#include <stdexcept>
+
+namespace pdnn::hw {
+
+SumCarry ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin) {
+  if (a.size() != b.size()) throw std::invalid_argument("ripple_adder: width mismatch");
+  SumCarry out;
+  out.sum.resize(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = nl.lxor(a[i], b[i]);
+    out.sum[i] = nl.lxor(axb, carry);
+    // carry = a&b | carry&(a^b)
+    carry = nl.lor(nl.land(a[i], b[i]), nl.land(carry, axb));
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+SumCarry kogge_stone_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin) {
+  if (a.size() != b.size()) throw std::invalid_argument("kogge_stone_adder: width mismatch");
+  const auto n = static_cast<int>(a.size());
+  // Generate/propagate per bit; fold cin into bit 0's generate.
+  Bus g(a.size()), p(a.size());
+  for (int i = 0; i < n; ++i) {
+    g[static_cast<std::size_t>(i)] = nl.land(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+    p[static_cast<std::size_t>(i)] = nl.lxor(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+  }
+  Bus gg = g, pp = p;
+  gg[0] = nl.lor(g[0], nl.land(p[0], cin));
+  for (int step = 1; step < n; step <<= 1) {
+    Bus g2 = gg, p2 = pp;
+    for (int i = step; i < n; ++i) {
+      g2[static_cast<std::size_t>(i)] =
+          nl.lor(gg[static_cast<std::size_t>(i)],
+                 nl.land(pp[static_cast<std::size_t>(i)], gg[static_cast<std::size_t>(i - step)]));
+      p2[static_cast<std::size_t>(i)] =
+          nl.land(pp[static_cast<std::size_t>(i)], pp[static_cast<std::size_t>(i - step)]);
+    }
+    gg = std::move(g2);
+    pp = std::move(p2);
+  }
+  SumCarry out;
+  out.sum.resize(a.size());
+  out.sum[0] = nl.lxor(p[0], cin);
+  for (int i = 1; i < n; ++i) {
+    out.sum[static_cast<std::size_t>(i)] =
+        nl.lxor(p[static_cast<std::size_t>(i)], gg[static_cast<std::size_t>(i - 1)]);
+  }
+  out.carry_out = gg[static_cast<std::size_t>(n - 1)];
+  return out;
+}
+
+Bus incrementer(Netlist& nl, const Bus& a, NetId inc) {
+  Bus sum(a.size());
+  NetId carry = inc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum[i] = nl.lxor(a[i], carry);
+    carry = nl.land(a[i], carry);
+  }
+  return sum;
+}
+
+Bus prefix_and_scan(Netlist& nl, const Bus& a) {
+  Bus p = a;
+  const auto n = static_cast<int>(a.size());
+  for (int step = 1; step < n; step <<= 1) {
+    Bus next = p;
+    for (int i = step; i < n; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          nl.land(p[static_cast<std::size_t>(i)], p[static_cast<std::size_t>(i - step)]);
+    }
+    p = std::move(next);
+  }
+  return p;
+}
+
+Bus prefix_incrementer(Netlist& nl, const Bus& a, NetId inc) {
+  // carry into bit i = inc & (a[0] & ... & a[i-1]).
+  const Bus prefix = prefix_and_scan(nl, a);
+  Bus sum(a.size());
+  NetId carry = inc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum[i] = nl.lxor(a[i], carry);
+    if (i + 1 < a.size()) carry = nl.land(inc, prefix[i]);
+  }
+  return sum;
+}
+
+Bus negate(Netlist& nl, const Bus& a) { return prefix_incrementer(nl, nl.bus_not(a), nl.constant(true)); }
+
+Bus conditional_negate(Netlist& nl, const Bus& a, NetId neg) {
+  Bus flipped(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) flipped[i] = nl.lxor(a[i], neg);
+  return prefix_incrementer(nl, flipped, neg);
+}
+
+Bus subtract(Netlist& nl, const Bus& a, const Bus& b) {
+  return kogge_stone_adder(nl, a, nl.bus_not(b), nl.constant(true)).sum;
+}
+
+Bus left_shifter(Netlist& nl, const Bus& in, const Bus& amount) {
+  // Stages consume the amount MSB-first: the slowest-arriving high bits of a
+  // computed shift amount gate the first stage, as in a conventional
+  // coarse-to-fine barrel shifter. (This is what makes the "+1" adder of the
+  // original [6] codec sit fully on the critical path.)
+  Bus cur = in;
+  const auto width = static_cast<int>(in.size());
+  for (std::size_t s = amount.size(); s-- > 0;) {
+    const std::size_t stage = s;
+    const int step = 1 << stage;
+    if (step >= width) {
+      // Shifting by >= width zeroes everything when this amount bit is set.
+      Bus zeros(cur.size(), nl.constant(false));
+      cur = nl.bus_mux(amount[stage], cur, zeros);
+      continue;
+    }
+    Bus shifted(cur.size());
+    for (int i = 0; i < width; ++i) {
+      shifted[static_cast<std::size_t>(i)] =
+          i >= step ? cur[static_cast<std::size_t>(i - step)] : nl.constant(false);
+    }
+    cur = nl.bus_mux(amount[stage], cur, shifted);
+  }
+  return cur;
+}
+
+Bus right_shifter(Netlist& nl, const Bus& in, const Bus& amount, NetId fill) {
+  Bus cur = in;
+  const auto width = static_cast<int>(in.size());
+  for (std::size_t s = amount.size(); s-- > 0;) {
+    const std::size_t stage = s;
+    const int step = 1 << stage;
+    if (step >= width) {
+      Bus fills(cur.size(), fill);
+      cur = nl.bus_mux(amount[stage], cur, fills);
+      continue;
+    }
+    Bus shifted(cur.size());
+    for (int i = 0; i < width; ++i) {
+      shifted[static_cast<std::size_t>(i)] =
+          i + step < width ? cur[static_cast<std::size_t>(i + step)] : fill;
+    }
+    cur = nl.bus_mux(amount[stage], cur, shifted);
+  }
+  return cur;
+}
+
+namespace {
+
+/// Recursive LZD over an MSB-first view. `bits` is little-endian; we inspect
+/// from the top. Width must be a power of two at each recursion level; the
+/// public wrapper pads the LSB side with ones (a padding 1 can only be
+/// "found" after every real bit was zero, making count == real width).
+LzdResult lzd_pow2(Netlist& nl, const Bus& bits) {
+  LzdResult r;
+  if (bits.size() == 1) {
+    r.all_zero = nl.lnot(bits[0]);
+    return r;  // zero-width count
+  }
+  const std::size_t half = bits.size() / 2;
+  const Bus low(bits.begin(), bits.begin() + static_cast<long>(half));
+  const Bus high(bits.begin() + static_cast<long>(half), bits.end());
+  const LzdResult rh = lzd_pow2(nl, high);
+  const LzdResult rl = lzd_pow2(nl, low);
+  r.all_zero = nl.land(rh.all_zero, rl.all_zero);
+  r.count.resize(rh.count.size() + 1);
+  // MSB of count: high half exhausted.
+  r.count[rh.count.size()] = rh.all_zero;
+  for (std::size_t i = 0; i < rh.count.size(); ++i) {
+    r.count[i] = nl.mux(rh.all_zero, rh.count[i], rl.count[i]);
+  }
+  return r;
+}
+
+}  // namespace
+
+LzdResult leading_zero_detector(Netlist& nl, const Bus& in) {
+  // Pad (at the LSB side) to the next power of two with constant ones. Always
+  // pad at least one bit so the count can represent in.size() (all-zero input)
+  // exactly.
+  std::size_t p2 = 1;
+  while (p2 < in.size() + 1) p2 <<= 1;
+  Bus padded;
+  padded.reserve(p2);
+  for (std::size_t i = 0; i < p2 - in.size(); ++i) padded.push_back(nl.constant(true));
+  padded.insert(padded.end(), in.begin(), in.end());
+  LzdResult r = lzd_pow2(nl, padded);
+  // count can reach in.size() (all real bits zero hits the first pad one);
+  // all_zero from the padded run is never true, so derive it from the count.
+  r.all_zero = equals_zero(nl, nl.bus_xor(r.count, nl.constant_bus(in.size(), static_cast<int>(r.count.size()))));
+  return r;
+}
+
+LzdResult leading_one_detector(Netlist& nl, const Bus& in) {
+  return leading_zero_detector(nl, nl.bus_not(in));
+}
+
+Bus array_multiplier(Netlist& nl, const Bus& a, const Bus& b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  Bus acc = nl.constant_bus(0, static_cast<int>(wa + wb));
+  for (std::size_t j = 0; j < wb; ++j) {
+    // Partial product a * b[j] aligned at position j, added into acc[j..].
+    Bus partial(wa);
+    for (std::size_t i = 0; i < wa; ++i) partial[i] = nl.land(a[i], b[j]);
+    // Add into the accumulator slice [j, j+wa] with ripple carry.
+    NetId carry = nl.constant(false);
+    for (std::size_t i = 0; i < wa; ++i) {
+      const NetId x = acc[j + i];
+      const NetId axb = nl.lxor(x, partial[i]);
+      acc[j + i] = nl.lxor(axb, carry);
+      carry = nl.lor(nl.land(x, partial[i]), nl.land(carry, axb));
+    }
+    // Propagate the carry upward.
+    for (std::size_t i = j + wa; i < wa + wb && carry != nl.constant(false); ++i) {
+      const NetId x = acc[i];
+      acc[i] = nl.lxor(x, carry);
+      carry = nl.land(x, carry);
+    }
+  }
+  return acc;
+}
+
+Bus wallace_multiplier(Netlist& nl, const Bus& a, const Bus& b) {
+  const std::size_t wa = a.size(), wb = b.size();
+  const std::size_t w = wa + wb;
+  // Column-wise lists of partial-product bits.
+  std::vector<std::vector<NetId>> cols(w);
+  for (std::size_t j = 0; j < wb; ++j) {
+    for (std::size_t i = 0; i < wa; ++i) {
+      cols[i + j].push_back(nl.land(a[i], b[j]));
+    }
+  }
+  // 3:2 (full adder) and 2:2 (half adder) reduction until every column has
+  // at most two bits.
+  bool busy = true;
+  while (busy) {
+    busy = false;
+    std::vector<std::vector<NetId>> next(w);
+    for (std::size_t c = 0; c < w; ++c) {
+      auto& col = cols[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const NetId x = col[i], y = col[i + 1], z = col[i + 2];
+        i += 3;
+        const NetId xy = nl.lxor(x, y);
+        next[c].push_back(nl.lxor(xy, z));  // sum
+        if (c + 1 < w) next[c + 1].push_back(nl.lor(nl.land(x, y), nl.land(xy, z)));  // carry
+        busy = true;
+      }
+      if (col.size() - i == 2 && cols[c].size() > 2) {
+        const NetId x = col[i], y = col[i + 1];
+        i += 2;
+        next[c].push_back(nl.lxor(x, y));
+        if (c + 1 < w) next[c + 1].push_back(nl.land(x, y));
+        busy = true;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    cols = std::move(next);
+    // Check whether any column still exceeds two bits.
+    if (!busy) break;
+    busy = false;
+    for (const auto& col : cols) {
+      if (col.size() > 2) {
+        busy = true;
+        break;
+      }
+    }
+  }
+  // Final carry-propagate add of the two remaining rows.
+  Bus row0(w), row1(w);
+  for (std::size_t c = 0; c < w; ++c) {
+    row0[c] = cols[c].size() > 0 ? cols[c][0] : nl.constant(false);
+    row1[c] = cols[c].size() > 1 ? cols[c][1] : nl.constant(false);
+  }
+  return kogge_stone_adder(nl, row0, row1, nl.constant(false)).sum;
+}
+
+NetId equals_zero(Netlist& nl, const Bus& a) { return nl.lnot(nl.reduce_or(a)); }
+
+NetId less_than(Netlist& nl, const Bus& a, const Bus& b) {
+  // a < b  <=>  borrow out of a - b.
+  if (a.size() != b.size()) throw std::invalid_argument("less_than: width mismatch");
+  const SumCarry diff = ripple_adder(nl, a, nl.bus_not(b), nl.constant(true));
+  return nl.lnot(diff.carry_out);
+}
+
+Bus extend(Netlist& nl, const Bus& a, int width, bool sign_extend) {
+  Bus out = a;
+  const NetId pad = sign_extend ? a.back() : nl.constant(false);
+  while (static_cast<int>(out.size()) < width) out.push_back(pad);
+  if (static_cast<int>(out.size()) > width) out.resize(static_cast<std::size_t>(width));
+  return out;
+}
+
+Bus slice(const Bus& a, int lo, int count) {
+  return Bus(a.begin() + lo, a.begin() + lo + count);
+}
+
+}  // namespace pdnn::hw

@@ -1,0 +1,84 @@
+// components.hpp — parameterized RTL building blocks (generate-block style).
+//
+// All buses are little-endian (bus[0] = LSB). Signed buses are two's
+// complement. These are the pieces the posit decoder/encoder (Figs. 5-6) and
+// the FP MAC (Fig. 4) are assembled from.
+#pragma once
+
+#include "hw/netlist.hpp"
+
+namespace pdnn::hw {
+
+struct SumCarry {
+  Bus sum;
+  NetId carry_out;
+};
+
+/// Ripple-carry adder: sum = a + b + cin. Widths must match.
+SumCarry ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin);
+
+/// Kogge-Stone parallel-prefix adder: same function, log depth. This is what
+/// synthesis emits for wide timing-critical adds (used in the FP MAC).
+SumCarry kogge_stone_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin);
+
+/// a + 1 when inc is high, else a — RIPPLE half-adder chain, linear depth.
+/// This is the "+1" structure of the original [6] codec that the paper's
+/// optimization removes from the critical path; keep using it only there.
+Bus incrementer(Netlist& nl, const Bus& a, NetId inc);
+
+/// a + 1 when inc is high — log-depth Kogge-Stone prefix-AND carries, the
+/// structure synthesis produces for fast increments. Used by the negation
+/// blocks shared by both codec variants.
+Bus prefix_incrementer(Netlist& nl, const Bus& a, NetId inc);
+
+/// Inclusive prefix AND: out[i] = a[0] & ... & a[i], log depth.
+Bus prefix_and_scan(Netlist& nl, const Bus& a);
+
+/// Two's complement negate: ~a + 1 (log depth).
+Bus negate(Netlist& nl, const Bus& a);
+
+/// Conditional negate: neg ? -a : a (XOR with sign + conditional +1,
+/// log depth).
+Bus conditional_negate(Netlist& nl, const Bus& a, NetId neg);
+
+/// a - b as two's complement (same width).
+Bus subtract(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Logical left shifter: out = in << amount, zero fill. Result keeps width.
+Bus left_shifter(Netlist& nl, const Bus& in, const Bus& amount);
+
+/// Logical right shifter with selectable fill bit (0, 1, or the sign).
+Bus right_shifter(Netlist& nl, const Bus& in, const Bus& amount, NetId fill);
+
+/// Leading-zero detector over MSB-first interpretation of `in`:
+/// count of consecutive 0s starting at in[width-1]. count width =
+/// ceil(log2(width+1)); `all_zero` flags an all-zero input (count == width).
+struct LzdResult {
+  Bus count;
+  NetId all_zero;
+};
+LzdResult leading_zero_detector(Netlist& nl, const Bus& in);
+
+/// Leading-one detector (LOD): LZD of the complemented input.
+LzdResult leading_one_detector(Netlist& nl, const Bus& in);
+
+/// Unsigned array multiplier (linear-depth ripple accumulation).
+Bus array_multiplier(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Unsigned Wallace-tree multiplier: 3:2 carry-save reduction layers plus a
+/// final Kogge-Stone add — log depth, the structure synthesis produces for
+/// timing-critical multipliers. out width = |a| + |b|.
+Bus wallace_multiplier(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Equality / comparison helpers.
+NetId equals_zero(Netlist& nl, const Bus& a);
+/// a < b, unsigned.
+NetId less_than(Netlist& nl, const Bus& a, const Bus& b);
+
+/// Sign-extend (or zero-pad) a bus to `width`.
+Bus extend(Netlist& nl, const Bus& a, int width, bool sign_extend);
+
+/// Take bits [lo, lo+count) of a bus.
+Bus slice(const Bus& a, int lo, int count);
+
+}  // namespace pdnn::hw

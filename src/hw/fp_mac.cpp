@@ -1,0 +1,133 @@
+#include "hw/fp_mac.hpp"
+
+#include <stdexcept>
+
+namespace pdnn::hw {
+
+namespace {
+
+int count_width_for(int bits) {
+  int w = 1;
+  while ((1 << w) < bits + 1) ++w;
+  return w;
+}
+
+}  // namespace
+
+FpResult build_fp_mac(Netlist& nl, const FpFormat& fmt, const FpOperand& a, const FpOperand& b,
+                      const FpOperand& c) {
+  const int m = fmt.frac_width;
+  const int ew = fmt.exp_width;
+  const int ew2 = ew + 2;  // internal exponent width
+
+  // ---- multiply ----------------------------------------------------------
+  const NetId sp = nl.lxor(a.sign, b.sign);
+  Bus ma = a.frac;
+  ma.push_back(nl.constant(true));  // hidden one -> width m+1
+  Bus mb = b.frac;
+  mb.push_back(nl.constant(true));
+  const Bus product = wallace_multiplier(nl, ma, mb);  // width 2m+2, value in [2^2m, 2^(2m+2))
+  const Bus ep = kogge_stone_adder(nl, extend(nl, a.exp, ew2, true), extend(nl, b.exp, ew2, true),
+                                   nl.constant(false))
+                     .sum;
+  const NetId p_zero = nl.lor(a.is_zero, b.is_zero);
+
+  // ---- align addend ------------------------------------------------------
+  // Common fixed point: W-bit magnitudes with 2m fraction bits + 2 headroom.
+  const int w = 2 * m + 4;
+  Bus pmag = extend(nl, product, w, false);
+  Bus cmag(static_cast<std::size_t>(w), nl.constant(false));
+  for (int i = 0; i <= m; ++i) {  // (1.fc) scaled to 2m fraction bits
+    cmag[static_cast<std::size_t>(m + i)] = i == m ? nl.constant(true) : c.frac[static_cast<std::size_t>(i)];
+  }
+
+  // diff = ep - ec (signed).
+  const Bus ec = extend(nl, c.exp, ew2, true);
+  const Bus diff = subtract(nl, ep, ec);
+  const NetId c_bigger = diff.back();  // ep < ec
+  const Bus abs_diff = conditional_negate(nl, diff, c_bigger);
+
+  // Clamp the shift to the register width (larger shifts flush to zero).
+  const int sw = count_width_for(w);
+  Bus shift_amt = extend(nl, abs_diff, sw, false);
+  Bus dropped;
+  for (std::size_t i = static_cast<std::size_t>(sw); i < abs_diff.size(); ++i) dropped.push_back(abs_diff[i]);
+  if (!dropped.empty()) {
+    const NetId overflow = nl.reduce_or(dropped);
+    for (auto& bit : shift_amt) bit = nl.lor(bit, overflow);
+  }
+
+  // Shift the smaller operand right (truncation; no sticky, round-to-zero).
+  const Bus p_shifted = right_shifter(nl, pmag, shift_amt, nl.constant(false));
+  const Bus c_shifted = right_shifter(nl, cmag, shift_amt, nl.constant(false));
+  Bus big = nl.bus_mux(c_bigger, pmag, cmag);
+  Bus small = nl.bus_mux(c_bigger, c_shifted, p_shifted);
+  const Bus base_exp = nl.bus_mux(c_bigger, ep, ec);
+  const NetId big_sign = nl.mux(c_bigger, sp, c.sign);
+  const NetId small_sign = nl.mux(c_bigger, c.sign, sp);
+
+  // Zero operands: replace with 0 magnitude (flags beat the datapath).
+  const NetId big_is_zero = nl.mux(c_bigger, p_zero, c.is_zero);
+  const NetId small_is_zero = nl.mux(c_bigger, c.is_zero, p_zero);
+  for (auto& bit : big) bit = nl.land(bit, nl.lnot(big_is_zero));
+  for (auto& bit : small) bit = nl.land(bit, nl.lnot(small_is_zero));
+
+  // ---- add / subtract ----------------------------------------------------
+  const NetId effective_sub = nl.lxor(big_sign, small_sign);
+  // big +/- small; with magnitude order NOT guaranteed at equal exponents,
+  // compute |big - small| via conditional recomplement.
+  const Bus small_xor(nl.bus_xor(small, Bus(small.size(), effective_sub)));
+  const SumCarry sum_sc = kogge_stone_adder(nl, big, small_xor, effective_sub);
+  Bus sum = sum_sc.sum;
+  // On subtraction, carry_out == 0 means small > big: recomplement.
+  const NetId negative_result = nl.land(effective_sub, nl.lnot(sum_sc.carry_out));
+  sum = conditional_negate(nl, sum, negative_result);
+  const NetId sign_z = nl.lxor(big_sign, negative_result);
+  // Addition may carry one bit beyond w.
+  const NetId add_carry = nl.land(nl.lnot(effective_sub), sum_sc.carry_out);
+  sum.push_back(add_carry);  // width w+1
+
+  // ---- normalize ---------------------------------------------------------
+  const LzdResult lz = leading_zero_detector(nl, sum);
+  const NetId sum_zero = lz.all_zero;
+  const Bus norm = left_shifter(nl, sum, lz.count);  // hidden one at bit w
+  Bus frac_z;
+  for (int i = 0; i < m; ++i) frac_z.push_back(norm[static_cast<std::size_t>(w - m + i)]);
+
+  // exp_z = base_exp + (w - 2m) - lzcount  (hidden lands at bit w after the
+  // shift; bit 2m carries weight 2^0 relative to base_exp).
+  const Bus lz_ext = extend(nl, lz.count, ew2, false);
+  const Bus offset = nl.constant_bus(static_cast<std::uint64_t>(w - 2 * m), ew2);
+  const Bus exp_plus = kogge_stone_adder(nl, base_exp, offset, nl.constant(false)).sum;
+  const Bus exp_z = subtract(nl, exp_plus, lz_ext);
+
+  FpResult r;
+  r.sign = nl.land(sign_z, nl.lnot(sum_zero));
+  r.is_zero = sum_zero;
+  r.exp = exp_z;
+  r.frac = frac_z;
+  return r;
+}
+
+Netlist make_fp_mac_netlist(const FpFormat& fmt) {
+  Netlist nl;
+  const auto operand = [&](const std::string& name) {
+    FpOperand op;
+    op.sign = nl.input(name + ".sign");
+    op.is_zero = nl.input(name + ".is_zero");
+    op.exp = nl.input_bus(name + ".exp", fmt.exp_width);
+    op.frac = nl.input_bus(name + ".frac", fmt.frac_width);
+    return op;
+  };
+  const FpOperand a = operand("a");
+  const FpOperand b = operand("b");
+  const FpOperand c = operand("c");
+  const FpResult z = build_fp_mac(nl, fmt, a, b, c);
+  nl.mark_output(z.sign, "z.sign");
+  nl.mark_output(z.is_zero, "z.is_zero");
+  nl.mark_output_bus(z.exp, "z.exp");
+  nl.mark_output_bus(z.frac, "z.frac");
+  return nl.pruned();
+}
+
+}  // namespace pdnn::hw

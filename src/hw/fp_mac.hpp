@@ -1,0 +1,40 @@
+// fp_mac.hpp — combinational floating-point multiply-accumulate netlist.
+//
+// z = a*b + c over a simple sign/exponent/fraction format with hidden-one
+// significands, truncation rounding (consistent with the paper's
+// round-toward-zero choice) and no subnormals — the internal datapath of the
+// paper's posit MAC (Fig. 4) and, at (e=8, m=23), the FP32 MAC baseline of
+// Table V.
+#pragma once
+
+#include "hw/components.hpp"
+
+namespace pdnn::hw {
+
+struct FpFormat {
+  int exp_width;   ///< signed (two's complement) exponent width
+  int frac_width;  ///< explicit fraction bits (hidden 1 above)
+};
+
+struct FpOperand {
+  NetId sign;
+  NetId is_zero;
+  Bus exp;   ///< exp_width bits, signed
+  Bus frac;  ///< frac_width bits
+};
+
+struct FpResult {
+  NetId sign;
+  NetId is_zero;
+  Bus exp;   ///< exp_width + 2 bits (growth from product and normalize)
+  Bus frac;  ///< frac_width bits
+};
+
+/// Build z = a*b + c into `nl`.
+FpResult build_fp_mac(Netlist& nl, const FpFormat& fmt, const FpOperand& a, const FpOperand& b,
+                      const FpOperand& c);
+
+/// Standalone characterization netlist (all ports marked), e.g. FP32 MAC.
+Netlist make_fp_mac_netlist(const FpFormat& fmt);
+
+}  // namespace pdnn::hw

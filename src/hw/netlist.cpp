@@ -1,0 +1,299 @@
+#include "hw/netlist.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pdnn::hw {
+
+Netlist::Netlist() {
+  const0_ = emit(CellKind::kConst, -1);
+  const1_ = emit(CellKind::kConst, -1);
+}
+
+NetId Netlist::emit(CellKind kind, NetId a, NetId b, NetId c) {
+  Gate g;
+  g.kind = kind;
+  g.in = {a, b, c};
+  g.out = new_net();
+  gates_.push_back(g);
+  return g.out;
+}
+
+NetId Netlist::input(const std::string& name) {
+  const NetId net = emit(CellKind::kInput, -1);
+  input_nets_.push_back(net);
+  input_names_.push_back(name);
+  return net;
+}
+
+Bus Netlist::input_bus(const std::string& name, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(input(name + "[" + std::to_string(i) + "]"));
+  return bus;
+}
+
+Bus Netlist::constant_bus(std::uint64_t value, int width) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) bus.push_back(constant(((value >> i) & 1u) != 0));
+  return bus;
+}
+
+NetId Netlist::mux(NetId sel, NetId a, NetId b) {
+  if (a == b) return a;
+  if (sel == const0_) return a;
+  if (sel == const1_) return b;
+  return emit(CellKind::kMux2, a, b, sel);
+}
+
+NetId Netlist::land(NetId a, NetId b) {
+  if (a == const0_ || b == const0_) return const0_;
+  if (a == const1_) return b;
+  if (b == const1_) return a;
+  if (a == b) return a;
+  return emit(CellKind::kAnd2, a, b);
+}
+
+NetId Netlist::lor(NetId a, NetId b) {
+  if (a == const1_ || b == const1_) return const1_;
+  if (a == const0_) return b;
+  if (b == const0_) return a;
+  if (a == b) return a;
+  return emit(CellKind::kOr2, a, b);
+}
+
+NetId Netlist::lnand(NetId a, NetId b) {
+  if (a == const0_ || b == const0_) return const1_;
+  if (a == const1_) return lnot(b);
+  if (b == const1_) return lnot(a);
+  return emit(CellKind::kNand2, a, b);
+}
+
+NetId Netlist::lnor(NetId a, NetId b) {
+  if (a == const1_ || b == const1_) return const0_;
+  if (a == const0_) return lnot(b);
+  if (b == const0_) return lnot(a);
+  return emit(CellKind::kNor2, a, b);
+}
+
+NetId Netlist::lxor(NetId a, NetId b) {
+  if (a == const0_) return b;
+  if (b == const0_) return a;
+  if (a == const1_) return lnot(b);
+  if (b == const1_) return lnot(a);
+  if (a == b) return const0_;
+  return emit(CellKind::kXor2, a, b);
+}
+
+NetId Netlist::lxnor(NetId a, NetId b) {
+  if (a == const0_) return lnot(b);
+  if (b == const0_) return lnot(a);
+  if (a == const1_) return b;
+  if (b == const1_) return a;
+  if (a == b) return const1_;
+  return emit(CellKind::kXnor2, a, b);
+}
+
+NetId Netlist::lnot(NetId a) {
+  if (a == const0_) return const1_;
+  if (a == const1_) return const0_;
+  return emit(CellKind::kInv, a);
+}
+
+NetId Netlist::lbuf(NetId a) { return emit(CellKind::kBuf, a); }
+
+NetId Netlist::reduce_or(const Bus& b) {
+  if (b.empty()) return const0_;
+  std::vector<NetId> level = b;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) next.push_back(lor(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Netlist::reduce_and(const Bus& b) {
+  if (b.empty()) return const1_;
+  std::vector<NetId> level = b;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) next.push_back(land(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Bus Netlist::bus_xor(const Bus& a, const Bus& b) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = lxor(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::bus_and(const Bus& a, const Bus& b) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = land(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::bus_not(const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = lnot(a[i]);
+  return out;
+}
+
+Bus Netlist::bus_mux(NetId sel, const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("bus_mux: width mismatch");
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = mux(sel, a[i], b[i]);
+  return out;
+}
+
+void Netlist::mark_output(NetId net, const std::string& name) {
+  output_nets_.push_back(net);
+  output_names_.push_back(name);
+}
+
+void Netlist::mark_output_bus(const Bus& bus, const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i) mark_output(bus[i], name + "[" + std::to_string(i) + "]");
+}
+
+std::size_t Netlist::gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.kind != CellKind::kConst && g.kind != CellKind::kInput) ++n;
+  }
+  return n;
+}
+
+double Netlist::total_area_um2() const {
+  double area = 0.0;
+  for (const auto& g : gates_) area += cell_params(g.kind).area_um2;
+  return area;
+}
+
+Netlist Netlist::pruned() const {
+  // Mark live nets backward from the outputs.
+  std::vector<bool> live(static_cast<std::size_t>(next_net_), false);
+  for (const NetId out : output_nets_) live[static_cast<std::size_t>(out)] = true;
+  for (std::size_t gi = gates_.size(); gi-- > 0;) {
+    const Gate& g = gates_[gi];
+    if (!live[static_cast<std::size_t>(g.out)]) continue;
+    for (const NetId in : g.in) {
+      if (in >= 0) live[static_cast<std::size_t>(in)] = true;
+    }
+  }
+
+  Netlist out;
+  std::vector<NetId> remap(static_cast<std::size_t>(next_net_), -1);
+  remap[static_cast<std::size_t>(const0_)] = out.const0_;
+  remap[static_cast<std::size_t>(const1_)] = out.const1_;
+  std::size_t input_idx = 0;
+  for (const Gate& g : gates_) {
+    if (g.kind == CellKind::kConst) continue;  // already present in `out`
+    if (g.kind == CellKind::kInput) {
+      // Keep every primary input to preserve the evaluate() interface.
+      remap[static_cast<std::size_t>(g.out)] = out.input(input_names_[input_idx++]);
+      continue;
+    }
+    if (!live[static_cast<std::size_t>(g.out)]) continue;
+    Gate ng = g;
+    for (auto& in : ng.in) {
+      if (in >= 0) in = remap[static_cast<std::size_t>(in)];
+    }
+    ng.out = out.new_net();
+    remap[static_cast<std::size_t>(g.out)] = ng.out;
+    out.gates_.push_back(ng);
+  }
+  for (std::size_t i = 0; i < output_nets_.size(); ++i) {
+    out.mark_output(remap[static_cast<std::size_t>(output_nets_[i])], output_names_[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Netlist::evaluate(const std::vector<std::uint8_t>& input_values) const {
+  if (input_values.size() != input_nets_.size()) {
+    throw std::invalid_argument("evaluate: expected " + std::to_string(input_nets_.size()) + " inputs, got " +
+                                std::to_string(input_values.size()));
+  }
+  std::vector<std::uint8_t> values(static_cast<std::size_t>(next_net_), 0);
+  std::size_t input_idx = 0;
+  for (const auto& g : gates_) {
+    std::uint8_t v = 0;
+    switch (g.kind) {
+      case CellKind::kConst:
+        v = g.out == const1_ ? 1 : 0;
+        break;
+      case CellKind::kInput:
+        v = input_values[input_idx++] & 1u;
+        break;
+      case CellKind::kInv:
+        v = !values[static_cast<std::size_t>(g.in[0])];
+        break;
+      case CellKind::kBuf:
+        v = values[static_cast<std::size_t>(g.in[0])];
+        break;
+      case CellKind::kAnd2:
+        v = values[static_cast<std::size_t>(g.in[0])] & values[static_cast<std::size_t>(g.in[1])];
+        break;
+      case CellKind::kOr2:
+        v = values[static_cast<std::size_t>(g.in[0])] | values[static_cast<std::size_t>(g.in[1])];
+        break;
+      case CellKind::kNand2:
+        v = !(values[static_cast<std::size_t>(g.in[0])] & values[static_cast<std::size_t>(g.in[1])]);
+        break;
+      case CellKind::kNor2:
+        v = !(values[static_cast<std::size_t>(g.in[0])] | values[static_cast<std::size_t>(g.in[1])]);
+        break;
+      case CellKind::kXor2:
+        v = values[static_cast<std::size_t>(g.in[0])] ^ values[static_cast<std::size_t>(g.in[1])];
+        break;
+      case CellKind::kXnor2:
+        v = !(values[static_cast<std::size_t>(g.in[0])] ^ values[static_cast<std::size_t>(g.in[1])]);
+        break;
+      case CellKind::kMux2:
+        v = values[static_cast<std::size_t>(g.in[2])] ? values[static_cast<std::size_t>(g.in[1])]
+                                                      : values[static_cast<std::size_t>(g.in[0])];
+        break;
+    }
+    values[static_cast<std::size_t>(g.out)] = v;
+  }
+  return values;
+}
+
+std::uint64_t Netlist::outputs_as_u64(const std::vector<std::uint8_t>& net_values) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < output_nets_.size() && i < 64; ++i) {
+    out |= static_cast<std::uint64_t>(net_values[static_cast<std::size_t>(output_nets_[i])] & 1u) << i;
+  }
+  return out;
+}
+
+std::uint64_t bus_value(const Bus& bus, const std::vector<std::uint8_t>& net_values) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    out |= static_cast<std::uint64_t>(net_values[static_cast<std::size_t>(bus[i])] & 1u) << i;
+  }
+  return out;
+}
+
+void set_bus_inputs(const Bus& bus, std::uint64_t value, std::vector<std::uint8_t>& input_values,
+                    const Netlist& nl) {
+  // Map net id -> input slot (inputs are few; linear scan is fine at setup).
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    bool found = false;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      if (nl.inputs()[i] == bus[b]) {
+        input_values[i] = static_cast<std::uint8_t>((value >> b) & 1u);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("set_bus_inputs: net is not a primary input");
+  }
+}
+
+}  // namespace pdnn::hw

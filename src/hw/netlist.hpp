@@ -1,0 +1,105 @@
+// netlist.hpp — structural combinational netlists.
+//
+// A Netlist is a DAG of standard cells built programmatically (the C++
+// equivalent of parameterized Verilog generate blocks). Nets are integer ids;
+// a Bus is a little-endian vector of nets (bus[0] = LSB). Gates must be
+// created after their fan-ins, so gate order is already topological — the
+// evaluator and timing analysis exploit that.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cell_library.hpp"
+
+namespace pdnn::hw {
+
+using NetId = std::int32_t;
+using Bus = std::vector<NetId>;
+
+struct Gate {
+  CellKind kind;
+  std::array<NetId, 3> in{-1, -1, -1};
+  NetId out = -1;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- construction ------------------------------------------------------
+  NetId input(const std::string& name);
+  Bus input_bus(const std::string& name, int width);
+  NetId constant(bool value) { return value ? const1_ : const0_; }
+  Bus constant_bus(std::uint64_t value, int width);
+
+  /// out = sel ? b : a.
+  NetId mux(NetId sel, NetId a, NetId b);
+  NetId land(NetId a, NetId b);
+  NetId lor(NetId a, NetId b);
+  NetId lnand(NetId a, NetId b);
+  NetId lnor(NetId a, NetId b);
+  NetId lxor(NetId a, NetId b);
+  NetId lxnor(NetId a, NetId b);
+  NetId lnot(NetId a);
+  NetId lbuf(NetId a);
+
+  /// Reduction over a bus (balanced tree).
+  NetId reduce_or(const Bus& b);
+  NetId reduce_and(const Bus& b);
+  /// Bitwise ops over equal-width buses.
+  Bus bus_xor(const Bus& a, const Bus& b);
+  Bus bus_and(const Bus& a, const Bus& b);
+  Bus bus_not(const Bus& a);
+  /// Per-bit 2:1 mux of two equal-width buses.
+  Bus bus_mux(NetId sel, const Bus& a, const Bus& b);
+
+  void mark_output(NetId net, const std::string& name);
+  void mark_output_bus(const Bus& bus, const std::string& name);
+
+  /// Dead-logic elimination: returns an equivalent netlist containing only
+  /// gates in the transitive fan-in of the marked outputs (what synthesis
+  /// does automatically). Primary inputs are all preserved, in order, so the
+  /// evaluate() interface is unchanged.
+  Netlist pruned() const;
+
+  // --- introspection ------------------------------------------------------
+  std::size_t gate_count() const;       ///< logic cells (excl. const/input)
+  std::size_t net_count() const { return next_net_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<NetId>& inputs() const { return input_nets_; }
+  const std::vector<NetId>& outputs() const { return output_nets_; }
+  const std::string& output_name(std::size_t i) const { return output_names_[i]; }
+
+  double total_area_um2() const;
+
+  // --- functional simulation ----------------------------------------------
+  /// Evaluate with the given primary-input values; returns values for every
+  /// net (indexable by NetId).
+  std::vector<std::uint8_t> evaluate(const std::vector<std::uint8_t>& input_values) const;
+
+  /// Convenience: pack output nets into a uint64 (outputs[0] = LSB of result
+  /// if marked via mark_output_bus in LSB-first order).
+  std::uint64_t outputs_as_u64(const std::vector<std::uint8_t>& net_values) const;
+
+ private:
+  NetId new_net() { return next_net_++; }
+  NetId emit(CellKind kind, NetId a, NetId b = -1, NetId c = -1);
+
+  std::vector<Gate> gates_;
+  NetId next_net_ = 0;
+  NetId const0_ = -1, const1_ = -1;
+  std::vector<NetId> input_nets_;
+  std::vector<std::string> input_names_;
+  std::vector<NetId> output_nets_;
+  std::vector<std::string> output_names_;
+};
+
+/// Helper views over buses.
+std::uint64_t bus_value(const Bus& bus, const std::vector<std::uint8_t>& net_values);
+void set_bus_inputs(const Bus& bus, std::uint64_t value, std::vector<std::uint8_t>& input_values,
+                    const Netlist& nl);
+
+}  // namespace pdnn::hw

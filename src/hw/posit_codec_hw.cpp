@@ -1,0 +1,245 @@
+#include "hw/posit_codec_hw.hpp"
+
+#include <stdexcept>
+
+namespace pdnn::hw {
+
+namespace {
+
+/// Width of the count buses produced by the LZD/LOD over the n-1 bit body.
+int count_width_for(int body_bits) {
+  int w = 1;
+  while ((1 << w) < body_bits + 1) ++w;
+  return w;
+}
+
+struct DecoderCoreOut {
+  Bus eff_exp;
+  Bus mantissa;
+};
+
+/// The Fig. 5 datapath: magnitude body (in[n-2:0]) -> effective exponent and
+/// left-aligned mantissa. Sign handling and special codes live outside, as in
+/// the paper's figure.
+DecoderCoreOut decoder_core(Netlist& nl, const PositHwSpec& spec, const Bus& body, bool optimized) {
+  const int n = spec.n;
+
+  // Regime polarity and run lengths.
+  const NetId r0 = body[static_cast<std::size_t>(n - 2)];  // first regime bit
+  const LzdResult lzd = leading_zero_detector(nl, body);   // run of 0s (r0 == 0)
+  const LzdResult lod = leading_one_detector(nl, body);    // run of 1s (r0 == 1)
+  const int cw = count_width_for(n - 1);
+
+  // body << (count + 1): drop the regime run and its terminator, leaving
+  // [exponent | fraction] left-aligned at bit n-2.
+  Bus shifted;
+  if (!optimized) {
+    // Fig. 5a: count mux -> "+1" incrementer -> single shifter. The amount
+    // bus is widened one bit so count+1 == n-1+1 does not wrap.
+    const Bus count = nl.bus_mux(r0, lzd.count, lod.count);
+    const Bus amount = incrementer(nl, extend(nl, count, cw + 1, false), nl.constant(true));
+    shifted = left_shifter(nl, body, amount);
+  } else {
+    // Fig. 5b: two shifters in parallel; the "+1" becomes a free one-bit
+    // rewire (pre-shift the positive path's input; post-shift the negative
+    // path's output); a bus mux selects at the end.
+    Bus body_pre(body.size());  // body << 1 by wiring
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      body_pre[i] = i == 0 ? nl.constant(false) : body[i - 1];
+    }
+    const Bus s_pos = left_shifter(nl, body_pre, lod.count);
+    const Bus s_neg_raw = left_shifter(nl, body, lzd.count);
+    Bus s_neg(s_neg_raw.size());  // << 1 by wiring after Left Shifter2
+    for (std::size_t i = 0; i < s_neg_raw.size(); ++i) {
+      s_neg[i] = i == 0 ? nl.constant(false) : s_neg_raw[i - 1];
+    }
+    shifted = nl.bus_mux(r0, s_neg, s_pos);
+  }
+
+  // Exponent field: top es bits of the shifted body; fraction: the rest.
+  Bus e_bits;
+  for (int i = 0; i < spec.es; ++i) {
+    e_bits.push_back(shifted[static_cast<std::size_t>(n - 2 - spec.es + 1 + i)]);
+  }
+  DecoderCoreOut out;
+  out.mantissa = slice(shifted, 0, spec.frac_width());
+
+  // Regime value k: count-1 for positive runs, -count for negative runs.
+  // Narrow arithmetic in parallel with the wide shifter (both variants).
+  const int kw = cw + 1;  // signed k
+  const Bus lod_ext = extend(nl, lod.count, kw, false);
+  const Bus lzd_ext = extend(nl, lzd.count, kw, false);
+  const Bus k_pos = subtract(nl, lod_ext, nl.constant_bus(1, kw));
+  const Bus k_neg = negate(nl, lzd_ext);
+  const Bus k = nl.bus_mux(r0, k_neg, k_pos);
+
+  // effective_exp = k * 2^es + e: pure wiring concatenation {k, e}.
+  out.eff_exp = e_bits;
+  for (const NetId bit : k) out.eff_exp.push_back(bit);
+  out.eff_exp = extend(nl, out.eff_exp, spec.exp_width(), true);
+  return out;
+}
+
+/// The Fig. 6 datapath: (effective exponent, mantissa) -> magnitude body,
+/// truncation rounding. `underflow_clamp` adds a minpos floor for callers
+/// whose exponents can fall below posit range (the MAC); exponents produced
+/// by a decoder are always in range, and Fig. 6 itself has no such clamp.
+Bus encoder_core(Netlist& nl, const PositHwSpec& spec, const Bus& eff_exp, const Bus& mantissa,
+                 bool optimized, bool underflow_clamp) {
+  const int n = spec.n;
+
+  // k = eff_exp >> es (arithmetic; wiring only), e = eff_exp[es-1:0].
+  const int kw = spec.exp_width() - spec.es;
+  Bus e_bits = slice(eff_exp, 0, spec.es);
+  Bus k = slice(eff_exp, spec.es, kw);
+  const NetId neg_regime = k.back();
+
+  // Absolute regime value (conditional negate; in both variants, Fig. 6).
+  const Bus r = conditional_negate(nl, k, neg_regime);
+
+  // REM register, 2n bits (paper: "a 2n-bit variable REM is constructed"):
+  // left-aligned pattern {marker, e, f, zeros}, then shifted right by the
+  // regime width. Positive regimes shift by r+1 with ONE fill; negative
+  // regimes shift by r with ZERO fill.
+  const int w = 2 * n;
+  Bus rem(static_cast<std::size_t>(w), nl.constant(false));
+  for (int i = 0; i < spec.frac_width(); ++i) {
+    rem[static_cast<std::size_t>(w - 2 - spec.es - spec.frac_width() + 1 + i)] =
+        mantissa[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < spec.es; ++i) {
+    rem[static_cast<std::size_t>(w - 2 + 1 - spec.es + i)] = e_bits[static_cast<std::size_t>(i)];
+  }
+  Bus rem_neg = rem;
+  rem_neg[static_cast<std::size_t>(w - 1)] = nl.constant(true);   // terminator for "0..01 e f"
+  Bus rem_pos = rem;
+  rem_pos[static_cast<std::size_t>(w - 1)] = nl.constant(false);  // terminator for "1..10 e f"
+
+  // Clamp the shift amount into the shifter's range (r can exceed n for
+  // out-of-range exponents coming from the FP MAC).
+  const int sw = count_width_for(w);
+  Bus r_sh = extend(nl, r, sw, false);
+  Bus high_bits;
+  for (std::size_t i = static_cast<std::size_t>(sw); i < r.size(); ++i) high_bits.push_back(r[i]);
+  if (!high_bits.empty()) {
+    const NetId overflow = nl.reduce_or(high_bits);
+    for (auto& bit : r_sh) bit = nl.lor(bit, overflow);
+  }
+
+  Bus shifted;
+  if (!optimized) {
+    // Fig. 6a: pattern mux; the shift amount is r or r+1, selected by a mux
+    // AFTER the "+1" incrementer — both sit on the shifter's amount path.
+    // The amount bus is widened one bit so the +1 cannot wrap at saturation.
+    const Bus pattern = nl.bus_mux(neg_regime, rem_pos, rem_neg);
+    const NetId fill = nl.lnot(neg_regime);
+    const Bus r_ext = extend(nl, r_sh, sw + 1, false);
+    const Bus r_plus_1 = incrementer(nl, r_ext, nl.constant(true));
+    const Bus amount = nl.bus_mux(neg_regime, r_plus_1, r_ext);
+    shifted = right_shifter(nl, pattern, amount, fill);
+  } else {
+    // Fig. 6b: two shifters in parallel; ">>1" after the positive one is a
+    // free rewire with a constant 1 filled at the top.
+    const Bus s_neg = right_shifter(nl, rem_neg, r_sh, nl.constant(false));
+    const Bus s_pos_raw = right_shifter(nl, rem_pos, r_sh, nl.constant(true));
+    Bus s_pos(s_pos_raw.size());
+    for (std::size_t i = 0; i < s_pos_raw.size(); ++i) {
+      s_pos[i] = i + 1 < s_pos_raw.size() ? s_pos_raw[i + 1] : nl.constant(true);
+    }
+    shifted = nl.bus_mux(neg_regime, s_pos, s_neg);
+  }
+
+  // Truncate: body = top n-1 bits (round toward zero).
+  Bus body;
+  for (int i = 0; i < n - 1; ++i) body.push_back(shifted[static_cast<std::size_t>(w - (n - 1) + i)]);
+
+  if (underflow_clamp) {
+    // A non-zero value must not encode as 0 (minpos floor); the zero flag
+    // (handled outside the core) overrides the whole code anyway.
+    const NetId body_zero = equals_zero(nl, body);
+    body[0] = nl.lor(body[0], body_zero);
+  }
+  return body;
+}
+
+}  // namespace
+
+DecoderPorts build_decoder(Netlist& nl, const PositHwSpec& spec, const Bus& code, bool optimized) {
+  const int n = spec.n;
+  if (static_cast<int>(code.size()) != n) throw std::invalid_argument("decoder: code width mismatch");
+
+  DecoderPorts p;
+  p.code_in = code;
+  p.sign = code[static_cast<std::size_t>(n - 1)];
+
+  // Special codes: 000..0 and 100..0.
+  const Bus low_bits = slice(code, 0, n - 1);
+  const NetId low_zero = equals_zero(nl, low_bits);
+  p.is_zero = nl.land(low_zero, nl.lnot(p.sign));
+  p.is_nar = nl.land(low_zero, p.sign);
+
+  // Two's complement for negative codes, then the Fig. 5 magnitude datapath.
+  const Bus mag = conditional_negate(nl, code, p.sign);
+  const Bus body = slice(mag, 0, n - 1);  // bits [n-2:0]
+  const DecoderCoreOut core = decoder_core(nl, spec, body, optimized);
+  p.eff_exp = core.eff_exp;
+  p.mantissa = core.mantissa;
+  return p;
+}
+
+EncoderPorts build_encoder(Netlist& nl, const PositHwSpec& spec, NetId sign, NetId is_zero, NetId is_nar,
+                           const Bus& eff_exp, const Bus& mantissa, bool optimized) {
+  const int n = spec.n;
+  if (static_cast<int>(eff_exp.size()) != spec.exp_width() ||
+      static_cast<int>(mantissa.size()) != spec.frac_width()) {
+    throw std::invalid_argument("encoder: field width mismatch");
+  }
+  EncoderPorts p;
+  p.sign = sign;
+  p.is_zero = is_zero;
+  p.is_nar = is_nar;
+  p.eff_exp = eff_exp;
+  p.mantissa = mantissa;
+
+  const Bus body = encoder_core(nl, spec, eff_exp, mantissa, optimized, /*underflow_clamp=*/true);
+
+  // Sign application: two's complement of {0, body}; then the special codes.
+  Bus full(body);
+  full.push_back(nl.constant(false));  // sign bit position
+  Bus signed_code = conditional_negate(nl, full, sign);
+
+  // zero -> 00...0 ; NaR -> 10...0.
+  Bus final_code(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    NetId bit = signed_code[static_cast<std::size_t>(i)];
+    bit = nl.land(bit, nl.lnot(is_zero));
+    bit = nl.land(bit, nl.lnot(is_nar));
+    if (i == n - 1) bit = nl.lor(bit, is_nar);
+    final_code[static_cast<std::size_t>(i)] = bit;
+  }
+  p.code_out = final_code;
+  return p;
+}
+
+Netlist make_decoder_netlist(const PositHwSpec& spec, bool optimized) {
+  // The standalone Table IV decoder is the Fig. 5 datapath: it consumes the
+  // magnitude body in[n-2:0] (sign/special handling is outside the figure).
+  Netlist nl;
+  const Bus body = nl.input_bus("body", spec.n - 1);
+  const DecoderCoreOut core = decoder_core(nl, spec, body, optimized);
+  nl.mark_output_bus(core.eff_exp, "eff_exp");
+  nl.mark_output_bus(core.mantissa, "mantissa");
+  return nl.pruned();
+}
+
+Netlist make_encoder_netlist(const PositHwSpec& spec, bool optimized) {
+  // The standalone Table IV encoder is the Fig. 6 datapath.
+  Netlist nl;
+  const Bus eff_exp = nl.input_bus("eff_exp", spec.exp_width());
+  const Bus mantissa = nl.input_bus("mantissa", spec.frac_width());
+  const Bus body = encoder_core(nl, spec, eff_exp, mantissa, optimized, /*underflow_clamp=*/false);
+  nl.mark_output_bus(body, "body");
+  return nl.pruned();
+}
+
+}  // namespace pdnn::hw

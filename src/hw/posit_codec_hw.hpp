@@ -1,0 +1,70 @@
+// posit_codec_hw.hpp — posit <-> FP conversion circuits (paper Figs. 5 & 6).
+//
+// Both decoder variants compute identical functions; they differ structurally:
+//   * Original [6] (Fig. 5a / 6a): one barrel shifter whose shift amount goes
+//     through a LOD/LZD-count mux followed by a "+1" incrementer — the
+//     incrementer sits on the critical path.
+//   * Optimized (Fig. 5b / 6b): the adder is removed; the shifter is
+//     duplicated (one per regime polarity) with the "+1" realized as a free
+//     constant one-bit shift in the wiring, and the mux moves after the
+//     shifters. Two shifters work in parallel; the path loses the adder and
+//     the pre-shift mux, gaining one output bus-mux.
+//
+// Interface convention (little-endian buses):
+//   decoder out: sign, is_zero, is_nar, eff_exp (signed, exp_width bits),
+//                mantissa (frac_width bits, left-aligned fraction, hidden 1
+//                implied above the MSB).
+//   encoder in:  the same signals; out: the n-bit posit code (round toward
+//                zero, i.e. truncation — the paper's hardware choice).
+#pragma once
+
+#include "hw/components.hpp"
+
+namespace pdnn::hw {
+
+struct PositHwSpec {
+  int n;
+  int es;
+
+  /// Fraction width of the decoded mantissa bus: n-1 body bits minus the es
+  /// exponent bits, left-aligned (actual fractions are shorter; low bits 0).
+  int frac_width() const { return n - 1 - es; }
+  /// Signed effective-exponent width: k in [-(n-1), n-2] times 2^es plus e.
+  int exp_width() const {
+    int k_bits = 1;
+    while ((1 << k_bits) < n) ++k_bits;  // magnitude of k fits k_bits
+    return k_bits + 1 + es;              // sign + k + e
+  }
+};
+
+struct DecoderPorts {
+  Bus code_in;    ///< n bits
+  NetId sign;
+  NetId is_zero;
+  NetId is_nar;
+  Bus eff_exp;    ///< exp_width bits, signed
+  Bus mantissa;   ///< frac_width bits
+};
+
+struct EncoderPorts {
+  NetId sign;
+  NetId is_zero;
+  NetId is_nar;
+  Bus eff_exp;
+  Bus mantissa;
+  Bus code_out;   ///< n bits
+};
+
+/// Build a decoder into `nl` reading from `code` (width n). Marks no outputs.
+DecoderPorts build_decoder(Netlist& nl, const PositHwSpec& spec, const Bus& code, bool optimized);
+
+/// Build an encoder into `nl` from the given field buses (widths must match
+/// spec.exp_width()/frac_width()).
+EncoderPorts build_encoder(Netlist& nl, const PositHwSpec& spec, NetId sign, NetId is_zero, NetId is_nar,
+                           const Bus& eff_exp, const Bus& mantissa, bool optimized);
+
+/// Standalone characterization netlists (inputs/outputs marked) for Table IV.
+Netlist make_decoder_netlist(const PositHwSpec& spec, bool optimized);
+Netlist make_encoder_netlist(const PositHwSpec& spec, bool optimized);
+
+}  // namespace pdnn::hw

@@ -1,0 +1,73 @@
+#include "hw/posit_mac.hpp"
+
+#include "hw/analysis.hpp"
+
+namespace pdnn::hw {
+
+PositMacPorts build_posit_mac(Netlist& nl, const PositHwSpec& spec, bool optimized) {
+  PositMacPorts ports;
+  ports.a = nl.input_bus("a", spec.n);
+  ports.b = nl.input_bus("b", spec.n);
+  ports.c = nl.input_bus("c", spec.n);
+
+  const DecoderPorts da = build_decoder(nl, spec, ports.a, optimized);
+  const DecoderPorts db = build_decoder(nl, spec, ports.b, optimized);
+  const DecoderPorts dc = build_decoder(nl, spec, ports.c, optimized);
+
+  const FpFormat fmt{spec.exp_width(), spec.frac_width()};
+  const auto to_fp = [&](const DecoderPorts& d) {
+    FpOperand op;
+    op.sign = d.sign;
+    op.is_zero = d.is_zero;
+    op.exp = d.eff_exp;
+    op.frac = d.mantissa;
+    return op;
+  };
+  const FpResult z = build_fp_mac(nl, fmt, to_fp(da), to_fp(db), to_fp(dc));
+
+  // NaR poisoning (any NaR input -> NaR output).
+  const NetId any_nar = nl.lor(nl.lor(da.is_nar, db.is_nar), dc.is_nar);
+
+  // The FP MAC widened the exponent by 2 bits; the encoder clamps magnitudes
+  // into posit range internally, so pass the wide exponent through a resize
+  // with saturation awareness: the encoder's regime clamp handles |k| >= n.
+  Bus enc_exp = z.exp;  // width exp_width + 2
+  // Encoder expects exp_width bits; saturate wide values toward the clamp.
+  const int ew = spec.exp_width();
+  Bus exp_in(enc_exp.begin(), enc_exp.begin() + ew);
+  // If the dropped high bits disagree with the sign, the value is out of
+  // range: force the largest same-sign exponent.
+  const NetId sign_bit = enc_exp.back();
+  NetId out_of_range = nl.constant(false);
+  for (std::size_t i = static_cast<std::size_t>(ew - 1); i < enc_exp.size(); ++i) {
+    out_of_range = nl.lor(out_of_range, nl.lxor(enc_exp[i], sign_bit));
+  }
+  Bus sat(static_cast<std::size_t>(ew));
+  for (int i = 0; i < ew - 1; ++i) sat[static_cast<std::size_t>(i)] = nl.lnot(sign_bit);
+  sat[static_cast<std::size_t>(ew - 1)] = sign_bit;
+  exp_in = nl.bus_mux(out_of_range, exp_in, sat);
+
+  const EncoderPorts enc =
+      build_encoder(nl, spec, z.sign, z.is_zero, any_nar, exp_in, z.frac, optimized);
+  ports.z = enc.code_out;
+  return ports;
+}
+
+Netlist make_posit_mac_netlist(const PositHwSpec& spec, bool optimized) {
+  Netlist nl;
+  const PositMacPorts ports = build_posit_mac(nl, spec, optimized);
+  nl.mark_output_bus(ports.z, "z");
+  return nl.pruned();
+}
+
+MacDelayBreakdown posit_mac_delay_breakdown(const PositHwSpec& spec, bool optimized) {
+  MacDelayBreakdown b;
+  b.decoder_ns = analyze_timing(make_decoder_netlist(spec, optimized)).critical_delay_ns;
+  b.encoder_ns = analyze_timing(make_encoder_netlist(spec, optimized)).critical_delay_ns;
+  const Netlist fp = make_fp_mac_netlist(FpFormat{spec.exp_width(), spec.frac_width()});
+  b.fp_mac_ns = analyze_timing(fp).critical_delay_ns;
+  b.total_ns = analyze_timing(make_posit_mac_netlist(spec, optimized)).critical_delay_ns;
+  return b;
+}
+
+}  // namespace pdnn::hw

@@ -1,0 +1,32 @@
+// posit_mac.hpp — the full posit MAC of Fig. 4: three decoders feeding an FP
+// MAC, re-encoded to posit at the output. z = a*b + c, all posit(n, es).
+#pragma once
+
+#include "hw/fp_mac.hpp"
+#include "hw/posit_codec_hw.hpp"
+
+namespace pdnn::hw {
+
+struct PositMacPorts {
+  Bus a, b, c;     ///< n-bit posit inputs
+  Bus z;           ///< n-bit posit output
+};
+
+/// Build the MAC into `nl`. `optimized` selects the paper's encoder/decoder
+/// (Fig. 5b/6b) vs the original [6] structures (Fig. 5a/6a).
+PositMacPorts build_posit_mac(Netlist& nl, const PositHwSpec& spec, bool optimized);
+
+/// Standalone characterization netlist (ports marked) for Table V.
+Netlist make_posit_mac_netlist(const PositHwSpec& spec, bool optimized);
+
+/// Delay breakdown used for the Section IV claim that the codec contributes
+/// ~40% of the original MAC's delay.
+struct MacDelayBreakdown {
+  double decoder_ns = 0.0;
+  double fp_mac_ns = 0.0;
+  double encoder_ns = 0.0;
+  double total_ns = 0.0;  ///< full MAC critical path (not simply the sum)
+};
+MacDelayBreakdown posit_mac_delay_breakdown(const PositHwSpec& spec, bool optimized);
+
+}  // namespace pdnn::hw

@@ -1,0 +1,59 @@
+// activations.hpp — additional layers: smooth activations, dropout, average
+// pooling. Not used by the paper's ResNets (which are conv-BN-ReLU), but part
+// of a complete training library and exercised by the MLP examples.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace pdnn::nn {
+
+class Tanh final : public Module {
+ public:
+  explicit Tanh(std::string name) : Module(std::move(name)) {}
+  tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+class Sigmoid final : public Module {
+ public:
+  explicit Sigmoid(std::string name) : Module(std::move(name)) {}
+  tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+/// Inverted dropout: scales kept units by 1/(1-p) in training; identity in
+/// eval. Deterministic given the seed.
+class Dropout final : public Module {
+ public:
+  Dropout(std::string name, float p, std::uint64_t seed = 0xD20)
+      : Module(std::move(name)), p_(p), rng_(seed) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  tensor::Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p)
+};
+
+/// 2x2 average pooling with stride 2.
+class AvgPool2x2 final : public Module {
+ public:
+  explicit AvgPool2x2(std::string name) : Module(std::move(name)) {}
+  tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  tensor::Shape input_shape_;
+};
+
+}  // namespace pdnn::nn

@@ -1,0 +1,51 @@
+// module.hpp — base class for differentiable layers.
+//
+// Modules cache whatever they need in forward() and consume it in backward().
+// One module instance processes one batch at a time (no re-entrancy), which is
+// all the trainer needs. The shared PrecisionPolicy pointer is injected once
+// via set_policy() and threaded through containers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "nn/precision.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::nn {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Compute the layer output. `training` selects batch statistics vs running
+  /// statistics in BN and enables caching for backward.
+  virtual tensor::Tensor forward(const tensor::Tensor& x, bool training) = 0;
+
+  /// Propagate the loss gradient; fills parameter .grad (accumulating).
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  /// All learnable parameters (including those of children).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Inject the precision policy (recursively for containers).
+  virtual void set_policy(PrecisionPolicy* policy) { policy_ = policy; }
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  bool quantizing() const { return policy_ != nullptr && policy_->active(); }
+
+  std::string name_;
+  PrecisionPolicy* policy_ = nullptr;  // not owned
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace pdnn::nn

@@ -1,0 +1,57 @@
+// optimizer.hpp — SGD with momentum (the paper's optimizer on both datasets).
+//
+// The weight-update step is a Fig. 3c hook site: after w -= lr * v the policy
+// re-quantizes the stored weight, so the master copy itself lives in posit
+// (the paper keeps no FP32 master copy, unlike Micikevicius et al.). The
+// momentum buffer stays FP32 — the paper quantizes the three dataflows of
+// Fig. 3, not optimizer state.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.hpp"
+#include "nn/precision.hpp"
+
+namespace pdnn::nn {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class SgdMomentum {
+ public:
+  SgdMomentum(std::vector<Param*> params, SgdConfig cfg, PrecisionPolicy* policy = nullptr);
+
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+
+  void zero_grad();
+  /// v = mu*v + (g + wd*w);  w -= lr*v;  then Fig. 3c re-quantization.
+  void step();
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<tensor::Tensor> velocity_;
+  SgdConfig cfg_;
+  PrecisionPolicy* policy_;
+};
+
+/// Piecewise-constant learning-rate schedule: divide by `factor` at each
+/// listed epoch (the paper divides by 10 at fixed epochs).
+struct StepSchedule {
+  float base_lr = 0.1f;
+  std::vector<std::size_t> drop_epochs;
+  float factor = 10.0f;
+
+  float lr_at(std::size_t epoch) const {
+    float lr = base_lr;
+    for (const auto e : drop_epochs) {
+      if (epoch >= e) lr /= factor;
+    }
+    return lr;
+  }
+};
+
+}  // namespace pdnn::nn

@@ -1,0 +1,59 @@
+#include "nn/resnet.hpp"
+
+namespace pdnn::nn {
+
+std::unique_ptr<Sequential> cifar_resnet(const ResNetConfig& cfg, tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>("resnet");
+  const std::size_t c1 = cfg.base_channels, c2 = 2 * c1, c3 = 4 * c1;
+
+  net->add(std::make_unique<Conv2d>("conv1", cfg.in_channels, c1, 3, 1, 1, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn1", c1, 1e-5f, cfg.bn_momentum));
+  net->add(std::make_unique<ReLU>("relu1"));
+
+  const auto stage = [&](const std::string& name, std::size_t in_c, std::size_t out_c,
+                         std::size_t first_stride) {
+    for (std::size_t b = 0; b < cfg.blocks_per_stage; ++b) {
+      const std::size_t stride = b == 0 ? first_stride : 1;
+      const std::size_t ic = b == 0 ? in_c : out_c;
+      net->add(std::make_unique<ResidualBlock>(name + ".block" + std::to_string(b), ic, out_c, stride, rng,
+                                               cfg.bn_momentum));
+    }
+  };
+  stage("stage1", c1, c1, 1);
+  stage("stage2", c1, c2, 2);
+  stage("stage3", c2, c3, 2);
+
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  net->add(std::make_unique<Linear>("fc", c3, cfg.classes, rng));
+  return net;
+}
+
+std::unique_ptr<Sequential> plain_cnn(std::size_t base_channels, std::size_t classes, tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>("plaincnn");
+  const std::size_t c1 = base_channels, c2 = 2 * base_channels;
+  net->add(std::make_unique<Conv2d>("conv1", 3, c1, 3, 1, 1, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn1", c1));
+  net->add(std::make_unique<ReLU>("relu1"));
+  net->add(std::make_unique<MaxPool2x2>("pool1"));
+  net->add(std::make_unique<Conv2d>("conv2", c1, c2, 3, 1, 1, rng));
+  net->add(std::make_unique<BatchNorm2d>("bn2", c2));
+  net->add(std::make_unique<ReLU>("relu2"));
+  net->add(std::make_unique<GlobalAvgPool>("gap"));
+  net->add(std::make_unique<Linear>("fc", c2, classes, rng));
+  return net;
+}
+
+std::unique_ptr<Sequential> mlp(std::size_t in_features, std::size_t hidden, std::size_t classes,
+                                std::size_t depth, tensor::Rng& rng) {
+  auto net = std::make_unique<Sequential>("mlp");
+  std::size_t prev = in_features;
+  for (std::size_t d = 0; d < depth; ++d) {
+    net->add(std::make_unique<Linear>("fc" + std::to_string(d), prev, hidden, rng));
+    net->add(std::make_unique<ReLU>("relu" + std::to_string(d)));
+    prev = hidden;
+  }
+  net->add(std::make_unique<Linear>("head", prev, classes, rng));
+  return net;
+}
+
+}  // namespace pdnn::nn

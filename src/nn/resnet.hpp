@@ -1,0 +1,37 @@
+// resnet.hpp — network builders.
+//
+// cifar_resnet builds the Cifar-ResNet family of He et al. (depth = 6n+2:
+// ResNet-8 for n=1, ResNet-14 for n=2, ResNet-20 for n=3, ...), the
+// architecture the paper trains on Cifar-10, parameterized so the laptop-scale
+// benches can shrink channels/resolution while keeping the topology.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace pdnn::nn {
+
+struct ResNetConfig {
+  std::size_t blocks_per_stage = 1;  ///< n in depth = 6n+2 (1 -> ResNet-8)
+  std::size_t base_channels = 8;     ///< channels of stage 1 (paper: 16)
+  std::size_t in_channels = 3;
+  std::size_t classes = 10;
+  /// BN running-stat momentum. With posit-quantized weight updates the
+  /// weights move on a coarse grid, so running statistics must track faster
+  /// than the PyTorch default (0.1) when there are few steps per epoch.
+  float bn_momentum = 0.1f;
+};
+
+/// conv-bn-relu stem, three stages of residual blocks (stride 2 at stage 2/3),
+/// global average pool, linear classifier.
+std::unique_ptr<Sequential> cifar_resnet(const ResNetConfig& cfg, tensor::Rng& rng);
+
+/// A small conv net without residual connections (ablation baseline).
+std::unique_ptr<Sequential> plain_cnn(std::size_t base_channels, std::size_t classes, tensor::Rng& rng);
+
+/// A multilayer perceptron for vector datasets (two-moons / spiral examples).
+std::unique_ptr<Sequential> mlp(std::size_t in_features, std::size_t hidden, std::size_t classes,
+                                std::size_t depth, tensor::Rng& rng);
+
+}  // namespace pdnn::nn

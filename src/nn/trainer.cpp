@@ -1,0 +1,117 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace pdnn::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Trainer::Trainer(Sequential& net, PrecisionPolicy* policy, TrainConfig cfg)
+    : net_(net), policy_(policy), cfg_(std::move(cfg)) {
+  net_.set_policy(policy_);
+}
+
+Tensor Trainer::gather(const Tensor& x, const std::vector<std::size_t>& idx, std::size_t lo,
+                       std::size_t hi) const {
+  const std::size_t count = hi - lo;
+  const std::size_t row = x.numel() / x.shape()[0];
+  Shape s;
+  if (x.shape().rank() == 4) {
+    s = Shape{count, x.shape()[1], x.shape()[2], x.shape()[3]};
+  } else {
+    s = Shape{count, x.shape()[1]};
+  }
+  Tensor out(s);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::memcpy(out.data() + i * row, x.data() + idx[lo + i] * row, row * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<EpochResult> Trainer::fit(const Tensor& train_x, const std::vector<int>& train_y,
+                                      const Tensor& test_x, const std::vector<int>& test_y) {
+  const std::size_t n = train_x.shape()[0];
+  SgdMomentum opt(net_.params(), cfg_.sgd, policy_);
+  tensor::Rng shuffle_rng(cfg_.shuffle_seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochResult> history;
+  bool warmup_done = cfg_.warmup_epochs == 0;
+  if (warmup_done && cfg_.on_warmup_end) cfg_.on_warmup_end(net_);
+
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    if (!warmup_done && epoch >= cfg_.warmup_epochs) {
+      warmup_done = true;
+      if (cfg_.on_warmup_end) cfg_.on_warmup_end(net_);
+    }
+    const float lr = cfg_.schedule.lr_at(epoch);
+    opt.set_lr(lr);
+
+    // Fisher-Yates shuffle.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[shuffle_rng.uniform_int(i + 1)]);
+    }
+
+    double loss_sum = 0.0;
+    std::size_t correct = 0, seen = 0;
+    for (std::size_t lo = 0; lo < n; lo += cfg_.batch_size) {
+      const std::size_t hi = std::min(n, lo + cfg_.batch_size);
+      Tensor bx = gather(train_x, order, lo, hi);
+      std::vector<int> by(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) by[i - lo] = train_y[order[i]];
+
+      opt.zero_grad();
+      Tensor logits = net_.forward(bx, /*training=*/true);
+      Tensor dlogits;
+      const float loss = tensor::cross_entropy(logits, by, &dlogits);
+      net_.backward(dlogits);
+      opt.step();
+
+      loss_sum += static_cast<double>(loss) * static_cast<double>(hi - lo);
+      correct += tensor::count_correct(logits, by);
+      seen += hi - lo;
+    }
+
+    EpochResult r;
+    r.epoch = epoch;
+    r.lr = lr;
+    r.train_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
+    r.train_acc = static_cast<float>(correct) / static_cast<float>(seen);
+    r.test_acc = evaluate(test_x, test_y);
+    r.quantized = policy_ != nullptr && policy_->active();
+    history.push_back(r);
+
+    if (cfg_.verbose) {
+      std::printf("epoch %3zu  lr %.4f  loss %.4f  train %.4f  test %.4f%s\n", epoch, lr, r.train_loss,
+                  r.train_acc, r.test_acc, r.quantized ? "  [posit]" : "  [fp32]");
+      std::fflush(stdout);
+    }
+    if (cfg_.on_epoch_end) cfg_.on_epoch_end(epoch, net_);
+  }
+  return history;
+}
+
+float Trainer::evaluate(const Tensor& x, const std::vector<int>& y, std::size_t batch) {
+  const std::size_t n = x.shape()[0];
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::size_t correct = 0;
+  for (std::size_t lo = 0; lo < n; lo += batch) {
+    const std::size_t hi = std::min(n, lo + batch);
+    Tensor bx = gather(x, idx, lo, hi);
+    std::vector<int> by(y.begin() + static_cast<long>(lo), y.begin() + static_cast<long>(hi));
+    Tensor logits = net_.forward(bx, /*training=*/false);
+    correct += tensor::count_correct(logits, by);
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace pdnn::nn

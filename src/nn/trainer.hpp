@@ -1,0 +1,59 @@
+// trainer.hpp — mini-batch SGD training loop with the paper's phase structure:
+// an FP32 warm-up for the first `warmup_epochs`, then (if a policy is
+// installed) posit-quantized training for the remaining epochs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pdnn::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 64;
+  SgdConfig sgd;
+  StepSchedule schedule;
+  std::size_t warmup_epochs = 1;  ///< FP32 epochs before quantization kicks in
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+  /// Called once when warm-up finishes; wire this to
+  /// QuantPolicy::calibrate(net) + activate(). May be empty (pure FP32 run).
+  std::function<void(Sequential&)> on_warmup_end;
+  /// Called after every epoch (e.g. the Fig. 2 histogram collector).
+  std::function<void(std::size_t epoch, Sequential&)> on_epoch_end;
+};
+
+struct EpochResult {
+  std::size_t epoch = 0;
+  float lr = 0.0f;
+  float train_loss = 0.0f;
+  float train_acc = 0.0f;
+  float test_acc = 0.0f;
+  bool quantized = false;
+};
+
+class Trainer {
+ public:
+  Trainer(Sequential& net, PrecisionPolicy* policy, TrainConfig cfg);
+
+  /// Full training run. Images are [N,C,H,W] (or [N,D] for MLPs); labels are
+  /// class indices. Returns one record per epoch.
+  std::vector<EpochResult> fit(const tensor::Tensor& train_x, const std::vector<int>& train_y,
+                               const tensor::Tensor& test_x, const std::vector<int>& test_y);
+
+  /// Accuracy of the current network on a dataset (eval mode).
+  float evaluate(const tensor::Tensor& x, const std::vector<int>& y, std::size_t batch = 128);
+
+ private:
+  tensor::Tensor gather(const tensor::Tensor& x, const std::vector<std::size_t>& idx, std::size_t lo,
+                        std::size_t hi) const;
+
+  Sequential& net_;
+  PrecisionPolicy* policy_;
+  TrainConfig cfg_;
+};
+
+}  // namespace pdnn::nn

@@ -1,0 +1,140 @@
+#include "posit/arith.hpp"
+
+namespace pdnn::posit {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/// Magnitude-ordered operand pair: `big` has the larger (scale, sig).
+struct Ordered {
+  const Decoded* big;
+  const Decoded* small;
+  bool swapped;
+};
+
+Ordered order_by_magnitude(const Decoded& a, const Decoded& b) {
+  const bool b_bigger = (b.scale > a.scale) || (b.scale == a.scale && b.sig > a.sig);
+  return b_bigger ? Ordered{&b, &a, true} : Ordered{&a, &b, false};
+}
+
+/// Core signed addition of two decoded non-zero posits.
+std::uint32_t add_decoded(const Decoded& a, const Decoded& b, const PositSpec& spec, RoundMode mode,
+                          RoundingRng* rng) {
+  const Ordered ord = order_by_magnitude(a, b);
+  const Decoded& hi = *ord.big;
+  const Decoded& lo = *ord.small;
+
+  // Work with three guard bits: hidden bit moves from 62 to 65. The sticky
+  // flag is folded into bit 0, which is always below the rounding position;
+  // cancellation of 2+ leading bits only happens when the scale difference is
+  // <= 1, in which case no sticky bit was set and the subtraction is exact.
+  const u128 hi_sig = static_cast<u128>(hi.sig) << 3;
+  u128 lo_sig;
+  const long diff = static_cast<long>(hi.scale) - lo.scale;
+  if (diff >= 67) {
+    lo_sig = 1;  // pure sticky
+  } else {
+    const u128 full = static_cast<u128>(lo.sig) << 3;
+    lo_sig = full >> diff;
+    if (diff > 0 && (full & ((static_cast<u128>(1) << diff) - 1)) != 0) lo_sig |= 1;
+  }
+
+  const bool same_sign = hi.neg == lo.neg;
+  u128 sum;
+  if (same_sign) {
+    sum = hi_sig + lo_sig;
+  } else {
+    sum = hi_sig - lo_sig;
+    if (sum == 0) return 0u;  // exact cancellation
+  }
+
+  // Normalize: locate the hidden bit.
+  int msb = 127;
+  while (((sum >> msb) & 1) == 0) --msb;
+  const long scale = hi.scale + (msb - 65);
+  return round_pack(spec, hi.neg, scale, sum, msb, false, mode, rng);
+}
+
+}  // namespace
+
+std::uint32_t add(std::uint32_t a, std::uint32_t b, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
+  const Decoded da = decode(a, spec);
+  const Decoded db = decode(b, spec);
+  if (da.is_nar || db.is_nar) return spec.nar_code();
+  if (da.is_zero) return b & spec.mask();
+  if (db.is_zero) return a & spec.mask();
+  return add_decoded(da, db, spec, mode, rng);
+}
+
+std::uint32_t sub(std::uint32_t a, std::uint32_t b, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
+  return add(a, neg(b, spec), spec, mode, rng);
+}
+
+std::uint32_t mul(std::uint32_t a, std::uint32_t b, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
+  const Decoded da = decode(a, spec);
+  const Decoded db = decode(b, spec);
+  if (da.is_nar || db.is_nar) return spec.nar_code();
+  if (da.is_zero || db.is_zero) return 0u;
+  const u128 product = static_cast<u128>(da.sig) * db.sig;  // in [2^124, 2^126)
+  const int msb = ((product >> 125) & 1) ? 125 : 124;
+  const long scale = static_cast<long>(da.scale) + db.scale + (msb - 124);
+  return round_pack(spec, da.neg != db.neg, scale, product, msb, false, mode, rng);
+}
+
+std::uint32_t div(std::uint32_t a, std::uint32_t b, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
+  const Decoded da = decode(a, spec);
+  const Decoded db = decode(b, spec);
+  if (da.is_nar || db.is_nar || db.is_zero) return spec.nar_code();
+  if (da.is_zero) return 0u;
+  const u128 numerator = static_cast<u128>(da.sig) << 64;
+  const u128 quotient = numerator / db.sig;  // in (2^63, 2^65)
+  const bool sticky = (numerator % db.sig) != 0;
+  const int msb = ((quotient >> 64) & 1) ? 64 : 63;
+  const long scale = static_cast<long>(da.scale) - db.scale + (msb - 64);
+  return round_pack(spec, da.neg != db.neg, scale, quotient, msb, sticky, mode, rng);
+}
+
+std::uint32_t neg(std::uint32_t a, const PositSpec& spec) {
+  a &= spec.mask();
+  if (a == 0 || a == spec.nar_code()) return a;  // -0 = 0, -NaR = NaR
+  return (~a + 1u) & spec.mask();
+}
+
+std::uint32_t abs(std::uint32_t a, const PositSpec& spec) {
+  a &= spec.mask();
+  return (a & spec.sign_bit()) && a != spec.nar_code() ? neg(a, spec) : a;
+}
+
+std::uint32_t fma(std::uint32_t a, std::uint32_t b, std::uint32_t c, const PositSpec& spec, RoundMode mode,
+                  RoundingRng* rng) {
+  const Decoded da = decode(a, spec);
+  const Decoded db = decode(b, spec);
+  const Decoded dc = decode(c, spec);
+  if (da.is_nar || db.is_nar || dc.is_nar) return spec.nar_code();
+  if (da.is_zero || db.is_zero) return c & spec.mask();
+
+  // Exact product. Operand significands carry at most 29 fraction bits each
+  // (n <= 32), so the 128-bit product has >= 66 trailing zero bits; reducing
+  // the hidden bit back to position 62 is therefore exact and the sum inherits
+  // full single-rounding (fused) semantics from add_decoded.
+  const u128 product = static_cast<u128>(da.sig) * db.sig;  // in [2^124, 2^126)
+  const int msb = ((product >> 125) & 1) ? 125 : 124;
+  const long pscale = static_cast<long>(da.scale) + db.scale + (msb - 124);
+  if (dc.is_zero) {
+    return round_pack(spec, da.neg != db.neg, pscale, product, msb, false, mode, rng);
+  }
+  Decoded dp;
+  dp.neg = da.neg != db.neg;
+  dp.scale = static_cast<int>(pscale);
+  dp.sig = static_cast<std::uint64_t>(product >> (msb - 62));
+  return add_decoded(dp, dc, spec, mode, rng);
+}
+
+int compare(std::uint32_t a, std::uint32_t b, const PositSpec& spec) {
+  const std::int32_t sa = sign_extend(a, spec);
+  const std::int32_t sb = sign_extend(b, spec);
+  return sa < sb ? -1 : (sa > sb ? 1 : 0);
+}
+
+}  // namespace pdnn::posit

@@ -1,0 +1,183 @@
+#include "posit/codec.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pdnn::posit {
+
+double PositSpec::useed() const { return std::ldexp(1.0, 1 << es); }
+
+namespace {
+
+/// Floor division by a power of two (arithmetic shift semantics for negatives).
+inline long floor_div_pow2(long value, int log2_div) {
+  return value >> log2_div;  // arithmetic shift: floor for negative values
+}
+
+}  // namespace
+
+Decoded decode(std::uint32_t code, const PositSpec& spec) {
+  Decoded d;
+  code &= spec.mask();
+  if (code == 0) {
+    d.is_zero = true;
+    return d;
+  }
+  if (code == spec.nar_code()) {
+    d.is_nar = true;
+    return d;
+  }
+  d.neg = (code & spec.sign_bit()) != 0;
+  std::uint32_t mag = d.neg ? ((~code + 1u) & spec.mask()) : code;
+
+  const int body_bits = spec.n - 1;  // bits below the sign bit
+  const std::uint32_t body = mag & (spec.sign_bit() - 1u);
+
+  // Parse the regime: a run of identical bits starting at the MSB of the body,
+  // terminated by the opposite bit (or by the end of the word).
+  const int first = (body >> (body_bits - 1)) & 1u;
+  int run = 0;
+  int pos = body_bits - 1;
+  while (pos >= 0 && (((body >> pos) & 1u) == static_cast<std::uint32_t>(first))) {
+    ++run;
+    --pos;
+  }
+  // pos now indexes the terminating bit (or -1 if the run hit the end).
+  d.k = first ? (run - 1) : -run;
+  if (pos >= 0) --pos;  // skip the terminating bit
+
+  // Exponent field: up to es bits. When fewer remain, the stored bits are the
+  // HIGH bits of the exponent; missing low bits read as zero.
+  const int remaining_after_regime = pos + 1;
+  const int e_stored = remaining_after_regime < spec.es ? remaining_after_regime : spec.es;
+  std::uint32_t e_bits = 0;
+  if (e_stored > 0) {
+    e_bits = (body >> (remaining_after_regime - e_stored)) & ((1u << e_stored) - 1u);
+  }
+  d.e = static_cast<int>(e_bits) << (spec.es - e_stored);
+
+  // Fraction field: whatever is left.
+  d.frac_width = remaining_after_regime - e_stored;
+  d.frac = d.frac_width > 0 ? (body & ((1u << d.frac_width) - 1u)) : 0u;
+
+  d.scale = (d.k << spec.es) + d.e;
+  // Significand with hidden bit at 62: (1 << fw | frac) << (62 - fw).
+  d.sig = ((1ULL << d.frac_width) | static_cast<std::uint64_t>(d.frac)) << (62 - d.frac_width);
+  return d;
+}
+
+std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned __int128 sig, int sig_bits,
+                         bool sticky, RoundMode mode, RoundingRng* rng) {
+  const int n = spec.n;
+  const int es = spec.es;
+  const std::uint32_t body_max = spec.sign_bit() - 1u;  // maxpos body (n-1 ones)
+
+  auto finish = [&](std::uint32_t body) -> std::uint32_t {
+    std::uint32_t code = body;  // sign bit is zero for the magnitude
+    if (neg) code = (~code + 1u) & spec.mask();
+    return code;
+  };
+
+  // Pre-reduce the significand to at most 62 fraction bits so the assembled
+  // bit string fits comfortably in 128 bits (regime <= 31, es <= 6).
+  if (sig_bits > 62) {
+    const int drop = sig_bits - 62;
+    const unsigned __int128 dropped = sig & ((static_cast<unsigned __int128>(1) << drop) - 1);
+    if (dropped != 0) sticky = true;
+    sig >>= drop;
+    sig_bits = 62;
+  }
+
+  long k = floor_div_pow2(scale, es);
+  const long e = scale - (k << es);  // 0 <= e < 2^es
+
+  // Regime saturation. k == n-2 is representable only as maxpos itself.
+  if (k >= spec.max_k()) return finish(body_max);
+  if (k < spec.min_k()) return finish(spec.minpos_code());
+
+  const int rb = k >= 0 ? static_cast<int>(k) + 2 : static_cast<int>(1 - k);
+  const unsigned __int128 regime_pattern =
+      k >= 0 ? ((static_cast<unsigned __int128>(1) << (k + 2)) - 2)  // k+1 ones then a zero
+             : static_cast<unsigned __int128>(1);                    // -k zeros then a one
+
+  const unsigned __int128 frac_field = sig & ((static_cast<unsigned __int128>(1) << sig_bits) - 1);
+  unsigned __int128 v = (regime_pattern << (es + sig_bits)) | (static_cast<unsigned __int128>(e) << sig_bits) |
+                        frac_field;
+  const int width = rb + es + sig_bits;
+  const int target = n - 1;
+
+  std::uint32_t body;
+  if (width <= target) {
+    body = static_cast<std::uint32_t>(v << (target - width));
+    // No discarded bits inside the word; `sticky` alone can never round up
+    // under nearest (guard bit is zero) and never under toward-zero.
+    if (mode == RoundMode::kStochastic && sticky && rng != nullptr) {
+      // The true value sits an infinitesimal above the code; rounding up with
+      // vanishing probability is approximated by never rounding up.
+    }
+  } else {
+    const int shift = width - target;
+    const unsigned __int128 discarded = v & ((static_cast<unsigned __int128>(1) << shift) - 1);
+    body = static_cast<std::uint32_t>(v >> shift);
+    const bool guard = ((discarded >> (shift - 1)) & 1) != 0;
+    const bool low_sticky = (discarded & ((static_cast<unsigned __int128>(1) << (shift - 1)) - 1)) != 0 || sticky;
+
+    bool round_up = false;
+    switch (mode) {
+      case RoundMode::kNearestEven:
+        round_up = guard && (low_sticky || (body & 1u));
+        break;
+      case RoundMode::kTowardZero:
+        round_up = false;
+        break;
+      case RoundMode::kStochastic: {
+        // Round up with probability discarded / 2^shift (sticky adds an
+        // epsilon which we fold in as +1 on the discarded value).
+        const int cmp_bits = shift > 63 ? 63 : shift;
+        const std::uint64_t disc = static_cast<std::uint64_t>(discarded >> (shift - cmp_bits)) +
+                                   (sticky ? 1u : 0u);
+        const std::uint64_t rnd = rng != nullptr ? (rng->next() >> (64 - cmp_bits)) : 0u;
+        round_up = rnd < disc;
+        break;
+      }
+    }
+    if (round_up) {
+      ++body;
+      if (body > body_max) body = body_max;  // never round into NaR
+    }
+    if (body == 0) body = spec.minpos_code();  // never round a non-zero value to zero
+  }
+  return finish(body);
+}
+
+std::uint32_t from_double(double x, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
+  if (x == 0.0) return 0u;
+  if (std::isnan(x) || std::isinf(x)) return spec.nar_code();
+  const bool neg = std::signbit(x);
+  int exp2 = 0;
+  const double m = std::frexp(std::fabs(x), &exp2);  // m in [0.5, 1)
+  // m * 2^63 in [2^62, 2^63): hidden bit lands at 62; double's 53-bit mantissa
+  // is captured exactly.
+  const auto sig = static_cast<std::uint64_t>(std::ldexp(m, 63));
+  return round_pack(spec, neg, exp2 - 1, sig, 62, false, mode, rng);
+}
+
+double to_double(std::uint32_t code, const PositSpec& spec) {
+  const Decoded d = decode(code, spec);
+  if (d.is_zero) return 0.0;
+  if (d.is_nar) return std::numeric_limits<double>::quiet_NaN();
+  const double mag = std::ldexp(static_cast<double>(d.sig), d.scale - 62);
+  return d.neg ? -mag : mag;
+}
+
+double maxpos_value(const PositSpec& spec) { return std::ldexp(1.0, spec.max_scale()); }
+
+double minpos_value(const PositSpec& spec) { return std::ldexp(1.0, spec.min_scale()); }
+
+std::int32_t sign_extend(std::uint32_t code, const PositSpec& spec) {
+  code &= spec.mask();
+  if (code & spec.sign_bit()) code |= ~spec.mask();
+  return static_cast<std::int32_t>(code);
+}
+
+}  // namespace pdnn::posit

@@ -1,0 +1,62 @@
+// codec.hpp — decode / encode between n-bit posit codes and numeric fields.
+//
+// A posit code is held in the low n bits of a std::uint32_t. Negative posits
+// are the two's complement of the whole n-bit word, so decoding first negates,
+// then parses |sign|regime|exponent|fraction|. All arithmetic in this library
+// goes through the Decoded intermediate form: sign, binary scale, and a
+// significand with the hidden bit pinned at bit 62 (value = sig * 2^(scale-62)).
+#pragma once
+
+#include <cstdint>
+
+#include "posit/rounding.hpp"
+#include "posit/spec.hpp"
+
+namespace pdnn::posit {
+
+/// Unpacked numeric fields of a posit code.
+struct Decoded {
+  bool is_zero = false;
+  bool is_nar = false;
+  bool neg = false;
+  int scale = 0;            ///< binary exponent: value = +/- sig * 2^(scale-62)
+  std::uint64_t sig = 0;    ///< significand, hidden bit at bit 62: sig in [2^62, 2^63)
+  // Raw field view (useful for Table I style reporting):
+  int k = 0;                ///< regime value
+  int e = 0;                ///< exponent field value (after implicit zero-padding)
+  std::uint32_t frac = 0;   ///< fraction field bits
+  int frac_width = 0;       ///< number of fraction bits physically stored
+};
+
+/// Parse an n-bit code into numeric fields. Handles zero and NaR.
+Decoded decode(std::uint32_t code, const PositSpec& spec);
+
+/// Round and pack a (sign, scale, significand) triple into an n-bit code.
+///
+/// `sig` carries the hidden bit at position `sig_bits` (sig in
+/// [2^sig_bits, 2^(sig_bits+1))). `sticky` indicates non-zero value bits below
+/// the significand. Saturates at maxpos/minpos (never rounds a non-zero value
+/// to zero or to NaR), matching the posit standard. `rng` is only consulted
+/// for RoundMode::kStochastic and may be null otherwise.
+std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned __int128 sig, int sig_bits,
+                         bool sticky, RoundMode mode, RoundingRng* rng);
+
+/// Convert an IEEE double to the nearest posit code under `mode`.
+/// 0.0 -> zero code; NaN and +/-Inf -> NaR.
+std::uint32_t from_double(double x, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven,
+                          RoundingRng* rng = nullptr);
+
+/// Convert a posit code to double. Exact for every supported format
+/// (fraction width <= 29 < 52). NaR maps to quiet NaN.
+double to_double(std::uint32_t code, const PositSpec& spec);
+
+/// Value of maxpos = useed^(n-2) as a double.
+double maxpos_value(const PositSpec& spec);
+/// Value of minpos = useed^(2-n) as a double.
+double minpos_value(const PositSpec& spec);
+
+/// Sign-extend an n-bit code to a signed 32-bit integer. Posits compare as
+/// two's-complement integers, so this gives a total order (NaR smallest).
+std::int32_t sign_extend(std::uint32_t code, const PositSpec& spec);
+
+}  // namespace pdnn::posit

@@ -1,0 +1,38 @@
+#include "posit/math.hpp"
+
+#include <cmath>
+
+namespace pdnn::posit {
+
+namespace {
+
+template <typename Fn>
+std::uint32_t mediated(std::uint32_t a, const PositSpec& spec, RoundMode mode, Fn&& fn) {
+  if ((a & spec.mask()) == spec.nar_code()) return spec.nar_code();
+  const double x = to_double(a, spec);
+  return from_double(fn(x), spec, mode);
+}
+
+}  // namespace
+
+std::uint32_t sqrt_code(std::uint32_t a, const PositSpec& spec, RoundMode mode) {
+  return mediated(a, spec, mode, [](double x) { return x < 0 ? std::nan("") : std::sqrt(x); });
+}
+
+std::uint32_t exp_code(std::uint32_t a, const PositSpec& spec, RoundMode mode) {
+  return mediated(a, spec, mode, [](double x) { return std::exp(x); });
+}
+
+std::uint32_t log_code(std::uint32_t a, const PositSpec& spec, RoundMode mode) {
+  return mediated(a, spec, mode, [](double x) { return x <= 0 ? std::nan("") : std::log(x); });
+}
+
+std::uint32_t tanh_code(std::uint32_t a, const PositSpec& spec, RoundMode mode) {
+  return mediated(a, spec, mode, [](double x) { return std::tanh(x); });
+}
+
+std::uint32_t sigmoid_code(std::uint32_t a, const PositSpec& spec, RoundMode mode) {
+  return mediated(a, spec, mode, [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+}  // namespace pdnn::posit

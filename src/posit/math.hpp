@@ -1,0 +1,40 @@
+// math.hpp — elementary functions on posits.
+//
+// These are double-mediated: the operand is converted to double (exact for all
+// supported formats), evaluated in double precision, and rounded back once.
+// Since double carries 53 significand bits and the widest supported posit
+// fraction is 29 bits, this yields faithfully-rounded results.
+#pragma once
+
+#include "posit/posit.hpp"
+
+namespace pdnn::posit {
+
+std::uint32_t sqrt_code(std::uint32_t a, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven);
+std::uint32_t exp_code(std::uint32_t a, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven);
+std::uint32_t log_code(std::uint32_t a, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven);
+std::uint32_t tanh_code(std::uint32_t a, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven);
+std::uint32_t sigmoid_code(std::uint32_t a, const PositSpec& spec, RoundMode mode = RoundMode::kNearestEven);
+
+template <int N, int ES>
+Posit<N, ES> sqrt(Posit<N, ES> a) {
+  return Posit<N, ES>::from_bits(sqrt_code(a.bits(), a.spec()));
+}
+template <int N, int ES>
+Posit<N, ES> exp(Posit<N, ES> a) {
+  return Posit<N, ES>::from_bits(exp_code(a.bits(), a.spec()));
+}
+template <int N, int ES>
+Posit<N, ES> log(Posit<N, ES> a) {
+  return Posit<N, ES>::from_bits(log_code(a.bits(), a.spec()));
+}
+template <int N, int ES>
+Posit<N, ES> tanh(Posit<N, ES> a) {
+  return Posit<N, ES>::from_bits(tanh_code(a.bits(), a.spec()));
+}
+template <int N, int ES>
+Posit<N, ES> sigmoid(Posit<N, ES> a) {
+  return Posit<N, ES>::from_bits(sigmoid_code(a.bits(), a.spec()));
+}
+
+}  // namespace pdnn::posit

@@ -1,0 +1,45 @@
+#include "posit/packed.hpp"
+
+namespace pdnn::posit {
+
+std::uint32_t PackedPositTensor::code_at(std::size_t index) const {
+  const std::size_t bit0 = index * static_cast<std::size_t>(spec_.n);
+  std::uint32_t code = 0;
+  for (int b = 0; b < spec_.n; ++b) {
+    const std::size_t bit = bit0 + static_cast<std::size_t>(b);
+    code |= static_cast<std::uint32_t>((bits_[bit / 8] >> (bit % 8)) & 1u) << b;
+  }
+  return code;
+}
+
+void PackedPositTensor::set_code(std::size_t index, std::uint32_t code) {
+  const std::size_t bit0 = index * static_cast<std::size_t>(spec_.n);
+  for (int b = 0; b < spec_.n; ++b) {
+    const std::size_t bit = bit0 + static_cast<std::size_t>(b);
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit % 8));
+    if ((code >> b) & 1u) {
+      bits_[bit / 8] |= mask;
+    } else {
+      bits_[bit / 8] &= static_cast<std::uint8_t>(~mask);
+    }
+  }
+}
+
+PackedPositTensor PackedPositTensor::pack(const tensor::Tensor& t, PositSpec spec, RoundMode mode) {
+  PackedPositTensor out(spec, t.shape());
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    out.set_code(i, from_double(t[i], spec, mode));
+  }
+  return out;
+}
+
+tensor::Tensor PackedPositTensor::unpack() const {
+  tensor::Tensor t(shape_);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = to_double(code_at(i), spec_);
+    t[i] = static_cast<float>(v == v ? v : 0.0);  // NaR -> 0 in float tensors
+  }
+  return t;
+}
+
+}  // namespace pdnn::posit

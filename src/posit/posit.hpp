@@ -1,0 +1,81 @@
+// posit.hpp — value-semantic compile-time posit type.
+//
+// Posit<N, ES> wraps an n-bit code and forwards arithmetic to the runtime
+// kernels in arith.cpp. All operators use posit-standard rounding
+// (nearest-even); the paper's round-toward-zero quantizer lives in
+// quant/posit_transform.* and is deliberately a separate entry point.
+//
+//   using pdnn::posit::Posit16_1;
+//   Posit16_1 a{3.25}, b{-0.125};
+//   double y = static_cast<double>(a * b + a);
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "posit/arith.hpp"
+#include "posit/codec.hpp"
+#include "posit/spec.hpp"
+
+namespace pdnn::posit {
+
+template <int N, int ES>
+class Posit {
+  static_assert(N >= 2 && N <= 32, "supported word sizes are 2..32");
+  static_assert(ES >= 0 && ES <= 6, "supported exponent sizes are 0..6");
+
+ public:
+  static constexpr PositSpec spec() { return PositSpec{N, ES}; }
+
+  constexpr Posit() = default;
+  explicit Posit(double value) : code_(from_double(value, spec())) {}
+
+  /// Reinterpret a raw n-bit code as a posit (no conversion).
+  static Posit from_bits(std::uint32_t code) {
+    Posit p;
+    p.code_ = code & spec().mask();
+    return p;
+  }
+  std::uint32_t bits() const { return code_; }
+
+  static Posit nar() { return from_bits(spec().nar_code()); }
+  static Posit maxpos() { return from_bits(spec().maxpos_code()); }
+  static Posit minpos() { return from_bits(spec().minpos_code()); }
+
+  bool is_zero() const { return code_ == 0; }
+  bool is_nar() const { return code_ == spec().nar_code(); }
+
+  explicit operator double() const { return to_double(code_, spec()); }
+  double value() const { return to_double(code_, spec()); }
+
+  Posit operator-() const { return from_bits(neg(code_, spec())); }
+  friend Posit operator+(Posit a, Posit b) { return from_bits(add(a.code_, b.code_, spec())); }
+  friend Posit operator-(Posit a, Posit b) { return from_bits(sub(a.code_, b.code_, spec())); }
+  friend Posit operator*(Posit a, Posit b) { return from_bits(mul(a.code_, b.code_, spec())); }
+  friend Posit operator/(Posit a, Posit b) { return from_bits(div(a.code_, b.code_, spec())); }
+
+  Posit& operator+=(Posit o) { return *this = *this + o; }
+  Posit& operator-=(Posit o) { return *this = *this - o; }
+  Posit& operator*=(Posit o) { return *this = *this * o; }
+  Posit& operator/=(Posit o) { return *this = *this / o; }
+
+  friend bool operator==(Posit a, Posit b) { return a.code_ == b.code_; }
+  friend bool operator!=(Posit a, Posit b) { return a.code_ != b.code_; }
+  friend bool operator<(Posit a, Posit b) { return compare(a.code_, b.code_, spec()) < 0; }
+  friend bool operator<=(Posit a, Posit b) { return compare(a.code_, b.code_, spec()) <= 0; }
+  friend bool operator>(Posit a, Posit b) { return compare(a.code_, b.code_, spec()) > 0; }
+  friend bool operator>=(Posit a, Posit b) { return compare(a.code_, b.code_, spec()) >= 0; }
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+// The formats the paper uses.
+using Posit8 = Posit<8, 0>;      ///< Table IV baseline config
+using Posit8_1 = Posit<8, 1>;    ///< CONV forward / weight update (Table III)
+using Posit8_2 = Posit<8, 2>;    ///< CONV backward (Table III)
+using Posit16_1 = Posit<16, 1>;  ///< BN / ImageNet forward (Table III)
+using Posit16_2 = Posit<16, 2>;  ///< BN / ImageNet backward (Table III)
+using Posit32_3 = Posit<32, 3>;  ///< Table IV large config
+
+}  // namespace pdnn::posit

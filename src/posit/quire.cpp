@@ -1,0 +1,175 @@
+#include "posit/quire.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pdnn::posit {
+
+namespace {
+using u128 = unsigned __int128;
+}
+
+Quire::Quire(const PositSpec& spec, int guard_bits) : spec_(spec) {
+  spec_.validate();
+  // Smallest product: minpos^2 = 2^(2*min_scale). Products are deposited with
+  // the raw 128-bit significand whose bit 0 sits 124 places below the hidden
+  // bit (those low bits are zero for n <= 32 operands, but the shift target
+  // must still exist), so reserve 128 bits of slack below 2*min_scale.
+  frac_bits_ = -2L * spec_.min_scale() + 128;
+  // Largest magnitude after 2^guard_bits accumulations of maxpos^2.
+  const long int_bits = 2L * spec_.max_scale() + guard_bits + 2;
+  const long total = frac_bits_ + int_bits + 1;  // +1 sign
+  words_.assign(static_cast<std::size_t>((total + 63) / 64), 0u);
+}
+
+void Quire::clear() {
+  words_.assign(words_.size(), 0u);
+  nar_ = false;
+}
+
+bool Quire::is_zero() const {
+  if (nar_) return false;
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+void Quire::add_shifted(u128 sig, long lsb_weight, bool negative) {
+  // The value added is sig * 2^lsb_weight; bit position of sig's bit 0 inside
+  // the register is frac_bits_ + lsb_weight.
+  const long pos = frac_bits_ + lsb_weight;
+  if (pos < 0 || sig == 0) return;  // cannot happen for valid posit products
+  std::size_t word = static_cast<std::size_t>(pos / 64);
+  const int bit = static_cast<int>(pos % 64);
+
+  // Spread sig (up to 128 bits) across up to three words at offset `bit`.
+  std::uint64_t chunks[3] = {static_cast<std::uint64_t>(sig << bit), 0, 0};
+  if (bit != 0) {
+    chunks[1] = static_cast<std::uint64_t>(sig >> (64 - bit));
+    chunks[2] = static_cast<std::uint64_t>(sig >> (128 - bit));
+  } else {
+    chunks[1] = static_cast<std::uint64_t>(sig >> 64);
+  }
+
+  if (!negative) {
+    unsigned carry = 0;
+    for (int i = 0; i < 3 && word + i < words_.size(); ++i) {
+      const u128 s = static_cast<u128>(words_[word + i]) + chunks[i] + carry;
+      words_[word + i] = static_cast<std::uint64_t>(s);
+      carry = static_cast<unsigned>(s >> 64);
+    }
+    for (std::size_t i = word + 3; carry && i < words_.size(); ++i) {
+      const u128 s = static_cast<u128>(words_[i]) + carry;
+      words_[i] = static_cast<std::uint64_t>(s);
+      carry = static_cast<unsigned>(s >> 64);
+    }
+  } else {
+    std::uint64_t borrow = 0;
+    for (int i = 0; i < 3 && word + i < words_.size(); ++i) {
+      const u128 sub_amount = static_cast<u128>(chunks[i]) + borrow;
+      const u128 before = words_[word + i];
+      words_[word + i] = static_cast<std::uint64_t>(before - sub_amount);
+      borrow = before < sub_amount ? 1u : 0u;
+    }
+    for (std::size_t i = word + 3; borrow && i < words_.size(); ++i) {
+      const std::uint64_t before = words_[i];
+      words_[i] = before - borrow;
+      borrow = before == 0 ? 1u : 0u;
+    }
+  }
+}
+
+void Quire::add_product(std::uint32_t a, std::uint32_t b) {
+  const Decoded da = decode(a, spec_);
+  const Decoded db = decode(b, spec_);
+  if (da.is_nar || db.is_nar) {
+    nar_ = true;
+    return;
+  }
+  if (da.is_zero || db.is_zero) return;
+  const u128 product = static_cast<u128>(da.sig) * db.sig;  // hidden at 124/125
+  const long lsb_weight = static_cast<long>(da.scale) + db.scale - 124;
+  add_shifted(product, lsb_weight, da.neg != db.neg);
+}
+
+void Quire::sub_product(std::uint32_t a, std::uint32_t b) { add_product(a, neg(b, spec_)); }
+
+void Quire::add_posit(std::uint32_t a) {
+  const Decoded da = decode(a, spec_);
+  if (da.is_nar) {
+    nar_ = true;
+    return;
+  }
+  if (da.is_zero) return;
+  add_shifted(da.sig, static_cast<long>(da.scale) - 62, da.neg);
+}
+
+std::uint32_t Quire::to_posit(RoundMode mode, RoundingRng* rng) const {
+  if (nar_) return spec_.nar_code();
+  // Determine sign from the top word (two's complement).
+  const bool negative = (words_.back() >> 63) != 0;
+  std::vector<std::uint64_t> mag = words_;
+  if (negative) {
+    unsigned carry = 1;
+    for (auto& w : mag) {
+      const u128 s = static_cast<u128>(~w) + carry;
+      w = static_cast<std::uint64_t>(s);
+      carry = static_cast<unsigned>(s >> 64);
+    }
+  }
+  // Find the most significant set bit.
+  int top_word = static_cast<int>(mag.size()) - 1;
+  while (top_word >= 0 && mag[static_cast<std::size_t>(top_word)] == 0) --top_word;
+  if (top_word < 0) return 0u;
+  int top_bit = 63;
+  while (((mag[static_cast<std::size_t>(top_word)] >> top_bit) & 1) == 0) --top_bit;
+  const long msb_pos = static_cast<long>(top_word) * 64 + top_bit;
+
+  // Extract up to 64 significand bits below (and including) the MSB; the rest
+  // is sticky.
+  std::uint64_t sig = 0;
+  bool sticky = false;
+  const long lo_pos = msb_pos - 63;  // significand occupies [lo_pos, msb_pos]
+  for (long p = 0; p < lo_pos; p += 64) {
+    const std::size_t w = static_cast<std::size_t>(p / 64);
+    const int upto = static_cast<int>(lo_pos - p < 64 ? lo_pos - p : 64);
+    const std::uint64_t mask = upto >= 64 ? ~0ULL : ((1ULL << upto) - 1);
+    if (mag[w] & mask) {
+      sticky = true;
+      break;
+    }
+  }
+  if (lo_pos >= 0) {
+    const std::size_t w = static_cast<std::size_t>(lo_pos / 64);
+    const int off = static_cast<int>(lo_pos % 64);
+    sig = mag[w] >> off;
+    if (off != 0 && w + 1 < mag.size()) sig |= mag[w + 1] << (64 - off);
+  } else {
+    sig = mag[0] << (-lo_pos);
+  }
+  // sig now has its MSB (the hidden bit) at position 63.
+  const long scale = msb_pos - frac_bits_;
+  return round_pack(spec_, negative, scale, sig, 63, sticky, mode, rng);
+}
+
+double Quire::to_double() const {
+  if (nar_) return std::numeric_limits<double>::quiet_NaN();
+  const bool negative = (words_.back() >> 63) != 0;
+  std::vector<std::uint64_t> mag = words_;
+  if (negative) {
+    unsigned carry = 1;
+    for (auto& w : mag) {
+      const u128 s = static_cast<u128>(~w) + carry;
+      w = static_cast<std::uint64_t>(s);
+      carry = static_cast<unsigned>(s >> 64);
+    }
+  }
+  double acc = 0.0;
+  for (int i = static_cast<int>(mag.size()) - 1; i >= 0; --i) {
+    acc = acc * 18446744073709551616.0 + static_cast<double>(mag[static_cast<std::size_t>(i)]);
+  }
+  acc = std::ldexp(acc, static_cast<int>(-frac_bits_));
+  return negative ? -acc : acc;
+}
+
+}  // namespace pdnn::posit

@@ -1,0 +1,57 @@
+// quire.hpp — exact dot-product accumulator for posits.
+//
+// The quire is a wide fixed-point two's-complement register that can
+// accumulate any number (up to ~2^63) of exact posit products without
+// rounding; a single rounding happens when the value is read back as a posit.
+// Deep Positron's EMAC (exact multiply-and-accumulate), referenced by the
+// paper, is this structure; the paper's own MAC instead converts to FP and
+// uses a conventional FP accumulator (see src/hw/posit_mac.*). Having both
+// lets the benches compare accumulation strategies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "posit/arith.hpp"
+
+namespace pdnn::posit {
+
+class Quire {
+ public:
+  /// Builds a quire sized for `spec`: enough integer bits for
+  /// sum of 2^guard_bits maxpos^2 terms and enough fraction bits to hold
+  /// minpos^2 exactly.
+  explicit Quire(const PositSpec& spec, int guard_bits = 30);
+
+  /// Resets the accumulator to zero (and clears the NaR flag).
+  void clear();
+
+  /// Accumulates the exact product a*b (posit codes in this quire's spec).
+  void add_product(std::uint32_t a, std::uint32_t b);
+  /// Accumulates -a*b exactly.
+  void sub_product(std::uint32_t a, std::uint32_t b);
+  /// Accumulates the posit value a exactly.
+  void add_posit(std::uint32_t a);
+
+  /// Rounds the accumulated value to a posit code (nearest-even by default).
+  std::uint32_t to_posit(RoundMode mode = RoundMode::kNearestEven, RoundingRng* rng = nullptr) const;
+
+  /// Exact conversion to double (may round if the value needs > 53 bits).
+  double to_double() const;
+
+  bool is_nar() const { return nar_; }
+  bool is_zero() const;
+  const PositSpec& spec() const { return spec_; }
+  /// Total width in bits of the fixed-point register.
+  int width_bits() const { return static_cast<int>(words_.size()) * 64; }
+
+ private:
+  void add_shifted(unsigned __int128 sig, long lsb_weight, bool negative);
+
+  PositSpec spec_;
+  long frac_bits_;                   ///< weight of bit 0 is 2^(-frac_bits_)
+  std::vector<std::uint64_t> words_; ///< little-endian two's-complement
+  bool nar_ = false;
+};
+
+}  // namespace pdnn::posit

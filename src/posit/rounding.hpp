@@ -1,0 +1,52 @@
+// rounding.hpp — rounding modes for posit encoding.
+//
+// The posit standard prescribes round-to-nearest-even with saturation (no
+// overflow to NaR, no underflow to zero). The paper's transformation operator
+// P_{n,es}(x) (Algorithm 1) instead uses round-toward-zero because it is
+// cheaper in hardware; stochastic rounding is included for the ablation
+// benches (cf. Gupta et al., "Deep Learning with Limited Numerical Precision").
+#pragma once
+
+#include <cstdint>
+
+namespace pdnn::posit {
+
+enum class RoundMode {
+  kNearestEven,  ///< posit-standard: round to nearest, ties to even code
+  kTowardZero,   ///< truncate discarded bits (paper Algorithm 1, lines 18-19)
+  kStochastic,   ///< round up with probability equal to the discarded fraction
+};
+
+/// Small, fast PRNG (xoshiro256**) used for stochastic rounding. Deterministic
+/// given its seed so experiments are reproducible.
+class RoundingRng {
+ public:
+  explicit RoundingRng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pdnn::posit

@@ -1,0 +1,65 @@
+// spec.hpp — runtime description of a posit format.
+//
+// A posit format is fully described by (n, es): total word size and exponent
+// field size (Gustafson & Yonemoto, "Beating Floating Point at Its Own Game").
+// This library supports 2 <= n <= 32 and 0 <= es <= 6, which covers every
+// configuration used in the paper: (5,1) for Table I, (8,1)/(8,2)/(16,1)/(16,2)
+// for training and Table V, and (8,0)/(16,1)/(32,3) for Table IV.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pdnn::posit {
+
+/// Runtime posit format descriptor. Immutable after construction.
+struct PositSpec {
+  int n;   ///< total word size in bits, 2..32
+  int es;  ///< exponent field size in bits, 0..6
+
+  constexpr PositSpec(int n_, int es_) : n(n_), es(es_) {}
+
+  /// Throws std::invalid_argument if the format is outside supported limits.
+  void validate() const {
+    if (n < 2 || n > 32) throw std::invalid_argument("PositSpec: n must be in [2,32], got " + std::to_string(n));
+    if (es < 0 || es > 6) throw std::invalid_argument("PositSpec: es must be in [0,6], got " + std::to_string(es));
+  }
+
+  /// useed = 2^(2^es); regime steps multiply the value by useed.
+  double useed() const;  // defined in codec.cpp (needs std::ldexp)
+
+  /// 2^es, the scale contribution of one regime step, as an integer.
+  constexpr int useed_log2() const { return 1 << es; }
+
+  /// Largest representable regime value k (code 0111...1).
+  constexpr int max_k() const { return n - 2; }
+  /// Smallest representable regime value k (code 0000...1).
+  constexpr int min_k() const { return 2 - n; }
+
+  /// Binary scale (log2) of maxpos = useed^(n-2).
+  constexpr int max_scale() const { return (n - 2) << es; }
+  /// Binary scale (log2) of minpos = useed^(2-n).
+  constexpr int min_scale() const { return (2 - n) << es; }
+
+  /// Bit mask covering the n-bit word.
+  constexpr std::uint32_t mask() const { return n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1u); }
+  /// The sign bit of the n-bit word.
+  constexpr std::uint32_t sign_bit() const { return 1u << (n - 1); }
+
+  /// Code of the special Not-a-Real value (1000...0).
+  constexpr std::uint32_t nar_code() const { return sign_bit(); }
+  /// Code of positive maxpos (0111...1).
+  constexpr std::uint32_t maxpos_code() const { return sign_bit() - 1u; }
+  /// Code of positive minpos (0000...1).
+  constexpr std::uint32_t minpos_code() const { return 1u; }
+
+  /// Number of distinct codes, 2^n.
+  constexpr std::uint64_t code_count() const { return 1ULL << n; }
+
+  constexpr bool operator==(const PositSpec& o) const { return n == o.n && es == o.es; }
+
+  std::string to_string() const { return "posit(" + std::to_string(n) + "," + std::to_string(es) + ")"; }
+};
+
+}  // namespace pdnn::posit

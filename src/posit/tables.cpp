@@ -1,0 +1,58 @@
+#include "posit/tables.hpp"
+
+#include <cmath>
+
+namespace pdnn::posit {
+
+std::string dyadic_to_string(std::uint64_t numerator, int pow2) {
+  // Value = numerator * 2^pow2 with numerator odd or zero after reduction.
+  if (numerator == 0) return "0";
+  while ((numerator & 1u) == 0) {
+    numerator >>= 1;
+    ++pow2;
+  }
+  if (pow2 >= 0) {
+    // Integer: numerator << pow2 (safe for the small values Table I uses).
+    const double v = std::ldexp(static_cast<double>(numerator), pow2);
+    if (v == std::floor(v) && v < 1e18) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    return std::to_string(numerator) + "*2^" + std::to_string(pow2);
+  }
+  return std::to_string(numerator) + "/" + std::to_string(static_cast<long long>(std::ldexp(1.0, -pow2)));
+}
+
+CodeDescription describe(std::uint32_t code, const PositSpec& spec) {
+  CodeDescription out;
+  out.code = code & spec.mask();
+  out.binary.resize(static_cast<std::size_t>(spec.n));
+  for (int i = 0; i < spec.n; ++i) {
+    out.binary[static_cast<std::size_t>(spec.n - 1 - i)] = ((out.code >> i) & 1u) ? '1' : '0';
+  }
+  const Decoded d = decode(out.code, spec);
+  out.is_zero = d.is_zero;
+  out.is_nar = d.is_nar;
+  if (d.is_zero || d.is_nar) {
+    out.value = d.is_zero ? 0.0 : std::nan("");
+    out.value_str = d.is_zero ? "0" : "NaR";
+    out.mantissa_str = "x";
+    return out;
+  }
+  out.regime = d.k;
+  out.exponent = d.e;
+  out.mantissa = d.frac_width > 0 ? std::ldexp(static_cast<double>(d.frac), -d.frac_width) : 0.0;
+  out.mantissa_str = d.frac == 0 ? "0" : dyadic_to_string(d.frac, -d.frac_width);
+  out.value = to_double(out.code, spec);
+  // Exact dyadic value: sig * 2^(scale-62) with sig's trailing zeros folded in.
+  out.value_str = (d.neg ? "-" : "") + dyadic_to_string(d.sig, d.scale - 62);
+  return out;
+}
+
+std::vector<CodeDescription> enumerate(std::uint32_t first, std::uint32_t last, const PositSpec& spec) {
+  std::vector<CodeDescription> rows;
+  rows.reserve(last - first + 1);
+  for (std::uint32_t c = first; c <= last; ++c) rows.push_back(describe(c, spec));
+  return rows;
+}
+
+}  // namespace pdnn::posit

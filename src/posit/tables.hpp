@@ -1,0 +1,39 @@
+// tables.hpp — human-readable description of posit codes (Table I support).
+//
+// describe() reports the regime/exponent/mantissa fields and the exact value
+// of a code as a dyadic rational, in the layout of the paper's Table I
+// ("The detail structures of positive values of (5,1) posit number").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "posit/codec.hpp"
+
+namespace pdnn::posit {
+
+struct CodeDescription {
+  std::uint32_t code = 0;
+  std::string binary;       ///< zero-padded n-bit binary string
+  bool is_zero = false;
+  bool is_nar = false;
+  int regime = 0;           ///< k
+  int exponent = 0;         ///< e
+  double mantissa = 0.0;    ///< f in [0,1): fraction below the hidden bit
+  std::string mantissa_str; ///< exact rational, e.g. "1/2"
+  double value = 0.0;       ///< decoded value
+  std::string value_str;    ///< exact rational, e.g. "3/8" or "64"
+};
+
+/// Describe one code.
+CodeDescription describe(std::uint32_t code, const PositSpec& spec);
+
+/// Describe every code in [first, last] (inclusive), e.g. all positive codes
+/// of posit(5,1) for Table I: enumerate(0, 0b01111, {5,1}).
+std::vector<CodeDescription> enumerate(std::uint32_t first, std::uint32_t last, const PositSpec& spec);
+
+/// Render an exact dyadic rational p * 2^q as "p/2^-q" or an integer string.
+std::string dyadic_to_string(std::uint64_t numerator, int pow2);
+
+}  // namespace pdnn::posit

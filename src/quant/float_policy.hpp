@@ -1,0 +1,71 @@
+// float_policy.hpp — reduced-precision FLOAT training policy (the baseline).
+//
+// Mirrors QuantPolicy's use of the Fig. 3 hook points but quantizes to small
+// IEEE-like floats instead of posits, reproducing the training schemes the
+// paper compares against in Section II-A:
+//   * Micikevicius et al. FP16: half precision compute, FP32 master weights
+//     (quantize_weight_update = false), dynamic per-tensor scaling standing in
+//     for their loss-scaling;
+//   * Wang et al. FP8 (1-5-2): 8-bit compute with FP16-ish updates.
+#pragma once
+
+#include "nn/precision.hpp"
+#include "quant/float_transform.hpp"
+#include "quant/policy.hpp"
+#include "quant/scale.hpp"
+
+namespace pdnn::quant {
+
+struct FpPolicyConfig {
+  FpSpec forward = FpSpec::fp16();   ///< weights & activations
+  FpSpec backward = FpSpec::fp16();  ///< errors & weight gradients
+  FpSpec update = FpSpec::fp16();    ///< stored weights after the SGD step
+  bool quantize_weight_update = true;  ///< false = keep FP32 master weights
+  ScaleMode scale_mode = ScaleMode::kNone;  ///< dynamic shift (loss-scaling analogue)
+  int sigma = kPaperSigma;
+  posit::RoundMode round_mode = posit::RoundMode::kNearestEven;
+
+  /// Micikevicius et al.: FP16 compute, FP32 master weights, scaling.
+  static FpPolicyConfig fp16_mixed() {
+    FpPolicyConfig c;
+    c.quantize_weight_update = false;
+    c.scale_mode = ScaleMode::kDynamic;
+    return c;
+  }
+  /// Wang et al.: FP8 (1-5-2) compute, FP16 weight update.
+  static FpPolicyConfig fp8_training() {
+    FpPolicyConfig c;
+    c.forward = FpSpec::fp8_152();
+    c.backward = FpSpec::fp8_152();
+    c.update = FpSpec::fp16();
+    c.scale_mode = ScaleMode::kDynamic;
+    return c;
+  }
+};
+
+class FpPolicy final : public nn::PrecisionPolicy {
+ public:
+  explicit FpPolicy(FpPolicyConfig cfg = {}) : cfg_(cfg), rng_(0xF10A7) {}
+
+  bool active() const override { return active_; }
+  void activate() { active_ = true; }
+  void deactivate() { active_ = false; }
+
+  tensor::Tensor quantize_weight(const tensor::Tensor& w, const std::string& layer,
+                                 nn::LayerClass cls) override;
+  void quantize_activation(tensor::Tensor& a, const std::string& layer, nn::LayerClass cls) override;
+  void quantize_error(tensor::Tensor& e, const std::string& layer, nn::LayerClass cls) override;
+  void quantize_gradient(tensor::Tensor& g, const std::string& layer, nn::LayerClass cls) override;
+  void quantize_updated_weight(tensor::Tensor& w, const std::string& layer, nn::LayerClass cls) override;
+
+  const FpPolicyConfig& config() const { return cfg_; }
+
+ private:
+  void transform(tensor::Tensor& t, const FpSpec& spec);
+
+  FpPolicyConfig cfg_;
+  bool active_ = false;
+  posit::RoundingRng rng_;
+};
+
+}  // namespace pdnn::quant

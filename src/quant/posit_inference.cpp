@@ -1,0 +1,166 @@
+#include "quant/posit_inference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <typeinfo>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::quant {
+
+using posit::PositSpec;
+using tensor::Tensor;
+
+namespace {
+
+std::vector<std::uint32_t> encode_tensor(const Tensor& t, const PositSpec& spec) {
+  std::vector<std::uint32_t> codes(t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    codes[i] = posit::from_double(t[i], spec, posit::RoundMode::kNearestEven);
+  }
+  return codes;
+}
+
+/// Dot product of two code vectors under the selected accumulation mode.
+std::uint32_t dot(const std::uint32_t* a, const std::uint32_t* b, std::size_t count,
+                  const PositSpec& spec, AccumMode mode, posit::Quire* quire) {
+  switch (mode) {
+    case AccumMode::kQuire: {
+      quire->clear();
+      for (std::size_t i = 0; i < count; ++i) quire->add_product(a[i], b[i]);
+      return quire->to_posit();
+    }
+    case AccumMode::kSerial: {
+      std::uint32_t acc = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        acc = posit::add(acc, posit::mul(a[i], b[i], spec), spec);
+      }
+      return acc;
+    }
+    case AccumMode::kFma: {
+      std::uint32_t acc = 0;
+      for (std::size_t i = 0; i < count; ++i) acc = posit::fma(a[i], b[i], acc, spec);
+      return acc;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Tensor posit_linear(const Tensor& x, const Tensor& w, const Tensor& bias, const PositSpec& spec,
+                    AccumMode mode) {
+  const std::size_t n = x.shape()[0], in = x.shape()[1], out = w.shape()[0];
+  if (w.shape()[1] != in) throw std::invalid_argument("posit_linear: shape mismatch");
+  const auto xc = encode_tensor(x, spec);
+  const auto wc = encode_tensor(w, spec);
+  const auto bc = bias.numel() > 0 ? encode_tensor(bias, spec) : std::vector<std::uint32_t>();
+  posit::Quire quire(spec);
+
+  Tensor y({n, out});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < out; ++o) {
+      std::uint32_t acc = dot(xc.data() + i * in, wc.data() + o * in, in, spec, mode, &quire);
+      if (!bc.empty()) acc = posit::add(acc, bc[o], spec);
+      y.at(i, o) = static_cast<float>(posit::to_double(acc, spec));
+    }
+  }
+  return y;
+}
+
+Tensor posit_conv2d(const Tensor& x, const Tensor& w, const tensor::Conv2dGeom& geom,
+                    const PositSpec& spec, AccumMode mode) {
+  const std::size_t batch = x.shape()[0];
+  const std::size_t oh = geom.out_h(), ow = geom.out_w();
+  const std::size_t patch = geom.in_c * geom.kernel * geom.kernel;
+  const auto wc = encode_tensor(w, spec);
+  posit::Quire quire(spec);
+
+  Tensor out({batch, geom.out_c, oh, ow});
+  Tensor cols({patch, oh * ow});
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    tensor::im2col(x.data() + nidx * geom.in_c * geom.in_h * geom.in_w, geom, cols.data());
+    // Encode the unfolded image, transposed so each output pixel's patch is
+    // contiguous.
+    std::vector<std::uint32_t> cc(patch * oh * ow);
+    for (std::size_t p = 0; p < patch; ++p) {
+      for (std::size_t t = 0; t < oh * ow; ++t) {
+        cc[t * patch + p] = posit::from_double(cols[p * (oh * ow) + t], spec);
+      }
+    }
+    for (std::size_t o = 0; o < geom.out_c; ++o) {
+      for (std::size_t t = 0; t < oh * ow; ++t) {
+        const std::uint32_t acc = dot(cc.data() + t * patch, wc.data() + o * patch, patch, spec, mode, &quire);
+        out[((nidx * geom.out_c + o) * oh * ow) + t] = static_cast<float>(posit::to_double(acc, spec));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor posit_forward(nn::Sequential& net, const Tensor& x, const QuantConfig& cfg, AccumMode mode) {
+  Tensor h = x;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    nn::Module& m = net.child(i);
+    if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+      const PositSpec& spec = cfg.linear.forward;
+      h = posit_linear(h, fc->weight().value, fc->bias().value, spec, mode);
+    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+      const PositSpec& spec = cfg.conv.forward;
+      tensor::Conv2dGeom geom{conv->in_channels(), h.shape()[2], h.shape()[3], conv->out_channels(),
+                              conv->kernel(), conv->stride(), conv->pad()};
+      h = posit_conv2d(h, conv->weight().value, geom, spec, mode);
+    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+      // Eval-mode BN as posit arithmetic: y = g * (x - mean) * rsqrt(var+eps) + b.
+      const PositSpec& spec = cfg.bn.forward;
+      const std::size_t n = h.shape()[0], c = h.shape()[1];
+      const std::size_t plane = h.shape()[2] * h.shape()[3];
+      for (std::size_t ci = 0; ci < c; ++ci) {
+        const double inv_std = 1.0 / std::sqrt(static_cast<double>(bn->running_var()[ci]) + bn->eps());
+        const std::uint32_t g = posit::from_double(bn->gamma().value[ci], spec);
+        const std::uint32_t scale = posit::mul(g, posit::from_double(inv_std, spec), spec);
+        const std::uint32_t mean = posit::from_double(bn->running_mean()[ci], spec);
+        const std::uint32_t beta = posit::from_double(bn->beta().value[ci], spec);
+        for (std::size_t ni = 0; ni < n; ++ni) {
+          float* row = h.data() + (ni * c + ci) * plane;
+          for (std::size_t p = 0; p < plane; ++p) {
+            const std::uint32_t xv = posit::from_double(row[p], spec);
+            const std::uint32_t centered = posit::sub(xv, mean, spec);
+            const std::uint32_t scaled = posit::fma(centered, scale, beta, spec);
+            row[p] = static_cast<float>(posit::to_double(scaled, spec));
+          }
+        }
+      }
+    } else if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+      h.apply([](float v) { return v > 0.0f ? v : 0.0f; });  // exact on posit values
+    } else if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
+      std::vector<std::size_t> argmax;
+      h = tensor::maxpool2x2_forward(h, argmax);  // comparisons only: exact
+    } else if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
+      // Average = quire sum then posit division by the (exact) plane count.
+      const PositSpec& spec = cfg.conv.forward;
+      const std::size_t n = h.shape()[0], c = h.shape()[1];
+      const std::size_t plane = h.shape()[2] * h.shape()[3];
+      posit::Quire quire(spec);
+      Tensor pooled({n, c});
+      const std::uint32_t divisor = posit::from_double(static_cast<double>(plane), spec);
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        for (std::size_t ci = 0; ci < c; ++ci) {
+          quire.clear();
+          const float* src = h.data() + (ni * c + ci) * plane;
+          for (std::size_t p = 0; p < plane; ++p) quire.add_posit(posit::from_double(src[p], spec));
+          const std::uint32_t sum = quire.to_posit();
+          pooled.at(ni, ci) = static_cast<float>(posit::to_double(posit::div(sum, divisor, spec), spec));
+        }
+      }
+      h = pooled;
+    } else {
+      throw std::invalid_argument("posit_forward: unsupported layer '" + m.name() + "' (" +
+                                  typeid(m).name() + ")");
+    }
+  }
+  return h;
+}
+
+}  // namespace pdnn::quant

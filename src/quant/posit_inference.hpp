@@ -1,0 +1,49 @@
+// posit_inference.hpp — TRUE posit-arithmetic inference.
+//
+// The training stack simulates posit numerics in FP32 (as the paper's PyTorch
+// implementation does): tensors are snapped onto the posit grid but the
+// multiply-accumulates still run in FP32. This module closes the loop by
+// executing the forward pass with genuine posit arithmetic — every operand is
+// an (n, es) code and every sum is accumulated either
+//   * kQuire  — exactly, in a quire, one rounding per dot product
+//               (Deep Positron's EMAC, referenced by the paper), or
+//   * kSerial — with a rounded posit add per term (a plain posit ALU), or
+//   * kFma    — with a fused multiply-add chain (one rounding per term,
+//               the behavior of the paper's Fig. 4 MAC pipeline).
+// Comparing these against the FP32-simulated quantized forward measures the
+// emulation fidelity of the training methodology.
+#pragma once
+
+#include "nn/layers.hpp"
+#include "posit/quire.hpp"
+#include "quant/policy.hpp"
+
+namespace pdnn::quant {
+
+enum class AccumMode {
+  kQuire,   ///< exact accumulation, single final rounding
+  kSerial,  ///< round after every add
+  kFma,     ///< fused multiply-add chain: round(a*b + acc) per term
+};
+
+/// Dense posit matrix-vector building block: y = x W^T + b, all posit.
+/// x is [N, in], w is [out, in], bias optional ([out] or empty).
+tensor::Tensor posit_linear(const tensor::Tensor& x, const tensor::Tensor& w, const tensor::Tensor& bias,
+                            const posit::PositSpec& spec, AccumMode mode);
+
+/// Posit convolution: input [N,C,H,W], weight [O,I,K,K].
+tensor::Tensor posit_conv2d(const tensor::Tensor& x, const tensor::Tensor& w,
+                            const tensor::Conv2dGeom& geom, const posit::PositSpec& spec, AccumMode mode);
+
+/// Run a full eval-mode forward pass of a Sequential built from the layer
+/// types in this library (Conv2d, BatchNorm2d, ReLU, pooling, Linear,
+/// ResidualBlock are NOT yet supported — see limitations) using true posit
+/// arithmetic with the per-layer-class formats of `cfg`.
+///
+/// Supported topologies: mlp() (Linear/ReLU chains) and plain_cnn()
+/// (Conv2d/BatchNorm2d/ReLU/MaxPool/GlobalAvgPool/Linear). Throws
+/// std::invalid_argument on unsupported children.
+tensor::Tensor posit_forward(nn::Sequential& net, const tensor::Tensor& x, const QuantConfig& cfg,
+                             AccumMode mode);
+
+}  // namespace pdnn::quant

@@ -1,0 +1,46 @@
+// posit_transform.hpp — the paper's Algorithm 1: P_{n,es}(x).
+//
+// Transforms an FP32 real into the value of its (n, es) posit representation
+// under round-toward-zero, with two paper-specific semantics that differ from
+// standard posit rounding:
+//   * |x| < minpos flushes to ZERO (Algorithm 1 lines 3-4), whereas standard
+//     posit rounding never underflows;
+//   * magnitudes are clipped into [minpos, maxpos] before encoding (line 7).
+// Known paper typo: line 17 reads fb = min{n-1-rb-eb, 0}; a width cannot be
+// negative, and Table I confirms the intent is max{., 0}. We implement max.
+//
+// Two implementations are provided: a literal transcription of Algorithm 1
+// (reference, double-mediated) and a fast float-bit path used in training
+// loops. They are bit-identical (see tests/quant/transform_test.cpp), and both
+// agree with posit::from_double(kTowardZero) + to_double modulo the underflow
+// rule above.
+#pragma once
+
+#include "posit/codec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::quant {
+
+using posit::PositSpec;
+
+/// Literal Algorithm 1: returns the real value of the posit px.
+double posit_transform_reference(double x, const PositSpec& spec);
+
+/// Fast path for training loops (identical results on float inputs).
+float posit_transform(float x, const PositSpec& spec);
+
+/// Element-wise in-place transform of a tensor: A_p = P(A).
+void transform_inplace(tensor::Tensor& t, const PositSpec& spec);
+
+/// Eq. (3): px = P(x / Sf) * Sf with Sf = 2^shift (exact power-of-two scaling).
+float posit_transform_scaled(float x, const PositSpec& spec, int shift);
+
+/// Element-wise in-place Eq. (3) over a tensor.
+void transform_scaled_inplace(tensor::Tensor& t, const PositSpec& spec, int shift);
+
+/// Variants with selectable rounding (ablation benches); the paper's choice is
+/// round-toward-zero because it is the cheapest in hardware (Section III-A).
+void transform_inplace_rounded(tensor::Tensor& t, const PositSpec& spec, posit::RoundMode mode,
+                               posit::RoundingRng* rng, int shift);
+
+}  // namespace pdnn::quant

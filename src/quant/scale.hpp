@@ -1,0 +1,24 @@
+// scale.hpp — the paper's distribution-based shifting (Eq. 2 / Eq. 3).
+//
+//   center = round(mean(log2|x|)) over the tensor's non-zero elements
+//   Sf     = 2^(center + sigma),  sigma = 2 in the paper
+//   px     = P(x / Sf) * Sf
+//
+// Dividing by Sf moves the bulk of the distribution to magnitude 2^-sigma,
+// just below 1, where the posit fraction field is widest; the +sigma bias
+// deliberately favors the LARGE values of the tensor (Han et al.: large
+// weights matter more), placing them at magnitude ~1.
+#pragma once
+
+#include "tensor/stats.hpp"
+
+namespace pdnn::quant {
+
+inline constexpr int kPaperSigma = 2;  ///< "set as 2 in our experiments"
+
+/// Eq. (2) exponent: center + sigma, so that Sf = 2^shift.
+inline int scale_shift(const tensor::Tensor& x, int sigma = kPaperSigma) {
+  return tensor::log2_center(x) + sigma;
+}
+
+}  // namespace pdnn::quant

@@ -1,0 +1,260 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace pdnn::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor c({a.shape()[0], b.shape()[1]});
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  if (b.shape()[0] != k || c.shape()[0] != m || c.shape()[1] != n) {
+    throw std::invalid_argument("matmul: shape mismatch " + a.shape().to_string() + " x " +
+                                b.shape().to_string() + " -> " + c.shape().to_string());
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j order: the inner loop is a saxpy over a row of B, which the
+  // compiler auto-vectorizes and which streams memory sequentially.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  const std::size_t m = a.shape()[0], n = a.shape()[1];
+  Tensor t({n, m});
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+void im2col(const float* img, const Conv2dGeom& g, float* cols) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t plane = g.in_h * g.in_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out = cols + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(g.in_h)) {
+            std::memset(out + y * ow, 0, ow * sizeof(float));
+            continue;
+          }
+          const float* src = img + c * plane + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long ix = static_cast<long>(x * g.stride + kx) - static_cast<long>(g.pad);
+            out[y * ow + x] = (ix < 0 || ix >= static_cast<long>(g.in_w)) ? 0.0f : src[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const Conv2dGeom& g, float* img) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t plane = g.in_h * g.in_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in = cols + row * (oh * ow);
+        for (std::size_t y = 0; y < oh; ++y) {
+          const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long>(g.in_h)) continue;
+          float* dst = img + c * plane + static_cast<std::size_t>(iy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const long ix = static_cast<long>(x * g.stride + kx) - static_cast<long>(g.pad);
+            if (ix >= 0 && ix < static_cast<long>(g.in_w)) dst[ix] += in[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g) {
+  const std::size_t batch = input.shape()[0];
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t patch = g.in_c * g.kernel * g.kernel;
+  Tensor out({batch, g.out_c, oh, ow});
+  Tensor cols({patch, oh * ow});
+  const Tensor w2d = weight.reshaped({g.out_c, patch});
+  Tensor out2d({g.out_c, oh * ow});
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    im2col(input.data() + nidx * g.in_c * g.in_h * g.in_w, g, cols.data());
+    out2d.fill(0.0f);
+    matmul_acc(w2d, cols, out2d);
+    std::memcpy(out.data() + nidx * g.out_c * oh * ow, out2d.data(), out2d.numel() * sizeof(float));
+  }
+  return out;
+}
+
+Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                       const Conv2dGeom& g, Tensor& grad_weight) {
+  const std::size_t batch = input.shape()[0];
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t patch = g.in_c * g.kernel * g.kernel;
+  const Tensor w2d = weight.reshaped({g.out_c, patch});
+  const Tensor w2d_t = transpose(w2d);  // [patch, out_c]
+
+  Tensor grad_input({batch, g.in_c, g.in_h, g.in_w});
+  Tensor cols({patch, oh * ow});
+  Tensor grad_cols({patch, oh * ow});
+  Tensor gw2d = grad_weight.reshaped({g.out_c, patch});  // accumulate here, copy back below
+  Tensor gout2d({g.out_c, oh * ow});
+
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    const float* go = grad_out.data() + nidx * g.out_c * oh * ow;
+    std::memcpy(gout2d.data(), go, gout2d.numel() * sizeof(float));
+
+    // dW += dY * cols^T  (computed as (dY[o,:] . cols[p,:]) pairs)
+    im2col(input.data() + nidx * g.in_c * g.in_h * g.in_w, g, cols.data());
+    for (std::size_t o = 0; o < g.out_c; ++o) {
+      const float* gr = gout2d.data() + o * oh * ow;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float* cr = cols.data() + p * oh * ow;
+        float acc = 0.0f;
+        for (std::size_t t = 0; t < oh * ow; ++t) acc += gr[t] * cr[t];
+        gw2d.at(o, p) += acc;
+      }
+    }
+
+    // dX = col2im(W^T * dY)
+    grad_cols.fill(0.0f);
+    matmul_acc(w2d_t, gout2d, grad_cols);
+    col2im(grad_cols.data(), g, grad_input.data() + nidx * g.in_c * g.in_h * g.in_w);
+  }
+  std::memcpy(grad_weight.data(), gw2d.data(), gw2d.numel() * sizeof(float));
+  return grad_input;
+}
+
+Tensor maxpool2x2_forward(const Tensor& input, std::vector<std::size_t>& argmax) {
+  const std::size_t n = input.shape()[0], c = input.shape()[1], h = input.shape()[2], w = input.shape()[3];
+  const std::size_t oh = h / 2, ow = w / 2;
+  Tensor out({n, c, oh, ow});
+  argmax.assign(out.numel(), 0);
+  std::size_t oi = 0;
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci)
+      for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy)
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx = ((ni * c + ci) * h + 2 * y + dy) * w + 2 * x + dx;
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          out[oi] = best;
+          argmax[oi] = best_idx;
+        }
+  return out;
+}
+
+Tensor maxpool2x2_backward(const Tensor& grad_out, const std::vector<std::size_t>& argmax,
+                           const Shape& input_shape) {
+  Tensor grad_input(input_shape);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) grad_input[argmax[i]] += grad_out[i];
+  return grad_input;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  const std::size_t n = input.shape()[0], c = input.shape()[1];
+  const std::size_t plane = input.shape()[2] * input.shape()[3];
+  Tensor out({n, c});
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float* src = input.data() + (ni * c + ci) * plane;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < plane; ++i) acc += src[i];
+      out.at(ni, ci) = acc / static_cast<float>(plane);
+    }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_out, const Shape& input_shape) {
+  Tensor grad_input(input_shape);
+  const std::size_t n = input_shape[0], c = input_shape[1];
+  const std::size_t plane = input_shape[2] * input_shape[3];
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float g = grad_out.at(ni, ci) * inv;
+      float* dst = grad_input.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = g;
+    }
+  return grad_input;
+}
+
+Tensor softmax(const Tensor& logits) {
+  const std::size_t n = logits.shape()[0], k = logits.shape()[1];
+  Tensor out({n, k});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    float* orow = out.data() + i * k;
+    const float mx = *std::max_element(row, row + k);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < k; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels, Tensor* grad_logits) {
+  const std::size_t n = logits.shape()[0], k = logits.shape()[1];
+  const Tensor probs = softmax(logits);
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p = std::max(probs[i * k + static_cast<std::size_t>(labels[i])], 1e-12f);
+    loss -= std::log(p);
+  }
+  loss /= static_cast<float>(n);
+  if (grad_logits != nullptr) {
+    *grad_logits = probs;
+    const float inv = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = grad_logits->data() + i * k;
+      row[static_cast<std::size_t>(labels[i])] -= 1.0f;
+      for (std::size_t j = 0; j < k; ++j) row[j] *= inv;
+    }
+  }
+  return loss;
+}
+
+std::size_t count_correct(const Tensor& logits, const std::vector<int>& labels) {
+  const std::size_t n = logits.shape()[0], k = logits.shape()[1];
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    const std::size_t arg = static_cast<std::size_t>(std::max_element(row, row + k) - row);
+    if (static_cast<int>(arg) == labels[i]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace pdnn::tensor

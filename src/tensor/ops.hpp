@@ -1,0 +1,63 @@
+// ops.hpp — dense kernels: matmul, im2col convolution, pooling, softmax.
+//
+// Layouts follow the usual deep-learning conventions: activations are NCHW,
+// convolution weights are OIHW, matrices are row-major [rows, cols].
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pdnn::tensor {
+
+/// C[m,n] = A[m,k] * B[k,n]. Blocked i-k-j loop order (streams B rows).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C[m,n] += A[m,k] * B[k,n] without reallocating C.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// B[n,m] = A[m,n]^T.
+Tensor transpose(const Tensor& a);
+
+/// Geometry of a 2-d convolution / pooling window.
+struct Conv2dGeom {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t out_c = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t pad = 1;
+  std::size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// Unfold one image [C,H,W] into columns [C*K*K, out_h*out_w].
+void im2col(const float* img, const Conv2dGeom& g, float* cols);
+/// Fold columns back, accumulating overlaps (adjoint of im2col).
+void col2im(const float* cols, const Conv2dGeom& g, float* img);
+
+/// Forward convolution: input [N,C,H,W], weight [O,I,K,K] -> [N,O,H',W'].
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g);
+
+/// Gradients of conv2d. `grad_out` is [N,O,H',W'].
+/// Returns grad wrt input; accumulates weight gradient into `grad_weight`.
+Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
+                       const Conv2dGeom& g, Tensor& grad_weight);
+
+/// 2x2 max pooling with stride 2. Records argmax indices for backward.
+Tensor maxpool2x2_forward(const Tensor& input, std::vector<std::size_t>& argmax);
+Tensor maxpool2x2_backward(const Tensor& grad_out, const std::vector<std::size_t>& argmax,
+                           const Shape& input_shape);
+
+/// Global average pool [N,C,H,W] -> [N,C].
+Tensor global_avgpool_forward(const Tensor& input);
+Tensor global_avgpool_backward(const Tensor& grad_out, const Shape& input_shape);
+
+/// Row-wise softmax of logits [N, classes].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy of logits [N, classes] against integer labels;
+/// also emits dLogits (already divided by N).
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels, Tensor* grad_logits);
+
+/// Count of argmax(logits) == label.
+std::size_t count_correct(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace pdnn::tensor

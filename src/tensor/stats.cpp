@@ -1,0 +1,128 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdnn::tensor {
+
+Moments moments(const Tensor& t) {
+  Moments m;
+  m.count = t.numel();
+  if (m.count == 0) return m;
+  double sum = 0.0, sum_sq = 0.0;
+  m.min = std::numeric_limits<double>::infinity();
+  m.max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = t[i];
+    sum += v;
+    sum_sq += v * v;
+    m.min = std::min(m.min, v);
+    m.max = std::max(m.max, v);
+  }
+  m.mean = sum / static_cast<double>(m.count);
+  const double var = std::max(0.0, sum_sq / static_cast<double>(m.count) - m.mean * m.mean);
+  m.stddev = std::sqrt(var);
+  return m;
+}
+
+namespace {
+
+/// Fast log2|x| for the Eq. (2) statistic: exponent via frexp plus a
+/// quadratic approximation of log2 on the mantissa. Exact at powers of two,
+/// max error ~0.01 — far below the integer rounding Eq. (2) applies, and this
+/// statistic is recomputed for every tensor of every batch in training.
+inline double fast_log2_abs(float v) {
+  int e = 0;
+  const float m = std::frexp(std::fabs(v), &e);  // m in [0.5, 1)
+  const double u = 2.0 * m - 1.0;                // in [0, 1)
+  return (e - 1) + u * (4.0 / 3.0 - u / 3.0);
+}
+
+}  // namespace
+
+double log2_mean(const Tensor& t) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    if (t[i] != 0.0f) {
+      sum += fast_log2_abs(t[i]);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+int log2_center(const Tensor& t) {
+  return static_cast<int>(std::lround(log2_mean(t)));
+}
+
+double log2_range(const Tensor& t) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = std::fabs(t[i]);
+    if (v > 0.0) {
+      const double l = std::log2(v);
+      lo = std::min(lo, l);
+      hi = std::max(hi, l);
+    }
+  }
+  return hi < lo ? 0.0 : hi - lo;
+}
+
+namespace {
+
+Histogram build_histogram(double lo, double hi, std::size_t bins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  return h;
+}
+
+void insert(Histogram& h, double v) {
+  if (v < h.lo) {
+    ++h.underflow;
+  } else if (v >= h.hi) {
+    ++h.overflow;
+  } else {
+    const auto bin = static_cast<std::size_t>((v - h.lo) / h.bin_width());
+    ++h.counts[std::min(bin, h.counts.size() - 1)];
+  }
+}
+
+}  // namespace
+
+Histogram histogram(const Tensor& t, double lo, double hi, std::size_t bins) {
+  Histogram h = build_histogram(lo, hi, bins);
+  for (std::size_t i = 0; i < t.numel(); ++i) insert(h, t[i]);
+  return h;
+}
+
+Histogram log2_histogram(const Tensor& t, double lo, double hi, std::size_t bins) {
+  Histogram h = build_histogram(lo, hi, bins);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = std::fabs(t[i]);
+    if (v > 0.0) insert(h, std::log2(v));
+  }
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, std::size_t bar_width) {
+  const std::size_t peak = h.counts.empty() ? 0 : *std::max_element(h.counts.begin(), h.counts.end());
+  std::string out;
+  char label[64];
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double left = h.lo + static_cast<double>(i) * h.bin_width();
+    std::snprintf(label, sizeof(label), "%9.3f | ", left);
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0 : (h.counts[i] * bar_width + peak / 2) / peak;
+    out.append(bar, '#');
+    out += "  " + std::to_string(h.counts[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pdnn::tensor

@@ -1,0 +1,58 @@
+// stats.hpp — distribution statistics used by the paper.
+//
+// Eq. (2) of the paper computes a layer-wise scaling factor from the center of
+// the data distribution in log2 domain; Fig. 2 plots linear and log-domain
+// histograms of weights over training. Both live here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pdnn::tensor {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / stddev / min / max over all elements.
+Moments moments(const Tensor& t);
+
+/// round(mean(log2|x|)) over non-zero elements — the `center` of Eq. (2).
+/// Returns 0 when the tensor has no non-zero element.
+int log2_center(const Tensor& t);
+
+/// mean(log2|x|) over non-zero elements, unrounded (for diagnostics).
+double log2_mean(const Tensor& t);
+
+/// Difference max(log2|x|) - min(log2|x|) over non-zero elements: the
+/// "distribution range in log domain" the paper uses to motivate per-kind es
+/// (Section III-B, "Adjust Dynamic Range").
+double log2_range(const Tensor& t);
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t underflow = 0;
+  std::size_t overflow = 0;
+  double bin_width() const { return (hi - lo) / static_cast<double>(counts.size()); }
+};
+
+/// Linear-domain histogram of element values in [lo, hi) with `bins` buckets.
+Histogram histogram(const Tensor& t, double lo, double hi, std::size_t bins);
+
+/// Histogram of log2|x| of non-zero elements.
+Histogram log2_histogram(const Tensor& t, double lo, double hi, std::size_t bins);
+
+/// ASCII rendering (one line per bucket with a proportional bar), for the
+/// Fig. 2 reproduction bench.
+std::string render_histogram(const Histogram& h, std::size_t bar_width = 50);
+
+}  // namespace pdnn::tensor

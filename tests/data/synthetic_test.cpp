@@ -1,0 +1,130 @@
+// synthetic_test.cpp — dataset generators: determinism, balance, learnability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "tensor/stats.hpp"
+
+namespace pdnn::data {
+namespace {
+
+TEST(SynthCifar, ShapesAndBalance) {
+  SynthCifarConfig cfg;
+  cfg.classes = 10;
+  cfg.train_per_class = 12;
+  cfg.test_per_class = 5;
+  cfg.height = cfg.width = 16;
+  const auto tt = make_synth_cifar(cfg);
+  EXPECT_EQ(tt.train.size(), 120u);
+  EXPECT_EQ(tt.test.size(), 50u);
+  EXPECT_EQ(tt.train.images.shape(), (tensor::Shape{120, 3, 16, 16}));
+  std::vector<int> counts(10, 0);
+  for (const int y : tt.train.labels) ++counts[static_cast<std::size_t>(y)];
+  for (const int c : counts) EXPECT_EQ(c, 12);
+}
+
+TEST(SynthCifar, Standardized) {
+  SynthCifarConfig cfg;
+  cfg.train_per_class = 20;
+  const auto tt = make_synth_cifar(cfg);
+  const auto m = tensor::moments(tt.train.images);
+  EXPECT_NEAR(m.mean, 0.0, 0.02);
+  EXPECT_NEAR(m.stddev, 1.0, 0.02);
+}
+
+TEST(SynthCifar, DeterministicGivenSeed) {
+  SynthCifarConfig cfg;
+  cfg.train_per_class = 5;
+  const auto a = make_synth_cifar(cfg);
+  const auto b = make_synth_cifar(cfg);
+  ASSERT_EQ(a.train.images.numel(), b.train.images.numel());
+  for (std::size_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  cfg.seed += 1;
+  const auto c = make_synth_cifar(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train.images.numel() && !any_diff; ++i) {
+    any_diff = a.train.images[i] != c.train.images[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthCifar, ClassesAreStatisticallyDistinct) {
+  // Nearest-centroid classification on raw pixels should beat chance
+  // substantially (structure exists), but not reach ~100% (noise + shifts
+  // keep the task non-trivial for a linear rule).
+  SynthCifarConfig cfg;
+  cfg.classes = 10;
+  cfg.train_per_class = 40;
+  cfg.test_per_class = 20;
+  cfg.height = cfg.width = 12;
+  const auto tt = make_synth_cifar(cfg);
+  const std::size_t dim = 3u * 12u * 12u;
+
+  std::vector<std::vector<double>> centroids(10, std::vector<double>(dim, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const int y = tt.train.labels[i];
+    ++counts[static_cast<std::size_t>(y)];
+    for (std::size_t d = 0; d < dim; ++d)
+      centroids[static_cast<std::size_t>(y)][d] += tt.train.images[i * dim + d];
+  }
+  for (std::size_t c = 0; c < 10; ++c)
+    for (auto& v : centroids[c]) v /= counts[c];
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < tt.test.size(); ++i) {
+    double best = 1e300;
+    int arg = -1;
+    for (int c = 0; c < 10; ++c) {
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = tt.test.images[i * dim + d] - centroids[static_cast<std::size_t>(c)][d];
+        d2 += diff * diff;
+      }
+      if (d2 < best) {
+        best = d2;
+        arg = c;
+      }
+    }
+    if (arg == tt.test.labels[i]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / static_cast<double>(tt.test.size());
+  EXPECT_GT(acc, 0.2) << "structure should beat 10% chance";
+}
+
+TEST(TwoMoons, ShapesAndSeparability) {
+  const auto tt = make_two_moons(100, 0.05f, 3);
+  EXPECT_EQ(tt.train.size(), 200u);
+  EXPECT_EQ(tt.train.images.shape()[1], 2u);
+  EXPECT_EQ(tt.train.classes, 2u);
+  // With tiny noise the moons barely overlap: check the means differ.
+  double m0 = 0.0, m1 = 0.0;
+  int c0 = 0, c1 = 0;
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    if (tt.train.labels[i] == 0) {
+      m0 += tt.train.images.at(i, 1);
+      ++c0;
+    } else {
+      m1 += tt.train.images.at(i, 1);
+      ++c1;
+    }
+  }
+  EXPECT_GT(m0 / c0, m1 / c1);
+}
+
+TEST(Spirals, ShapesAndClasses) {
+  const auto tt = make_spirals(3, 60, 0.02f, 5);
+  EXPECT_EQ(tt.train.size(), 180u);
+  EXPECT_EQ(tt.train.classes, 3u);
+  int seen[3] = {0, 0, 0};
+  for (const int y : tt.train.labels) ++seen[y];
+  EXPECT_EQ(seen[0], 60);
+  EXPECT_EQ(seen[1], 60);
+  EXPECT_EQ(seen[2], 60);
+}
+
+}  // namespace
+}  // namespace pdnn::data

@@ -1,0 +1,80 @@
+// accel_model_test.cpp — the accelerator traffic/energy model.
+#include <gtest/gtest.h>
+
+#include "hw/accel_model.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+TEST(LayerGeom, CountsMatchHandComputation) {
+  // 3x3 conv, 16->32 channels, 32x32, stride 1.
+  const LayerGeom g{"l", 16, 32, 32, 32, 3, 1};
+  EXPECT_EQ(g.weight_count(), 32u * 16 * 9);
+  EXPECT_EQ(g.activation_count(), 32u * 32 * 32);
+  EXPECT_EQ(g.input_count(), 16u * 32 * 32);
+  EXPECT_EQ(g.forward_macs(), 32u * 32 * 32 * 16 * 9);
+  // Strided layer halves the output plane.
+  const LayerGeom s{"s", 16, 32, 32, 32, 3, 2};
+  EXPECT_EQ(s.out_h(), 16u);
+  EXPECT_EQ(s.forward_macs(), 32u * 16 * 16 * 16 * 9);
+}
+
+TEST(ResNet18Geometry, PlausibleTotals) {
+  const auto net = cifar_resnet18_geometry();
+  EXPECT_GE(net.size(), 14u);  // conv1 + 12 block convs + downsamples + fc
+  double total_fwd = 0.0, total_params = 0.0;
+  for (const auto& l : net) {
+    total_fwd += static_cast<double>(l.forward_macs());
+    total_params += static_cast<double>(l.weight_count());
+  }
+  // Cifar-ResNet-18(16ch) is ~0.27M params / ~40M MACs per image.
+  EXPECT_GT(total_params, 1e5);
+  EXPECT_LT(total_params, 1e6);
+  EXPECT_GT(total_fwd, 1e7);
+  EXPECT_LT(total_fwd, 1e8);
+}
+
+TEST(TrainingStepCost, TrafficScalesWithBits) {
+  const auto net = cifar_resnet18_geometry();
+  EnergyParams p32, p16, p8;
+  p32.bits_per_value = 32;
+  p16.bits_per_value = 16;
+  p8.bits_per_value = 8;
+  p32.mac_energy_pj = p16.mac_energy_pj = p8.mac_energy_pj = 1.0;
+  const auto c32 = training_step_cost(net, p32);
+  const auto c16 = training_step_cost(net, p16);
+  const auto c8 = training_step_cost(net, p8);
+  // The 2-4x communication claim, exactly.
+  EXPECT_DOUBLE_EQ(c32.traffic_bits / c16.traffic_bits, 2.0);
+  EXPECT_DOUBLE_EQ(c32.traffic_bits / c8.traffic_bits, 4.0);
+  // MAC counts are format independent.
+  EXPECT_DOUBLE_EQ(c32.mac_count, c8.mac_count);
+  // Memory energy scales with bits; compute does not.
+  EXPECT_NEAR(c32.dram_energy_uj / c8.dram_energy_uj, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(c32.compute_energy_uj, c8.compute_energy_uj);
+}
+
+TEST(TrainingStepCost, CheaperMacMeansCheaperCompute) {
+  const auto net = cifar_resnet18_geometry();
+  EnergyParams expensive, cheap;
+  expensive.mac_energy_pj = 3.0;
+  cheap.mac_energy_pj = 0.7;
+  const auto ce = training_step_cost(net, expensive);
+  const auto cc = training_step_cost(net, cheap);
+  EXPECT_NEAR(ce.compute_energy_uj / cc.compute_energy_uj, 3.0 / 0.7, 1e-9);
+  EXPECT_DOUBLE_EQ(ce.dram_energy_uj, cc.dram_energy_uj);
+}
+
+TEST(TrainingStepCost, BackwardCostsRoughlyTwiceForward) {
+  const auto net = cifar_resnet18_geometry();
+  double fwd = 0.0;
+  for (const auto& l : net) fwd += static_cast<double>(l.forward_macs());
+  EnergyParams p;
+  p.mac_energy_pj = 1.0;
+  const auto c = training_step_cost(net, p);
+  EXPECT_GT(c.mac_count, 2.9 * fwd);
+  EXPECT_LT(c.mac_count, 3.2 * fwd);
+}
+
+}  // namespace
+}  // namespace pdnn::hw

@@ -1,0 +1,334 @@
+// components_test.cpp — netlist primitives and arithmetic blocks vs software.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/analysis.hpp"
+#include "hw/components.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+// Helper: run a single-output-bus netlist on a packed input value.
+std::uint64_t run(const Netlist& nl, const std::vector<std::uint8_t>& inputs) {
+  return nl.outputs_as_u64(nl.evaluate(inputs));
+}
+
+std::vector<std::uint8_t> pack_bits(std::uint64_t v, int width) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1u;
+  return out;
+}
+
+TEST(NetlistBasics, GatesEvaluate) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  nl.mark_output(nl.land(a, b), "and");
+  nl.mark_output(nl.lor(a, b), "or");
+  nl.mark_output(nl.lxor(a, b), "xor");
+  nl.mark_output(nl.lnand(a, b), "nand");
+  nl.mark_output(nl.lnor(a, b), "nor");
+  nl.mark_output(nl.lxnor(a, b), "xnor");
+  nl.mark_output(nl.lnot(a), "not");
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      const auto vals = nl.evaluate({static_cast<std::uint8_t>(av), static_cast<std::uint8_t>(bv)});
+      const std::uint64_t out = nl.outputs_as_u64(vals);
+      EXPECT_EQ((out >> 0) & 1u, static_cast<unsigned>(av & bv));
+      EXPECT_EQ((out >> 1) & 1u, static_cast<unsigned>(av | bv));
+      EXPECT_EQ((out >> 2) & 1u, static_cast<unsigned>(av ^ bv));
+      EXPECT_EQ((out >> 3) & 1u, static_cast<unsigned>(!(av & bv)));
+      EXPECT_EQ((out >> 4) & 1u, static_cast<unsigned>(!(av | bv)));
+      EXPECT_EQ((out >> 5) & 1u, static_cast<unsigned>(!(av ^ bv)));
+      EXPECT_EQ((out >> 6) & 1u, static_cast<unsigned>(!av));
+    }
+  }
+}
+
+TEST(NetlistBasics, MuxSelects) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId s = nl.input("s");
+  nl.mark_output(nl.mux(s, a, b), "out");
+  EXPECT_EQ(run(nl, {1, 0, 0}), 1u);  // sel=0 -> a
+  EXPECT_EQ(run(nl, {1, 0, 1}), 0u);  // sel=1 -> b
+}
+
+TEST(NetlistBasics, ConstantFolding) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const std::size_t before = nl.gate_count();
+  // All of these fold away without emitting logic cells.
+  (void)nl.land(a, nl.constant(true));
+  (void)nl.lor(a, nl.constant(false));
+  (void)nl.lxor(a, nl.constant(false));
+  (void)nl.mux(nl.constant(false), a, nl.constant(true));
+  EXPECT_EQ(nl.gate_count(), before);
+}
+
+TEST(NetlistBasics, AreaAndGateCount) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  nl.mark_output(nl.land(a, b), "o");
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_DOUBLE_EQ(nl.total_area_um2(), cell_params(CellKind::kAnd2).area_um2);
+}
+
+TEST(RippleAdder, ExhaustiveSmall) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 4);
+  const SumCarry sc = ripple_adder(nl, a, b, nl.constant(false));
+  nl.mark_output_bus(sc.sum, "sum");
+  nl.mark_output(sc.carry_out, "cout");
+  for (std::uint64_t av = 0; av < 16; ++av) {
+    for (std::uint64_t bv = 0; bv < 16; ++bv) {
+      std::vector<std::uint8_t> in = pack_bits(av, 4);
+      const auto bbits = pack_bits(bv, 4);
+      in.insert(in.end(), bbits.begin(), bbits.end());
+      EXPECT_EQ(run(nl, in), av + bv) << av << "+" << bv;
+    }
+  }
+}
+
+TEST(Incrementer, Exhaustive) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const NetId inc = nl.input("inc");
+  nl.mark_output_bus(incrementer(nl, a, inc), "out");
+  for (std::uint64_t av = 0; av < 32; ++av) {
+    for (std::uint64_t iv = 0; iv < 2; ++iv) {
+      auto in = pack_bits(av, 5);
+      in.push_back(static_cast<std::uint8_t>(iv));
+      EXPECT_EQ(run(nl, in), (av + iv) & 31u);
+    }
+  }
+}
+
+TEST(Negate, TwosComplement) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  nl.mark_output_bus(negate(nl, a), "out");
+  for (std::uint64_t av = 0; av < 64; ++av) {
+    EXPECT_EQ(run(nl, pack_bits(av, 6)), (-av) & 63u);
+  }
+}
+
+TEST(ConditionalNegate, BothPolarities) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  const NetId s = nl.input("s");
+  nl.mark_output_bus(conditional_negate(nl, a, s), "out");
+  for (std::uint64_t av = 0; av < 64; ++av) {
+    auto in = pack_bits(av, 6);
+    in.push_back(0);
+    EXPECT_EQ(run(nl, in), av);
+    in.back() = 1;
+    EXPECT_EQ(run(nl, in), (-av) & 63u);
+  }
+}
+
+TEST(Subtract, Exhaustive) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const Bus b = nl.input_bus("b", 5);
+  nl.mark_output_bus(subtract(nl, a, b), "out");
+  for (std::uint64_t av = 0; av < 32; ++av) {
+    for (std::uint64_t bv = 0; bv < 32; ++bv) {
+      auto in = pack_bits(av, 5);
+      const auto bb = pack_bits(bv, 5);
+      in.insert(in.end(), bb.begin(), bb.end());
+      EXPECT_EQ(run(nl, in), (av - bv) & 31u);
+    }
+  }
+}
+
+TEST(Shifters, LeftAndRightExhaustive) {
+  Netlist nl;
+  const Bus in = nl.input_bus("in", 8);
+  const Bus amt = nl.input_bus("amt", 4);
+  nl.mark_output_bus(left_shifter(nl, in, amt), "left");
+  Netlist nr;
+  const Bus rin = nr.input_bus("in", 8);
+  const Bus ramt = nr.input_bus("amt", 4);
+  nr.mark_output_bus(right_shifter(nr, rin, ramt, nr.constant(false)), "right0");
+  Netlist nr1;
+  const Bus r1in = nr1.input_bus("in", 8);
+  const Bus r1amt = nr1.input_bus("amt", 4);
+  nr1.mark_output_bus(right_shifter(nr1, r1in, r1amt, nr1.constant(true)), "right1");
+
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 500; ++t) {
+    const std::uint64_t v = rng() & 0xFF;
+    const std::uint64_t s = rng() & 0xF;
+    auto mk = [&](std::uint64_t val, std::uint64_t sh) {
+      auto bits = pack_bits(val, 8);
+      const auto sb = pack_bits(sh, 4);
+      bits.insert(bits.end(), sb.begin(), sb.end());
+      return bits;
+    };
+    EXPECT_EQ(run(nl, mk(v, s)), s >= 8 ? 0 : (v << s) & 0xFF);
+    EXPECT_EQ(run(nr, mk(v, s)), s >= 8 ? 0 : v >> s);
+    const std::uint64_t fill_mask = s >= 8 ? 0xFF : (0xFFull << (8 - s)) & 0xFF;
+    EXPECT_EQ(run(nr1, mk(v, s)), s >= 8 ? 0xFF : ((v >> s) | fill_mask));
+  }
+}
+
+TEST(Lzd, AllWidthsExhaustive) {
+  for (int width : {1, 2, 3, 5, 7, 8, 15, 16}) {
+    Netlist nl;
+    const Bus in = nl.input_bus("in", width);
+    const LzdResult r = leading_zero_detector(nl, in);
+    nl.mark_output_bus(r.count, "count");
+    nl.mark_output(r.all_zero, "all_zero");
+    const std::uint64_t limit = width <= 12 ? (1ull << width) : 4096;
+    std::mt19937_64 rng(7);
+    for (std::uint64_t t = 0; t < limit; ++t) {
+      const std::uint64_t v = width <= 12 ? t : (rng() & ((1ull << width) - 1));
+      // Software count of leading zeros from the MSB.
+      int want = 0;
+      for (int i = width - 1; i >= 0 && ((v >> i) & 1u) == 0; --i) ++want;
+      const auto vals = nl.evaluate(pack_bits(v, width));
+      EXPECT_EQ(bus_value(r.count, vals), static_cast<std::uint64_t>(want)) << "w=" << width << " v=" << v;
+      EXPECT_EQ(vals[static_cast<std::size_t>(r.all_zero)], v == 0 ? 1 : 0);
+    }
+  }
+}
+
+TEST(Lod, CountsLeadingOnes) {
+  Netlist nl;
+  const Bus in = nl.input_bus("in", 7);
+  const LzdResult r = leading_one_detector(nl, in);
+  nl.mark_output_bus(r.count, "count");
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    int want = 0;
+    for (int i = 6; i >= 0 && ((v >> i) & 1u) == 1; --i) ++want;
+    const auto vals = nl.evaluate(pack_bits(v, 7));
+    EXPECT_EQ(bus_value(r.count, vals), static_cast<std::uint64_t>(want)) << v;
+  }
+}
+
+TEST(Multiplier, ExhaustiveSmallAndRandomLarge) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 4);
+  nl.mark_output_bus(array_multiplier(nl, a, b), "p");
+  for (std::uint64_t av = 0; av < 16; ++av) {
+    for (std::uint64_t bv = 0; bv < 16; ++bv) {
+      auto in = pack_bits(av, 4);
+      const auto bb = pack_bits(bv, 4);
+      in.insert(in.end(), bb.begin(), bb.end());
+      EXPECT_EQ(run(nl, in), av * bv);
+    }
+  }
+  Netlist big;
+  const Bus ba = big.input_bus("a", 12);
+  const Bus bb = big.input_bus("b", 12);
+  big.mark_output_bus(array_multiplier(big, ba, bb), "p");
+  std::mt19937_64 rng(11);
+  for (int t = 0; t < 300; ++t) {
+    const std::uint64_t av = rng() & 0xFFF;
+    const std::uint64_t bv = rng() & 0xFFF;
+    auto in = pack_bits(av, 12);
+    const auto b2 = pack_bits(bv, 12);
+    in.insert(in.end(), b2.begin(), b2.end());
+    EXPECT_EQ(run(big, in), av * bv);
+  }
+}
+
+TEST(Comparators, EqualsZeroAndLessThan) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 4);
+  nl.mark_output(equals_zero(nl, a), "ez");
+  nl.mark_output(less_than(nl, a, b), "lt");
+  for (std::uint64_t av = 0; av < 16; ++av) {
+    for (std::uint64_t bv = 0; bv < 16; ++bv) {
+      auto in = pack_bits(av, 4);
+      const auto b2 = pack_bits(bv, 4);
+      in.insert(in.end(), b2.begin(), b2.end());
+      const std::uint64_t out = run(nl, in);
+      EXPECT_EQ(out & 1u, av == 0 ? 1u : 0u);
+      EXPECT_EQ((out >> 1) & 1u, av < bv ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Timing, AdderChainScalesLinearly) {
+  const auto delay_of = [](int width) {
+    Netlist nl;
+    const Bus a = nl.input_bus("a", width);
+    const Bus b = nl.input_bus("b", width);
+    const SumCarry sc = ripple_adder(nl, a, b, nl.constant(false));
+    nl.mark_output_bus(sc.sum, "s");
+    nl.mark_output(sc.carry_out, "c");
+    return analyze_timing(nl).critical_delay_ns;
+  };
+  const double d8 = delay_of(8);
+  const double d16 = delay_of(16);
+  const double d32 = delay_of(32);
+  EXPECT_GT(d16, d8);
+  EXPECT_GT(d32, d16);
+  // Ripple growth is roughly linear in width.
+  EXPECT_NEAR((d32 - d16) / (d16 - d8), 2.0, 0.5);
+}
+
+TEST(Timing, ShifterScalesLogarithmically) {
+  const auto delay_of = [](int width, int amt_bits) {
+    Netlist nl;
+    const Bus in = nl.input_bus("in", width);
+    const Bus amt = nl.input_bus("amt", amt_bits);
+    nl.mark_output_bus(left_shifter(nl, in, amt), "o");
+    return analyze_timing(nl).critical_delay_ns;
+  };
+  // One extra stage per doubled width: constant increments.
+  const double d8 = delay_of(8, 3);
+  const double d16 = delay_of(16, 4);
+  const double d32 = delay_of(32, 5);
+  EXPECT_NEAR(d16 - d8, d32 - d16, 1e-9);
+}
+
+TEST(Power, ScalesWithActivityAndFrequency) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 8);
+  const Bus b = nl.input_bus("b", 8);
+  nl.mark_output_bus(array_multiplier(nl, a, b), "p");
+  const PowerReport p750 = analyze_power(nl, 750.0, 500);
+  const PowerReport p375 = analyze_power(nl, 375.0, 500);
+  EXPECT_GT(p750.dynamic_mw, 0.0);
+  EXPECT_NEAR(p750.dynamic_mw / p375.dynamic_mw, 2.0, 1e-6);
+  EXPECT_GT(p750.toggles_per_cycle, 0.0);
+  EXPECT_DOUBLE_EQ(p750.leakage_mw, p375.leakage_mw);
+}
+
+TEST(Power, BiggerCircuitsBurnMore) {
+  const auto power_of = [](int width) {
+    Netlist nl;
+    const Bus a = nl.input_bus("a", width);
+    const Bus b = nl.input_bus("b", width);
+    nl.mark_output_bus(array_multiplier(nl, a, b), "p");
+    return analyze_power(nl, 750.0, 500).total_mw();
+  };
+  EXPECT_GT(power_of(16), power_of(8));
+  EXPECT_GT(power_of(8), power_of(4));
+}
+
+TEST(Characterize, ReportFieldsPopulated) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  const Bus b = nl.input_bus("b", 6);
+  const SumCarry sc = ripple_adder(nl, a, b, nl.constant(false));
+  nl.mark_output_bus(sc.sum, "s");
+  const CircuitReport r = characterize(nl, "adder6", 750.0, 200);
+  EXPECT_EQ(r.name, "adder6");
+  EXPECT_GT(r.gates, 0u);
+  EXPECT_GT(r.area_um2, 0.0);
+  EXPECT_GT(r.delay_ns, 0.0);
+  EXPECT_GT(r.power_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace pdnn::hw

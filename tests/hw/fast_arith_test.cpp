@@ -1,0 +1,193 @@
+// fast_arith_test.cpp — log-depth arithmetic blocks vs their simple
+// counterparts, and netlist dead-logic elimination.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/analysis.hpp"
+#include "hw/components.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+std::vector<std::uint8_t> pack_bits(std::uint64_t v, int width) {
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) out[static_cast<std::size_t>(i)] = (v >> i) & 1u;
+  return out;
+}
+
+TEST(KoggeStone, ExhaustiveSmall) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 5);
+  const Bus b = nl.input_bus("b", 5);
+  const NetId cin = nl.input("cin");
+  const SumCarry sc = kogge_stone_adder(nl, a, b, cin);
+  nl.mark_output_bus(sc.sum, "sum");
+  nl.mark_output(sc.carry_out, "cout");
+  for (std::uint64_t av = 0; av < 32; ++av) {
+    for (std::uint64_t bv = 0; bv < 32; ++bv) {
+      for (std::uint64_t cv = 0; cv < 2; ++cv) {
+        auto in = pack_bits(av, 5);
+        const auto bb = pack_bits(bv, 5);
+        in.insert(in.end(), bb.begin(), bb.end());
+        in.push_back(static_cast<std::uint8_t>(cv));
+        const auto vals = nl.evaluate(in);
+        const std::uint64_t want = av + bv + cv;
+        ASSERT_EQ(bus_value(sc.sum, vals), want & 31u);
+        ASSERT_EQ(vals[static_cast<std::size_t>(sc.carry_out)], (want >> 5) & 1u);
+      }
+    }
+  }
+}
+
+TEST(KoggeStone, MatchesRippleOnRandomWide) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 32);
+  const Bus b = nl.input_bus("b", 32);
+  const SumCarry ks = kogge_stone_adder(nl, a, b, nl.constant(false));
+  const SumCarry rp = ripple_adder(nl, a, b, nl.constant(false));
+  nl.mark_output_bus(ks.sum, "ks");
+  nl.mark_output_bus(rp.sum, "rp");
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    const std::uint64_t av = rng() & 0xFFFFFFFFu;
+    const std::uint64_t bv = rng() & 0xFFFFFFFFu;
+    auto in = pack_bits(av, 32);
+    const auto bb = pack_bits(bv, 32);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto vals = nl.evaluate(in);
+    ASSERT_EQ(bus_value(ks.sum, vals), bus_value(rp.sum, vals));
+    ASSERT_EQ(bus_value(ks.sum, vals), (av + bv) & 0xFFFFFFFFu);
+  }
+}
+
+TEST(KoggeStone, LogDepthBeatsRippleDelay) {
+  const auto delay = [](bool kogge, int width) {
+    Netlist nl;
+    const Bus a = nl.input_bus("a", width);
+    const Bus b = nl.input_bus("b", width);
+    const SumCarry sc = kogge ? kogge_stone_adder(nl, a, b, nl.constant(false))
+                              : ripple_adder(nl, a, b, nl.constant(false));
+    nl.mark_output_bus(sc.sum, "s");
+    nl.mark_output(sc.carry_out, "c");
+    return analyze_timing(nl).critical_delay_ns;
+  };
+  EXPECT_LT(delay(true, 32), delay(false, 32) * 0.5);
+  EXPECT_LT(delay(true, 16), delay(false, 16));
+}
+
+TEST(PrefixIncrementer, MatchesRippleExhaustive) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 7);
+  const NetId inc = nl.input("inc");
+  nl.mark_output_bus(prefix_incrementer(nl, a, inc), "p");
+  nl.mark_output_bus(incrementer(nl, a, inc), "r");
+  for (std::uint64_t av = 0; av < 128; ++av) {
+    for (std::uint64_t iv = 0; iv < 2; ++iv) {
+      auto in = pack_bits(av, 7);
+      in.push_back(static_cast<std::uint8_t>(iv));
+      const auto vals = nl.evaluate(in);
+      const std::uint64_t out = nl.outputs_as_u64(vals);
+      ASSERT_EQ(out & 0x7Fu, (av + iv) & 0x7Fu);
+      ASSERT_EQ((out >> 7) & 0x7Fu, (av + iv) & 0x7Fu);
+    }
+  }
+}
+
+TEST(PrefixAndScan, Exhaustive) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 6);
+  nl.mark_output_bus(prefix_and_scan(nl, a), "p");
+  for (std::uint64_t av = 0; av < 64; ++av) {
+    const auto vals = nl.evaluate(pack_bits(av, 6));
+    const std::uint64_t out = nl.outputs_as_u64(vals);
+    std::uint64_t want = 0;
+    bool all = true;
+    for (int i = 0; i < 6; ++i) {
+      all = all && ((av >> i) & 1u);
+      want |= static_cast<std::uint64_t>(all) << i;
+    }
+    ASSERT_EQ(out, want) << av;
+  }
+}
+
+TEST(Wallace, MatchesArrayMultiplier) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 9);
+  const Bus b = nl.input_bus("b", 9);
+  nl.mark_output_bus(wallace_multiplier(nl, a, b), "w");
+  nl.mark_output_bus(array_multiplier(nl, a, b), "arr");
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 3000; ++t) {
+    const std::uint64_t av = rng() & 0x1FF;
+    const std::uint64_t bv = rng() & 0x1FF;
+    auto in = pack_bits(av, 9);
+    const auto bb = pack_bits(bv, 9);
+    in.insert(in.end(), bb.begin(), bb.end());
+    const auto vals = nl.evaluate(in);
+    const std::uint64_t out = nl.outputs_as_u64(vals);
+    ASSERT_EQ(out & 0x3FFFFu, av * bv);
+    ASSERT_EQ((out >> 18) & 0x3FFFFu, av * bv);
+  }
+}
+
+TEST(Wallace, ExhaustiveSmall) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 4);
+  nl.mark_output_bus(wallace_multiplier(nl, a, b), "w");
+  for (std::uint64_t av = 0; av < 16; ++av) {
+    for (std::uint64_t bv = 0; bv < 16; ++bv) {
+      auto in = pack_bits(av, 4);
+      const auto bb = pack_bits(bv, 4);
+      in.insert(in.end(), bb.begin(), bb.end());
+      ASSERT_EQ(nl.outputs_as_u64(nl.evaluate(in)), av * bv);
+    }
+  }
+}
+
+TEST(Wallace, FasterThanArrayForWideOperands) {
+  const auto delay = [](bool wallace) {
+    Netlist nl;
+    const Bus a = nl.input_bus("a", 16);
+    const Bus b = nl.input_bus("b", 16);
+    nl.mark_output_bus(wallace ? wallace_multiplier(nl, a, b) : array_multiplier(nl, a, b), "p");
+    return analyze_timing(nl).critical_delay_ns;
+  };
+  EXPECT_LT(delay(true), delay(false) * 0.6);
+}
+
+TEST(Prune, PreservesFunctionRemovesDeadLogic) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 8);
+  const Bus b = nl.input_bus("b", 8);
+  const SumCarry sum = ripple_adder(nl, a, b, nl.constant(false));
+  (void)array_multiplier(nl, a, b);  // dead: result never marked
+  nl.mark_output_bus(sum.sum, "s");
+
+  const Netlist pruned = nl.pruned();
+  EXPECT_LT(pruned.gate_count(), nl.gate_count() / 2) << "the multiplier must be eliminated";
+  EXPECT_EQ(pruned.inputs().size(), nl.inputs().size()) << "inputs preserved";
+
+  std::mt19937_64 rng(9);
+  for (int t = 0; t < 500; ++t) {
+    std::vector<std::uint8_t> in(16);
+    for (auto& v : in) v = static_cast<std::uint8_t>(rng() & 1u);
+    ASSERT_EQ(nl.outputs_as_u64(nl.evaluate(in)), pruned.outputs_as_u64(pruned.evaluate(in)));
+  }
+}
+
+TEST(Prune, TimingNeverWorsens) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 12);
+  const Bus b = nl.input_bus("b", 12);
+  const Bus p = wallace_multiplier(nl, a, b);
+  nl.mark_output_bus(Bus(p.begin(), p.begin() + 12), "low");  // only low half used
+  const double before = analyze_timing(nl).critical_delay_ns;
+  const Netlist pruned = nl.pruned();
+  EXPECT_LE(analyze_timing(pruned).critical_delay_ns, before + 1e-12);
+  EXPECT_LT(pruned.total_area_um2(), nl.total_area_um2());
+}
+
+}  // namespace
+}  // namespace pdnn::hw

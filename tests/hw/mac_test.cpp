@@ -1,0 +1,252 @@
+// mac_test.cpp — FP MAC and full posit MAC functional + cost-shape tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "hw/analysis.hpp"
+#include "hw/posit_mac.hpp"
+#include "posit/arith.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FP MAC functional model harness.
+// ---------------------------------------------------------------------------
+struct FpHarness {
+  FpFormat fmt;
+  Netlist nl;
+  FpOperand a, b, c;
+  FpResult z;
+
+  explicit FpHarness(FpFormat f) : fmt(f) {
+    const auto mk = [&](const std::string& name) {
+      FpOperand op;
+      op.sign = nl.input(name + "s");
+      op.is_zero = nl.input(name + "z");
+      op.exp = nl.input_bus(name + "e", fmt.exp_width);
+      op.frac = nl.input_bus(name + "f", fmt.frac_width);
+      return op;
+    };
+    a = mk("a");
+    b = mk("b");
+    c = mk("c");
+    z = build_fp_mac(nl, fmt, a, b, c);
+    nl.mark_output(z.sign, "zs");
+    nl.mark_output(z.is_zero, "zz");
+    nl.mark_output_bus(z.exp, "ze");
+    nl.mark_output_bus(z.frac, "zf");
+  }
+
+  // Encode a real value as (sign, exp, frac) — value must be representable.
+  static void encode(double v, const FpFormat& fmt, bool* sign, std::int64_t* exp, std::uint64_t* frac,
+                     bool* zero) {
+    if (v == 0.0) {
+      *zero = true;
+      *sign = false;
+      *exp = 0;
+      *frac = 0;
+      return;
+    }
+    *zero = false;
+    *sign = v < 0;
+    int e = 0;
+    const double m = std::frexp(std::fabs(v), &e);
+    *exp = e - 1;
+    *frac = static_cast<std::uint64_t>(std::ldexp(m, fmt.frac_width + 1)) & ((1ull << fmt.frac_width) - 1);
+  }
+
+  double run(double av, double bv, double cv) {
+    std::vector<std::uint8_t> in;
+    const auto push_op = [&](double v) {
+      bool s = false, zero = false;
+      std::int64_t e = 0;
+      std::uint64_t f = 0;
+      encode(v, fmt, &s, &e, &f, &zero);
+      in.push_back(s);
+      in.push_back(zero);
+      for (int i = 0; i < fmt.exp_width; ++i) in.push_back((static_cast<std::uint64_t>(e) >> i) & 1u);
+      for (int i = 0; i < fmt.frac_width; ++i) in.push_back((f >> i) & 1u);
+    };
+    push_op(av);
+    push_op(bv);
+    push_op(cv);
+    const auto vals = nl.evaluate(in);
+    if (vals[static_cast<std::size_t>(z.is_zero)]) return 0.0;
+    const bool s = vals[static_cast<std::size_t>(z.sign)] != 0;
+    std::uint64_t e = bus_value(z.exp, vals);
+    const int ew = static_cast<int>(z.exp.size());
+    if (e & (1ull << (ew - 1))) e |= ~((1ull << ew) - 1);
+    const std::uint64_t f = bus_value(z.frac, vals);
+    const double mant = 1.0 + std::ldexp(static_cast<double>(f), -fmt.frac_width);
+    const double mag = std::ldexp(mant, static_cast<int>(static_cast<std::int64_t>(e)));
+    return s ? -mag : mag;
+  }
+};
+
+TEST(FpMac, ExactSmallIntegerCases) {
+  FpHarness h(FpFormat{8, 10});
+  EXPECT_DOUBLE_EQ(h.run(2.0, 3.0, 4.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.run(1.0, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.run(-2.0, 3.0, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.run(2.0, -3.0, -4.0), -10.0);
+  EXPECT_DOUBLE_EQ(h.run(0.5, 0.5, 0.75), 1.0);
+  EXPECT_DOUBLE_EQ(h.run(1.5, 2.0, 1.0), 4.0);
+}
+
+TEST(FpMac, ZeroHandling) {
+  FpHarness h(FpFormat{8, 10});
+  EXPECT_DOUBLE_EQ(h.run(0.0, 5.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.run(5.0, 0.0, -3.0), -3.0);
+  EXPECT_DOUBLE_EQ(h.run(2.0, 3.0, 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(h.run(0.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.run(2.0, -1.0, 2.0), 0.0);  // exact cancellation
+}
+
+TEST(FpMac, RandomWithinTruncationError) {
+  FpHarness h(FpFormat{9, 12});
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> dist(-8.0, 8.0);
+  for (int t = 0; t < 300; ++t) {
+    // Use values representable in 12 fraction bits to keep inputs exact.
+    const auto snap = [&](double v) { return std::ldexp(std::round(std::ldexp(v, 8)), -8); };
+    const double av = snap(dist(rng));
+    const double bv = snap(dist(rng));
+    const double cv = snap(dist(rng));
+    const double want = av * bv + cv;
+    const double got = h.run(av, bv, cv);
+    if (want == 0.0) {
+      EXPECT_NEAR(got, 0.0, 1e-3);
+    } else {
+      // Truncation rounding: up to a few ulps of relative error.
+      EXPECT_NEAR(got, want, std::fabs(want) * 1e-2 + 1e-4) << av << "*" << bv << "+" << cv;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full posit MAC vs the software posit pipeline.
+// ---------------------------------------------------------------------------
+struct PositMacHarness {
+  PositHwSpec spec;
+  Netlist nl;
+  PositMacPorts ports;
+
+  PositMacHarness(int n, int es, bool optimized) : spec{n, es} {
+    ports = build_posit_mac(nl, spec, optimized);
+    nl.mark_output_bus(ports.z, "z");
+  }
+
+  std::uint32_t run(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+    std::vector<std::uint8_t> in;
+    for (const std::uint32_t v : {a, b, c}) {
+      for (int i = 0; i < spec.n; ++i) in.push_back((v >> i) & 1u);
+    }
+    return static_cast<std::uint32_t>(bus_value(ports.z, nl.evaluate(in)));
+  }
+};
+
+class PositMacTest : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PositMacTest, MatchesSoftwareOnRandomVectors) {
+  const auto [n, es, optimized] = GetParam();
+  PositMacHarness hw(n, es, optimized);
+  const posit::PositSpec sw{n, es};
+  std::mt19937_64 rng(23);
+  int exact = 0, total = 0;
+  for (int t = 0; t < 1500; ++t) {
+    const auto a = static_cast<std::uint32_t>(rng() & sw.mask());
+    const auto b = static_cast<std::uint32_t>(rng() & sw.mask());
+    const auto c = static_cast<std::uint32_t>(rng() & sw.mask());
+    if (a == sw.nar_code() || b == sw.nar_code() || c == sw.nar_code()) continue;
+    const std::uint32_t got = hw.run(a, b, c);
+    // Reference: correctly rounded (toward zero) fused a*b+c.
+    const std::uint32_t want = posit::fma(a, b, c, sw, posit::RoundMode::kTowardZero, nullptr);
+    ++total;
+    if (got == want) {
+      ++exact;
+    } else {
+      // The FP MAC truncates the aligned operand (no sticky/guard beyond the
+      // register), so the hardware can differ from the infinitely precise
+      // fused result by at most 1 ulp in code space.
+      const std::int64_t diff = std::llabs(static_cast<long long>(posit::sign_extend(got, sw)) -
+                                           posit::sign_extend(want, sw));
+      ASSERT_LE(diff, 1) << "a=" << a << " b=" << b << " c=" << c << " got=" << got << " want=" << want;
+    }
+  }
+  // The overwhelming majority must be bit-exact. (8,2) sees the most
+  // alignment truncation due to its wide dynamic range.
+  EXPECT_GT(static_cast<double>(exact) / total, 0.85);
+}
+
+TEST_P(PositMacTest, NarPoisons) {
+  const auto [n, es, optimized] = GetParam();
+  PositMacHarness hw(n, es, optimized);
+  const posit::PositSpec sw{n, es};
+  const std::uint32_t one = posit::from_double(1.0, sw);
+  EXPECT_EQ(hw.run(sw.nar_code(), one, one), sw.nar_code());
+  EXPECT_EQ(hw.run(one, sw.nar_code(), one), sw.nar_code());
+  EXPECT_EQ(hw.run(one, one, sw.nar_code()), sw.nar_code());
+}
+
+TEST_P(PositMacTest, SimpleIdentities) {
+  const auto [n, es, optimized] = GetParam();
+  PositMacHarness hw(n, es, optimized);
+  const posit::PositSpec sw{n, es};
+  const std::uint32_t one = posit::from_double(1.0, sw);
+  const std::uint32_t two = posit::from_double(2.0, sw);
+  const std::uint32_t three = posit::from_double(3.0, sw);
+  // 1*2+0 = 2 ; 2*3+0 = 6 ; 1*1+1 = 2 ; 2*2+(-3) = 1.
+  EXPECT_EQ(hw.run(one, two, 0), two);
+  EXPECT_EQ(hw.run(two, three, 0), posit::from_double(6.0, sw));
+  EXPECT_EQ(hw.run(one, one, one), two);
+  EXPECT_EQ(hw.run(two, two, posit::neg(three, sw)), one);
+  EXPECT_EQ(hw.run(0, two, three), three);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, PositMacTest,
+    ::testing::Combine(::testing::Values(8, 16), ::testing::Values(1, 2), ::testing::Values(false, true)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_opt" : "_orig");
+    });
+
+// ---------------------------------------------------------------------------
+// Table V shape: posit MACs vs the FP32 MAC baseline.
+// ---------------------------------------------------------------------------
+TEST(TableVShape, Posit8MacIsMuchSmallerThanFp32) {
+  const Netlist fp32 = make_fp_mac_netlist(FpFormat{10, 23});
+  const Netlist p81 = make_posit_mac_netlist(PositHwSpec{8, 1}, true);
+  EXPECT_LT(p81.total_area_um2(), fp32.total_area_um2() * 0.5);
+}
+
+TEST(TableVShape, Posit16MacIsSmallerThanFp32) {
+  const Netlist fp32 = make_fp_mac_netlist(FpFormat{10, 23});
+  const Netlist p161 = make_posit_mac_netlist(PositHwSpec{16, 1}, true);
+  EXPECT_LT(p161.total_area_um2(), fp32.total_area_um2());
+}
+
+TEST(TableVShape, HigherEsIsSlightlyCheaperAtSameWidth) {
+  // Table V: posit(8,2) < posit(8,1), posit(16,2) < posit(16,1) in both power
+  // and area (higher es -> fewer mantissa bits -> smaller multiplier).
+  const double a81 = make_posit_mac_netlist(PositHwSpec{8, 1}, true).total_area_um2();
+  const double a82 = make_posit_mac_netlist(PositHwSpec{8, 2}, true).total_area_um2();
+  const double a161 = make_posit_mac_netlist(PositHwSpec{16, 1}, true).total_area_um2();
+  const double a162 = make_posit_mac_netlist(PositHwSpec{16, 2}, true).total_area_um2();
+  EXPECT_LT(a82, a81);
+  EXPECT_LT(a162, a161);
+}
+
+TEST(SectionIvClaim, CodecIsLargeFractionOfOriginalMacDelay) {
+  // "the summation of the encoder delay and decoder delay consumes about 40%
+  // of the total posit MAC delay" (for the original [6] codec).
+  const MacDelayBreakdown b = posit_mac_delay_breakdown(PositHwSpec{16, 1}, false);
+  const double codec_fraction = (b.decoder_ns + b.encoder_ns) / b.total_ns;
+  EXPECT_GT(codec_fraction, 0.2);
+  EXPECT_LT(codec_fraction, 0.65);
+}
+
+}  // namespace
+}  // namespace pdnn::hw

@@ -1,0 +1,98 @@
+// netlist_robustness_test.cpp — error handling and determinism of the
+// hardware-model infrastructure.
+#include <gtest/gtest.h>
+
+#include "hw/analysis.hpp"
+#include "hw/components.hpp"
+#include "hw/posit_mac.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+TEST(NetlistRobustness, EvaluateRejectsWrongInputCount) {
+  Netlist nl;
+  nl.input("a");
+  nl.input("b");
+  EXPECT_THROW(nl.evaluate({1}), std::invalid_argument);
+  EXPECT_THROW(nl.evaluate({1, 0, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(nl.evaluate({1, 0}));
+}
+
+TEST(NetlistRobustness, BusMuxRejectsWidthMismatch) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 5);
+  const NetId s = nl.input("s");
+  EXPECT_THROW(nl.bus_mux(s, a, b), std::invalid_argument);
+}
+
+TEST(NetlistRobustness, AdderRejectsWidthMismatch) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 6);
+  EXPECT_THROW(ripple_adder(nl, a, b, nl.constant(false)), std::invalid_argument);
+  EXPECT_THROW(kogge_stone_adder(nl, a, b, nl.constant(false)), std::invalid_argument);
+  EXPECT_THROW(less_than(nl, a, b), std::invalid_argument);
+}
+
+TEST(NetlistRobustness, SetBusInputsRejectsNonInputNets) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 2);
+  const Bus derived{nl.land(a[0], a[1])};
+  std::vector<std::uint8_t> inputs(2, 0);
+  EXPECT_THROW(set_bus_inputs(derived, 1, inputs, nl), std::invalid_argument);
+  EXPECT_NO_THROW(set_bus_inputs(a, 3, inputs, nl));
+  EXPECT_EQ(inputs[0], 1);
+  EXPECT_EQ(inputs[1], 1);
+}
+
+TEST(NetlistRobustness, DecoderRejectsWrongCodeWidth) {
+  Netlist nl;
+  const Bus narrow = nl.input_bus("code", 7);
+  EXPECT_THROW(build_decoder(nl, PositHwSpec{8, 1}, narrow, true), std::invalid_argument);
+}
+
+TEST(NetlistRobustness, EncoderRejectsWrongFieldWidths) {
+  Netlist nl;
+  const PositHwSpec spec{8, 1};
+  const Bus bad_exp = nl.input_bus("e", spec.exp_width() + 1);
+  const Bus mant = nl.input_bus("m", spec.frac_width());
+  EXPECT_THROW(build_encoder(nl, spec, nl.constant(false), nl.constant(false), nl.constant(false),
+                             bad_exp, mant, true),
+               std::invalid_argument);
+}
+
+TEST(NetlistRobustness, PowerAnalysisIsDeterministic) {
+  const Netlist mac = make_posit_mac_netlist(PositHwSpec{8, 1}, true);
+  const PowerReport a = analyze_power(mac, 750.0, 300, /*seed=*/42);
+  const PowerReport b = analyze_power(mac, 750.0, 300, /*seed=*/42);
+  EXPECT_EQ(a.dynamic_mw, b.dynamic_mw);
+  EXPECT_EQ(a.toggles_per_cycle, b.toggles_per_cycle);
+  const PowerReport c = analyze_power(mac, 750.0, 300, /*seed=*/43);
+  EXPECT_NE(a.dynamic_mw, c.dynamic_mw) << "different stimulus, different estimate";
+  // But estimates from different seeds agree to a few percent.
+  EXPECT_NEAR(a.dynamic_mw / c.dynamic_mw, 1.0, 0.1);
+}
+
+TEST(NetlistRobustness, TimingReportExposesCriticalPath) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 8);
+  const Bus b = nl.input_bus("b", 8);
+  const SumCarry sc = ripple_adder(nl, a, b, nl.constant(false));
+  nl.mark_output(sc.carry_out, "c");
+  const TimingReport tr = analyze_timing(nl);
+  EXPECT_GT(tr.critical_delay_ns, 0.0);
+  ASSERT_GE(tr.critical_path.size(), 8u) << "carry chain spans the word";
+  EXPECT_EQ(tr.critical_path.back(), sc.carry_out);
+}
+
+TEST(NetlistRobustness, PipelineStageMath) {
+  EXPECT_EQ(pipeline_stages(1.0, 750.0), 1);   // 1.33 ns budget
+  EXPECT_EQ(pipeline_stages(1.34, 750.0), 2);
+  EXPECT_EQ(pipeline_stages(2.6, 750.0), 2);
+  EXPECT_EQ(pipeline_stages(2.7, 750.0), 3);
+  EXPECT_EQ(pipeline_stages(0.0, 750.0), 1);
+}
+
+}  // namespace
+}  // namespace pdnn::hw

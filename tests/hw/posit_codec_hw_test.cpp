@@ -1,0 +1,197 @@
+// posit_codec_hw_test.cpp — gate-level decoder/encoder vs the software codec,
+// bit for bit, plus the structural claims of the paper's optimization.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hw/analysis.hpp"
+#include "hw/posit_codec_hw.hpp"
+#include "posit/codec.hpp"
+
+namespace pdnn::hw {
+namespace {
+
+using posit::Decoded;
+using posit::PositSpec;
+
+struct DecoderHarness {
+  PositHwSpec spec;
+  Netlist nl;
+  DecoderPorts ports;
+
+  DecoderHarness(int n, int es, bool optimized) : spec{n, es} {
+    const Bus code = nl.input_bus("code", n);
+    ports = build_decoder(nl, spec, code, optimized);
+    nl.mark_output(ports.sign, "sign");
+    nl.mark_output(ports.is_zero, "zero");
+    nl.mark_output(ports.is_nar, "nar");
+    nl.mark_output_bus(ports.eff_exp, "exp");
+    nl.mark_output_bus(ports.mantissa, "mant");
+  }
+
+  struct Out {
+    bool sign, zero, nar;
+    std::int64_t eff_exp;
+    std::uint64_t mantissa;
+  };
+
+  Out decode(std::uint32_t code) {
+    std::vector<std::uint8_t> in(static_cast<std::size_t>(spec.n));
+    for (int i = 0; i < spec.n; ++i) in[static_cast<std::size_t>(i)] = (code >> i) & 1u;
+    const auto vals = nl.evaluate(in);
+    Out o;
+    o.sign = vals[static_cast<std::size_t>(ports.sign)] != 0;
+    o.zero = vals[static_cast<std::size_t>(ports.is_zero)] != 0;
+    o.nar = vals[static_cast<std::size_t>(ports.is_nar)] != 0;
+    std::uint64_t e = bus_value(ports.eff_exp, vals);
+    // Sign-extend.
+    const int ew = spec.exp_width();
+    if (e & (1ull << (ew - 1))) e |= ~((1ull << ew) - 1);
+    o.eff_exp = static_cast<std::int64_t>(e);
+    o.mantissa = bus_value(ports.mantissa, vals);
+    return o;
+  }
+};
+
+class CodecHwTest : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(CodecHwTest, DecoderMatchesSoftwareExhaustively) {
+  const auto [n, es, optimized] = GetParam();
+  DecoderHarness hw(n, es, optimized);
+  const PositSpec sw{n, es};
+  const std::uint64_t total = sw.code_count();
+  std::mt19937_64 rng(5);
+  const bool exhaustive = n <= 16;
+  const std::uint64_t trials = exhaustive ? total : 50000;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto code = static_cast<std::uint32_t>(exhaustive ? t : (rng() & sw.mask()));
+    const auto out = hw.decode(code);
+    if (code == 0) {
+      EXPECT_TRUE(out.zero);
+      continue;
+    }
+    if (code == sw.nar_code()) {
+      EXPECT_TRUE(out.nar);
+      continue;
+    }
+    const Decoded d = posit::decode(code, sw);
+    ASSERT_FALSE(out.zero) << code;
+    ASSERT_FALSE(out.nar) << code;
+    ASSERT_EQ(out.sign, d.neg) << code;
+    ASSERT_EQ(out.eff_exp, d.scale) << "code " << code;
+    // Software frac is fw bits; hardware mantissa is left-aligned frac_width.
+    const std::uint64_t want_mant = static_cast<std::uint64_t>(d.frac)
+                                    << (hw.spec.frac_width() - d.frac_width);
+    ASSERT_EQ(out.mantissa, want_mant) << "code " << code;
+  }
+}
+
+TEST_P(CodecHwTest, EncoderInvertsDecoderExhaustively) {
+  const auto [n, es, optimized] = GetParam();
+  const PositHwSpec spec{n, es};
+  const PositSpec sw{n, es};
+
+  // decoder -> encoder pipeline in one netlist.
+  Netlist nl;
+  const Bus code = nl.input_bus("code", n);
+  const DecoderPorts dec = build_decoder(nl, spec, code, optimized);
+  const EncoderPorts enc =
+      build_encoder(nl, spec, dec.sign, dec.is_zero, dec.is_nar, dec.eff_exp, dec.mantissa, optimized);
+  nl.mark_output_bus(enc.code_out, "out");
+
+  std::mt19937_64 rng(9);
+  const bool exhaustive = n <= 16;
+  const std::uint64_t trials = exhaustive ? sw.code_count() : 50000;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto c = static_cast<std::uint32_t>(exhaustive ? t : (rng() & sw.mask()));
+    std::vector<std::uint8_t> in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = (c >> i) & 1u;
+    const auto vals = nl.evaluate(in);
+    ASSERT_EQ(bus_value(enc.code_out, vals), c) << "round trip of code " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, CodecHwTest,
+    ::testing::Combine(::testing::Values(5, 8, 16), ::testing::Values(0, 1, 2),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_opt" : "_orig");
+    });
+
+// (32,3) sampled rather than exhaustive.
+TEST(CodecHwLarge, Posit32_3RoundTripSampled) {
+  const PositHwSpec spec{32, 3};
+  const PositSpec sw{32, 3};
+  for (const bool optimized : {false, true}) {
+    Netlist nl;
+    const Bus code = nl.input_bus("code", 32);
+    const DecoderPorts dec = build_decoder(nl, spec, code, optimized);
+    const EncoderPorts enc =
+        build_encoder(nl, spec, dec.sign, dec.is_zero, dec.is_nar, dec.eff_exp, dec.mantissa, optimized);
+    nl.mark_output_bus(enc.code_out, "out");
+    std::mt19937_64 rng(13);
+    for (int t = 0; t < 20000; ++t) {
+      const auto c = static_cast<std::uint32_t>(rng());
+      std::vector<std::uint8_t> in(32);
+      for (int i = 0; i < 32; ++i) in[static_cast<std::size_t>(i)] = (c >> i) & 1u;
+      const auto vals = nl.evaluate(in);
+      ASSERT_EQ(bus_value(enc.code_out, vals), c) << "code " << c << " optimized=" << optimized;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's structural claims (Section IV-A / Table IV shape).
+// ---------------------------------------------------------------------------
+class CodecSpeedupTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CodecSpeedupTest, OptimizedDecoderIsFaster) {
+  const auto [n, es] = GetParam();
+  const PositHwSpec spec{n, es};
+  const double orig = analyze_timing(make_decoder_netlist(spec, false)).critical_delay_ns;
+  const double opt = analyze_timing(make_decoder_netlist(spec, true)).critical_delay_ns;
+  EXPECT_LT(opt, orig) << "optimized decoder must be faster";
+  // Paper: decoder speeds up by 15-30%; allow a generous band.
+  EXPECT_GT((orig - opt) / orig, 0.05);
+  EXPECT_LT((orig - opt) / orig, 0.5);
+}
+
+TEST_P(CodecSpeedupTest, OptimizedEncoderIsFaster) {
+  const auto [n, es] = GetParam();
+  const PositHwSpec spec{n, es};
+  const double orig = analyze_timing(make_encoder_netlist(spec, false)).critical_delay_ns;
+  const double opt = analyze_timing(make_encoder_netlist(spec, true)).critical_delay_ns;
+  EXPECT_LT(opt, orig) << "optimized encoder must be faster";
+  EXPECT_GT((orig - opt) / orig, 0.05);
+  EXPECT_LT((orig - opt) / orig, 0.6);
+}
+
+TEST_P(CodecSpeedupTest, OptimizedCostsMoreAreaNotLess) {
+  // Duplicating the shifter trades area for delay: the optimized variants
+  // should not be smaller.
+  const auto [n, es] = GetParam();
+  const PositHwSpec spec{n, es};
+  EXPECT_GE(make_decoder_netlist(spec, true).total_area_um2(),
+            make_decoder_netlist(spec, false).total_area_um2() * 0.95);
+}
+
+TEST_P(CodecSpeedupTest, DelayGrowsWithWordSize) {
+  const auto [n, es] = GetParam();
+  if (n >= 32) GTEST_SKIP();
+  const PositHwSpec small{n, es};
+  const PositHwSpec big{n * 2, es};
+  EXPECT_LT(analyze_timing(make_decoder_netlist(small, true)).critical_delay_ns,
+            analyze_timing(make_decoder_netlist(big, true)).critical_delay_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIvFormats, CodecSpeedupTest,
+                         ::testing::Values(std::pair{8, 0}, std::pair{16, 1}, std::pair{32, 3}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.first) + "_" +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace pdnn::hw

@@ -1,0 +1,113 @@
+// activations_test.cpp — Tanh/Sigmoid/Dropout/AvgPool layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+
+namespace pdnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+template <typename Layer>
+void smooth_gradient_check(Layer& layer, const Tensor& x0) {
+  Rng rng(42);
+  const Tensor r = Tensor::randn(layer.forward(x0, true).shape(), rng);
+  const auto loss = [&](const Tensor& x) {
+    const Tensor y = layer.forward(x, true);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * r[i];
+    return acc;
+  };
+  layer.forward(x0, true);
+  const Tensor gx = layer.backward(r);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x0.numel(); ++i) {
+    Tensor xp = x0, xm = x0;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    EXPECT_NEAR(gx[i], (loss(xp) - loss(xm)) / (2 * eps), 2e-2) << i;
+  }
+}
+
+TEST(TanhLayer, ForwardAndGradient) {
+  Tanh t("t");
+  Rng rng(1);
+  const Tensor x = Tensor::randn({3, 5}, rng);
+  const Tensor y = t.forward(x, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], std::tanh(x[i]));
+  Tanh t2("t2");
+  smooth_gradient_check(t2, Tensor::randn({2, 4}, rng));
+}
+
+TEST(SigmoidLayer, ForwardAndGradient) {
+  Sigmoid s("s");
+  Rng rng(2);
+  const Tensor x = Tensor::randn({3, 5}, rng);
+  const Tensor y = s.forward(x, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[i], 1.0f / (1.0f + std::exp(-x[i])), 1e-6);
+    EXPECT_GT(y[i], 0.0f);
+    EXPECT_LT(y[i], 1.0f);
+  }
+  Sigmoid s2("s2");
+  smooth_gradient_check(s2, Tensor::randn({2, 4}, rng));
+}
+
+TEST(DropoutLayer, EvalIsIdentity) {
+  Dropout d("d", 0.5f);
+  Rng rng(3);
+  const Tensor x = Tensor::randn({4, 4}, rng);
+  const Tensor y = d.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutLayer, TrainingDropsAndRescales) {
+  Dropout d("d", 0.4f);
+  const Tensor x = Tensor::full({10000}, 1.0f);
+  const Tensor y = d.forward(x, true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  const float keep_scale = 1.0f / 0.6f;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    ASSERT_TRUE(y[i] == 0.0f || std::fabs(y[i] - keep_scale) < 1e-6) << y[i];
+    if (y[i] == 0.0f) ++zeros;
+    sum += y[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()), 0.4, 0.02);
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 1.0, 0.03) << "expectation preserved";
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Dropout d("d", 0.5f);
+  const Tensor x = Tensor::full({1000}, 2.0f);
+  const Tensor y = d.forward(x, true);
+  Tensor gy({1000});
+  gy.fill(1.0f);
+  const Tensor gx = d.backward(gy);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    // Gradient flows exactly where the activation survived.
+    EXPECT_EQ(gx[i] == 0.0f, y[i] == 0.0f) << i;
+  }
+}
+
+TEST(AvgPoolLayer, ForwardValuesAndBackwardSpread) {
+  AvgPool2x2 pool("ap");
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), (0 + 1 + 4 + 5) / 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), (10 + 11 + 14 + 15) / 4.0f);
+
+  Tensor gy({1, 1, 2, 2});
+  gy.fill(1.0f);
+  const Tensor gx = pool.backward(gy);
+  for (std::size_t i = 0; i < gx.numel(); ++i) EXPECT_FLOAT_EQ(gx[i], 0.25f);
+}
+
+}  // namespace
+}  // namespace pdnn::nn

@@ -1,0 +1,229 @@
+// layers_test.cpp — gradient checks and behavioral tests for every layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/resnet.hpp"
+
+namespace pdnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Scalar loss L = sum(y * R) used for all gradient checks.
+double probe_loss(Module& m, const Tensor& x, const Tensor& r) {
+  const Tensor y = m.forward(x, /*training=*/true);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i) acc += static_cast<double>(y[i]) * r[i];
+  return acc;
+}
+
+// Central-difference check of dL/dx and all parameter gradients.
+void gradient_check(Module& m, Tensor x, const Shape& out_shape, double tol = 5e-2,
+                    std::size_t stride_x = 3, std::size_t stride_p = 3) {
+  Rng rng(99);
+  const Tensor r = Tensor::randn(out_shape, rng);
+
+  for (auto* p : m.params()) p->zero_grad();
+  const Tensor y = m.forward(x, true);
+  ASSERT_EQ(y.shape(), out_shape);
+  Tensor gy = r;
+  const Tensor gx = m.backward(gy);
+
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x.numel(); i += stride_x) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    const double num = (probe_loss(m, xp, r) - probe_loss(m, xm, r)) / (2 * eps);
+    EXPECT_NEAR(gx[i], num, tol) << "dX[" << i << "]";
+  }
+  for (auto* p : m.params()) {
+    for (std::size_t i = 0; i < p->value.numel(); i += stride_p) {
+      const float keep = p->value[i];
+      p->value[i] = keep + static_cast<float>(eps);
+      const double up = probe_loss(m, x, r);
+      p->value[i] = keep - static_cast<float>(eps);
+      const double dn = probe_loss(m, x, r);
+      p->value[i] = keep;
+      const double num = (up - dn) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol) << p->name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(Conv2dLayer, GradientCheck) {
+  Rng rng(1);
+  Conv2d conv("c", 2, 3, 3, 1, 1, rng);
+  gradient_check(conv, Tensor::randn({2, 2, 5, 5}, rng), Shape{2, 3, 5, 5});
+}
+
+TEST(Conv2dLayer, StridedGradientCheck) {
+  Rng rng(2);
+  Conv2d conv("c", 2, 4, 3, 2, 1, rng);
+  gradient_check(conv, Tensor::randn({1, 2, 8, 8}, rng), Shape{1, 4, 4, 4});
+}
+
+TEST(Conv2dLayer, OneByOneGradientCheck) {
+  Rng rng(3);
+  Conv2d conv("c", 3, 2, 1, 2, 0, rng);
+  gradient_check(conv, Tensor::randn({1, 3, 6, 6}, rng), Shape{1, 2, 3, 3});
+}
+
+TEST(BatchNormLayer, GradientCheck) {
+  Rng rng(4);
+  BatchNorm2d bn("bn", 3);
+  gradient_check(bn, Tensor::randn({4, 3, 3, 3}, rng), Shape{4, 3, 3, 3}, 5e-2, 2, 1);
+}
+
+TEST(BatchNormLayer, NormalizesInTraining) {
+  Rng rng(5);
+  BatchNorm2d bn("bn", 2);
+  const Tensor x = Tensor::randn({8, 2, 4, 4}, rng, 3.0f);
+  const Tensor y = bn.forward(x, true);
+  // Per-channel output should be ~zero-mean unit-variance (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 8; ++n)
+      for (std::size_t h = 0; h < 4; ++h)
+        for (std::size_t w = 0; w < 4; ++w) {
+          const double v = y.at(n, c, h, w);
+          sum += v;
+          sum_sq += v * v;
+          ++count;
+        }
+    const double mean = sum / static_cast<double>(count);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / static_cast<double>(count) - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormLayer, RunningStatsConvergeAndUsedInEval) {
+  Rng rng(6);
+  BatchNorm2d bn("bn", 1);
+  // Feed a stream with mean 2, std 0.5.
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::randn({16, 1, 2, 2}, rng, 0.5f);
+    x.apply([](float v) { return v + 2.0f; });
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.0, 0.1);
+  EXPECT_NEAR(bn.running_var()[0], 0.25, 0.05);
+  // Eval mode uses the running stats: a batch at the stream mean maps to ~0.
+  Tensor probe = Tensor::full({1, 1, 2, 2}, 2.0f);
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y[0], 0.0, 0.1);
+}
+
+TEST(ReLULayer, ForwardBackward) {
+  ReLU relu("r");
+  Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = 3.0f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  Tensor gy({4});
+  gy.fill(1.0f);
+  const Tensor gx = relu.backward(gy);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);  // gradient is 0 at exactly 0 (x > 0 mask)
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(LinearLayer, GradientCheck) {
+  Rng rng(7);
+  Linear fc("fc", 6, 4, rng);
+  gradient_check(fc, Tensor::randn({3, 6}, rng), Shape{3, 4}, 5e-2, 1, 1);
+}
+
+TEST(LinearLayer, BiasApplied) {
+  Rng rng(8);
+  Linear fc("fc", 2, 2, rng);
+  auto params = fc.params();
+  // params[0] = weight, params[1] = bias.
+  params[0]->value.fill(0.0f);
+  params[1]->value[0] = 1.5f;
+  params[1]->value[1] = -0.5f;
+  const Tensor y = fc.forward(Tensor::zeros({1, 2}), false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -0.5f);
+}
+
+TEST(ResidualBlockLayer, IdentityGradientCheck) {
+  Rng rng(9);
+  ResidualBlock block("rb", 4, 4, 1, rng);
+  gradient_check(block, Tensor::randn({2, 4, 4, 4}, rng), Shape{2, 4, 4, 4}, 8e-2, 5, 7);
+}
+
+TEST(ResidualBlockLayer, DownsampleGradientCheck) {
+  Rng rng(10);
+  ResidualBlock block("rb", 4, 8, 2, rng);
+  gradient_check(block, Tensor::randn({2, 4, 4, 4}, rng), Shape{2, 8, 2, 2}, 8e-2, 5, 9);
+}
+
+TEST(SequentialContainer, ComposesAndCollectsParams) {
+  Rng rng(11);
+  Sequential seq("net");
+  seq.add(std::make_unique<Linear>("fc1", 4, 8, rng));
+  seq.add(std::make_unique<ReLU>("r"));
+  seq.add(std::make_unique<Linear>("fc2", 8, 2, rng));
+  EXPECT_EQ(seq.params().size(), 4u);  // 2 weights + 2 biases
+  gradient_check(seq, Tensor::randn({3, 4}, rng), Shape{3, 2}, 5e-2, 1, 3);
+}
+
+TEST(ResNetBuilder, ShapesAndParamNaming) {
+  Rng rng(12);
+  ResNetConfig cfg;
+  cfg.blocks_per_stage = 1;
+  cfg.base_channels = 4;
+  auto net = cifar_resnet(cfg, rng);
+  const Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  const Tensor y = net->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 10}));
+
+  bool saw_conv1 = false, saw_stage3 = false, saw_fc = false;
+  for (auto* p : net->params()) {
+    if (p->name == "conv1.weight") saw_conv1 = true;
+    if (p->name.rfind("stage3", 0) == 0) saw_stage3 = true;
+    if (p->name == "fc.weight") saw_fc = true;
+  }
+  EXPECT_TRUE(saw_conv1);
+  EXPECT_TRUE(saw_stage3);
+  EXPECT_TRUE(saw_fc);
+
+  // Backward runs end to end and produces a full-size input gradient.
+  Tensor gy({2, 10});
+  gy.fill(0.1f);
+  const Tensor gx = net->backward(gy);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ResNetBuilder, DepthScalesWithBlocks) {
+  Rng rng(13);
+  ResNetConfig small, big;
+  small.blocks_per_stage = 1;
+  big.blocks_per_stage = 2;
+  small.base_channels = big.base_channels = 4;
+  const auto p_small = cifar_resnet(small, rng)->params().size();
+  const auto p_big = cifar_resnet(big, rng)->params().size();
+  EXPECT_GT(p_big, p_small);
+}
+
+TEST(MlpBuilder, ForwardShape) {
+  Rng rng(14);
+  auto net = mlp(2, 16, 3, 2, rng);
+  const Tensor y = net->forward(Tensor::randn({5, 2}, rng), false);
+  EXPECT_EQ(y.shape(), (Shape{5, 3}));
+}
+
+}  // namespace
+}  // namespace pdnn::nn

@@ -1,0 +1,128 @@
+// serialize_test.cpp — checkpoint save/load, FP32 and posit-compressed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "nn/resnet.hpp"
+#include "nn/serialize.hpp"
+#include "quant/posit_transform.hpp"
+
+namespace pdnn::nn {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Serialize, Fp32RoundTripBitExact) {
+  Rng rng(1);
+  ResNetConfig rc;
+  rc.base_channels = 4;
+  auto a = cifar_resnet(rc, rng);
+  auto b = cifar_resnet(rc, rng);  // different random init
+
+  std::stringstream ss;
+  save_parameters(ss, *a);
+  load_parameters(ss, *b);
+
+  const auto pa = a->params();
+  const auto pb = b->params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->name, pb[i]->name);
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]) << pa[i]->name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(Serialize, LoadedModelComputesIdentically) {
+  Rng rng(2);
+  ResNetConfig rc;
+  rc.base_channels = 4;
+  auto a = cifar_resnet(rc, rng);
+  auto b = cifar_resnet(rc, rng);
+  std::stringstream ss;
+  save_parameters(ss, *a);
+  load_parameters(ss, *b);
+
+  Rng drng(3);
+  const Tensor x = Tensor::randn({2, 3, 12, 12}, drng);
+  const Tensor ya = a->forward(x, false);
+  const Tensor yb = b->forward(x, false);
+  for (std::size_t i = 0; i < ya.numel(); ++i) ASSERT_EQ(ya[i], yb[i]);
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  Rng rng(4);
+  ResNetConfig small, big;
+  small.base_channels = 4;
+  big.base_channels = 8;
+  auto a = cifar_resnet(small, rng);
+  auto b = cifar_resnet(big, rng);
+  std::stringstream ss;
+  save_parameters(ss, *a);
+  EXPECT_THROW(load_parameters(ss, *b), std::runtime_error);
+}
+
+TEST(Serialize, CorruptStreamThrows) {
+  Rng rng(5);
+  auto net = mlp(2, 4, 2, 1, rng);
+  std::stringstream bad("not a checkpoint at all");
+  EXPECT_THROW(load_parameters(bad, *net), std::runtime_error);
+
+  std::stringstream truncated;
+  save_parameters(truncated, *net);
+  std::string data = truncated.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  EXPECT_THROW(load_parameters(half, *net), std::runtime_error);
+}
+
+TEST(Serialize, PositCheckpointQuantizesAndShrinks) {
+  Rng rng(6);
+  ResNetConfig rc;
+  rc.base_channels = 8;
+  auto a = cifar_resnet(rc, rng);
+  auto b = cifar_resnet(rc, rng);
+
+  std::stringstream ss;
+  const std::size_t payload = save_parameters_posit(ss, *a, posit::PositSpec{8, 1});
+  // 25% of the FP32 payload (Section IV claim).
+  std::size_t fp32_payload = 0;
+  for (const Param* p : a->params()) fp32_payload += p->value.numel() * sizeof(float);
+  EXPECT_EQ(payload, fp32_payload / 4);
+
+  load_parameters_posit(ss, *b);
+  const auto pa = a->params();
+  const auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      // Loaded values are the nearest-even posit(8,1) grid points of the
+      // originals.
+      const float orig = pa[i]->value[j];
+      const double want = posit::to_double(posit::from_double(orig, {8, 1}), {8, 1});
+      ASSERT_EQ(pb[i]->value[j], static_cast<float>(want == want ? want : 0.0)) << pa[i]->name;
+    }
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(7);
+  auto a = mlp(2, 8, 2, 1, rng);
+  auto b = mlp(2, 8, 2, 1, rng);
+  const std::string path = "/tmp/pdnn_ckpt_test.bin";
+  save_parameters_file(path, *a);
+  load_parameters_file(path, *b);
+  const auto pa = a->params();
+  const auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j) {
+      ASSERT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+  EXPECT_THROW(load_parameters_file("/nonexistent/nope.bin", *b), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pdnn::nn

@@ -1,0 +1,68 @@
+// math_test.cpp — double-mediated elementary functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "posit/math.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+TEST(PositMath, SqrtInverseOfSquare) {
+  // Tapered precision: squaring pushes values into the regime region where
+  // posit(16,1) keeps fewer fraction bits, so the tolerance is magnitude-aware
+  // (~3% for 0.001, whose square has only ~7 fraction bits).
+  for (double x : {0.25, 1.0, 2.0, 3.5, 100.0, 0.001}) {
+    const Posit16_1 p{x};
+    const Posit16_1 r = sqrt(p * p);
+    EXPECT_NEAR(r.value(), p.value(), std::abs(p.value()) * 0.03) << x;
+  }
+}
+
+TEST(PositMath, SqrtOfNegativeIsNar) {
+  EXPECT_TRUE(sqrt(Posit16_1{-1.0}).is_nar());
+  EXPECT_TRUE(log(Posit16_1{-2.0}).is_nar());
+  EXPECT_TRUE(log(Posit16_1{0.0}).is_nar());
+}
+
+TEST(PositMath, ExpLogRoundTrip) {
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const Posit16_1 p{x};
+    const double roundtrip = log(exp(p)).value();
+    EXPECT_NEAR(roundtrip, x, 0.01 + 0.01 * x);
+  }
+}
+
+TEST(PositMath, TanhRangeAndSymmetry) {
+  for (double x : {-3.0, -1.0, -0.25, 0.0, 0.25, 1.0, 3.0}) {
+    const double t = tanh(Posit16_1{x}).value();
+    EXPECT_LE(std::fabs(t), 1.0);
+    EXPECT_NEAR(t, std::tanh(x), 0.01);
+    EXPECT_NEAR(tanh(Posit16_1{-x}).value(), -t, 1e-3);
+  }
+}
+
+TEST(PositMath, SigmoidMatchesReference) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(sigmoid(Posit16_1{x}).value(), 1.0 / (1.0 + std::exp(-x)), 0.005) << x;
+  }
+}
+
+TEST(PositMath, NarPropagates) {
+  EXPECT_TRUE(exp(Posit16_1::nar()).is_nar());
+  EXPECT_TRUE(tanh(Posit16_1::nar()).is_nar());
+  EXPECT_TRUE(sigmoid(Posit16_1::nar()).is_nar());
+  EXPECT_TRUE(sqrt(Posit16_1::nar()).is_nar());
+}
+
+TEST(PositMath, RoundingModeRespected) {
+  // Toward-zero results never exceed the double-precision value in magnitude.
+  const PositSpec s{8, 1};
+  for (double x : {0.3, 0.7, 1.3, 2.9, 11.0}) {
+    const std::uint32_t c = exp_code(from_double(x, s), s, RoundMode::kTowardZero);
+    EXPECT_LE(to_double(c, s), std::exp(to_double(from_double(x, s), s)) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pdnn::posit

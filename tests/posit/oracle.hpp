@@ -1,0 +1,155 @@
+// oracle.hpp — independent brute-force oracles for posit codec validation.
+//
+// The oracle avoids the library's round_pack entirely: it enumerates every
+// code of a (small) format, computes each code's exact value as a __int128
+// fixed-point integer, and finds the nearest representable value to a target
+// by exact integer comparison (ties to the even code). This gives a
+// non-circular reference for nearest-even encoding.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "posit/codec.hpp"
+#include "posit/spec.hpp"
+
+namespace pdnn::posit::testing {
+
+using i128 = __int128;
+using u128 = unsigned __int128;
+
+/// Fixed-point fraction bits so that every code value of `spec` — and every
+/// rounding boundary, which is a value of the extended format (n+1, es) — is
+/// an integer, while maxpos still fits a signed 128-bit integer.
+inline int oracle_frac_bits(const PositSpec& spec) {
+  return (spec.n - 1) * (1 << spec.es) + spec.n + 2;
+}
+
+/// Exact fixed-point value of a (non-NaR) code: value * 2^frac_bits.
+inline i128 exact_fixed(std::uint32_t code, const PositSpec& spec, int frac_bits) {
+  const Decoded d = decode(code, spec);
+  if (d.is_zero) return 0;
+  // sig has hidden at 62: value = sig * 2^(scale - 62). The shift
+  // scale - 62 + frac_bits is >= 0 because the significand carries at most
+  // 29 fraction bits and frac_bits >= -min_scale + 32.
+  const int shift = d.scale - 62 + frac_bits;
+  i128 v;
+  if (shift >= 0) {
+    v = static_cast<i128>(static_cast<u128>(d.sig) << shift);
+  } else {
+    v = static_cast<i128>(d.sig >> (-shift));  // exact: trailing zeros cover it
+  }
+  return d.neg ? -v : v;
+}
+
+/// All codes of the format, sorted by value (NaR excluded).
+struct CodeTable {
+  PositSpec spec;
+  int frac_bits;
+  std::vector<std::uint32_t> codes;  // sorted ascending by value
+  std::vector<i128> values;          // exact fixed-point values
+
+  explicit CodeTable(const PositSpec& s) : spec(s), frac_bits(oracle_frac_bits(s)) {
+    for (std::uint64_t c = 0; c < spec.code_count(); ++c) {
+      const auto code = static_cast<std::uint32_t>(c);
+      if (code == spec.nar_code()) continue;
+      codes.push_back(code);
+    }
+    // Posit order == sign-extended integer order of codes.
+    std::sort(codes.begin(), codes.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return sign_extend(a, spec) < sign_extend(b, spec);
+    });
+    values.reserve(codes.size());
+    for (const auto c : codes) values.push_back(exact_fixed(c, spec, frac_bits));
+  }
+
+  /// Rounding boundary between adjacent codes lo_code and its successor: the
+  /// value inserted between them by extending the word size to n+1 bits.
+  /// (Appending one bit to a posit code splits every interval exactly at the
+  /// bit-level rounding boundary used by guard/sticky hardware, softposit and
+  /// universal.) Exact in the table's fixed point.
+  i128 boundary_after(std::uint32_t lo_code) const {
+    const PositSpec ext{spec.n + 1, spec.es};
+    const std::uint32_t lo_ext =
+        static_cast<std::uint32_t>(sign_extend(lo_code, spec) << 1) & ext.mask();
+    const std::uint32_t mid_code = (lo_ext + 1u) & ext.mask();
+    // Values of (n+1, es) need one more frac bit than (n, es); frac_bits was
+    // sized for that (see oracle_frac_bits).
+    return exact_fixed(mid_code, ext, frac_bits);
+  }
+
+  /// Nearest rounding of target (exact fixed point, same frac_bits) at
+  /// bit-level boundaries, ties to the even code, with posit saturation
+  /// semantics: never rounds a non-zero target to zero, never overflows past
+  /// maxpos into NaR.
+  std::uint32_t nearest(i128 target) const {
+    // Binary search the insertion point.
+    std::size_t lo = 0, hi = values.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (values[mid] < target)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    std::uint32_t best;
+    if (lo == 0) {
+      best = codes.front();  // below -maxpos: saturate
+    } else if (lo == values.size()) {
+      best = codes.back();  // above +maxpos: saturate
+    } else if (values[lo] == target) {
+      best = codes[lo];
+    } else {
+      const i128 boundary = boundary_after(codes[lo - 1]);
+      if (target < boundary)
+        best = codes[lo - 1];
+      else if (target > boundary)
+        best = codes[lo];
+      else
+        best = (codes[lo] & 1u) == 0 ? codes[lo] : codes[lo - 1];  // tie: even code
+    }
+    // No underflow to zero for non-zero targets.
+    if (target != 0 && best == 0) {
+      best = target > 0 ? spec.minpos_code() : ((~spec.minpos_code() + 1u) & spec.mask());
+    }
+    return best;
+  }
+
+  /// Largest-magnitude code whose value has magnitude <= |target| (toward
+  /// zero), clamped to [minpos, maxpos] like Algorithm 1's clip.
+  std::uint32_t toward_zero(i128 target) const {
+    if (target == 0) return 0;
+    const bool neg = target < 0;
+    const i128 mag = neg ? -target : target;
+    std::uint32_t best = 0;
+    i128 best_v = -1;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const i128 v = values[i] < 0 ? -values[i] : values[i];
+      if ((values[i] < 0) != neg && values[i] != 0) continue;
+      if (values[i] == 0) continue;
+      if (v <= mag && v > best_v) {
+        best_v = v;
+        best = codes[i];
+      }
+    }
+    if (best == 0) {  // |target| < minpos: clip up to minpos
+      best = neg ? ((~spec.minpos_code() + 1u) & spec.mask()) : spec.minpos_code();
+    }
+    return best;
+  }
+};
+
+/// Exact fixed-point representation of a double in the table's scale
+/// (returns false if the double cannot be represented exactly, which the
+/// tests avoid by construction).
+inline bool double_to_fixed(double x, int frac_bits, i128* out) {
+  const long double scaled = std::ldexp(static_cast<long double>(x), frac_bits);
+  const i128 v = static_cast<i128>(scaled);
+  if (static_cast<long double>(v) != scaled) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace pdnn::posit::testing

@@ -1,0 +1,82 @@
+// packed_test.cpp — bit-packed posit tensors (the model-size claim).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "posit/packed.hpp"
+#include "tensor/random.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+class PackedFormatTest : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  PositSpec spec() const { return PositSpec{GetParam().first, GetParam().second}; }
+};
+
+TEST_P(PackedFormatTest, RoundTripEqualsQuantizedValues) {
+  const PositSpec s = spec();
+  tensor::Rng rng(11);
+  const tensor::Tensor t = tensor::Tensor::randn({257}, rng);  // odd count: cross-byte packing
+  const PackedPositTensor packed = PackedPositTensor::pack(t, s, RoundMode::kNearestEven);
+  const tensor::Tensor back = packed.unpack();
+  ASSERT_EQ(back.numel(), t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double want = to_double(from_double(t[i], s), s);
+    ASSERT_EQ(back[i], static_cast<float>(want)) << i;
+  }
+}
+
+TEST_P(PackedFormatTest, CodesSurviveSetGet) {
+  const PositSpec s = spec();
+  PackedPositTensor packed(s, {100});
+  std::mt19937_64 rng(13);
+  std::vector<std::uint32_t> codes(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    codes[i] = static_cast<std::uint32_t>(rng()) & s.mask();
+    packed.set_code(i, codes[i]);
+  }
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(packed.code_at(i), codes[i]) << i;
+  // Overwrite a middle element; neighbors must be untouched.
+  packed.set_code(50, s.maxpos_code());
+  EXPECT_EQ(packed.code_at(49), codes[49]);
+  EXPECT_EQ(packed.code_at(50), s.maxpos_code());
+  EXPECT_EQ(packed.code_at(51), codes[51]);
+}
+
+INSTANTIATE_TEST_SUITE_P(FormatSweep, PackedFormatTest,
+                         ::testing::Values(std::pair{5, 1}, std::pair{8, 1}, std::pair{8, 2},
+                                           std::pair{13, 1}, std::pair{16, 1}, std::pair{16, 2},
+                                           std::pair{32, 3}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.first) + "_" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(PackedSize, PaperModelSizeClaim) {
+  // Section IV: 8-bit posit -> 25% of FP32 model size; 16-bit -> 50%.
+  tensor::Rng rng(17);
+  const tensor::Tensor model = tensor::Tensor::randn({40000}, rng, 0.05f);
+  const PackedPositTensor p8 = PackedPositTensor::pack(model, PositSpec{8, 1});
+  const PackedPositTensor p16 = PackedPositTensor::pack(model, PositSpec{16, 1});
+  EXPECT_NEAR(p8.ratio_vs_fp32(), 0.25, 1e-4);
+  EXPECT_NEAR(p16.ratio_vs_fp32(), 0.50, 1e-4);
+}
+
+TEST(PackedSize, OddWidthsPackTightly) {
+  const PackedPositTensor p13(PositSpec{13, 1}, {1000});
+  // 13000 bits = 1625 bytes exactly.
+  EXPECT_EQ(p13.byte_size(), 1625u);
+}
+
+TEST(PackedSize, NarUnpacksToZeroInFloats) {
+  PackedPositTensor p(PositSpec{8, 1}, {2});
+  p.set_code(0, PositSpec{8, 1}.nar_code());
+  p.set_code(1, from_double(2.0, PositSpec{8, 1}));
+  const tensor::Tensor t = p.unpack();
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace pdnn::posit

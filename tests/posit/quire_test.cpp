@@ -1,0 +1,143 @@
+// quire_test.cpp — exact accumulation invariants of the quire.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "posit/quire.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+class QuireFormatTest : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  PositSpec spec() const { return PositSpec{GetParam().first, GetParam().second}; }
+};
+
+TEST_P(QuireFormatTest, EmptyQuireIsZero) {
+  Quire q(spec());
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(q.to_posit(), 0u);
+  EXPECT_DOUBLE_EQ(q.to_double(), 0.0);
+}
+
+TEST_P(QuireFormatTest, SingleProductRoundsLikeMul) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(11);
+  for (int t = 0; t < 20000; ++t) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+    const std::uint32_t b = static_cast<std::uint32_t>(rng()) & s.mask();
+    if (a == s.nar_code() || b == s.nar_code()) continue;
+    Quire q(s);
+    q.add_product(a, b);
+    ASSERT_EQ(q.to_posit(), mul(a, b, s))
+        << s.to_string() << " " << to_double(a, s) << "*" << to_double(b, s);
+  }
+}
+
+TEST_P(QuireFormatTest, SinglePositRoundTripsExactly) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(13);
+  for (int t = 0; t < 20000; ++t) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+    if (a == s.nar_code()) continue;
+    Quire q(s);
+    q.add_posit(a);
+    ASSERT_EQ(q.to_posit(), a);
+    ASSERT_DOUBLE_EQ(q.to_double(), to_double(a, s));
+  }
+}
+
+TEST_P(QuireFormatTest, ProductMinusProductCancelsExactly) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(19);
+  for (int t = 0; t < 5000; ++t) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+    const std::uint32_t b = static_cast<std::uint32_t>(rng()) & s.mask();
+    if (a == s.nar_code() || b == s.nar_code()) continue;
+    Quire q(s);
+    q.add_product(a, b);
+    q.sub_product(a, b);
+    ASSERT_TRUE(q.is_zero()) << to_double(a, s) << " * " << to_double(b, s);
+  }
+}
+
+TEST_P(QuireFormatTest, ExtremeScaleSumIsExact) {
+  // maxpos^2 + minpos^2 - maxpos^2 == minpos^2 exactly: impossible with any
+  // rounding accumulator, trivial for the quire.
+  const PositSpec s = spec();
+  Quire q(s);
+  q.add_product(s.maxpos_code(), s.maxpos_code());
+  q.add_product(s.minpos_code(), s.minpos_code());
+  q.sub_product(s.maxpos_code(), s.maxpos_code());
+  const std::uint32_t expected = mul(s.minpos_code(), s.minpos_code(), s);
+  EXPECT_EQ(q.to_posit(), expected);
+}
+
+TEST_P(QuireFormatTest, DotProductMatchesDoubleReference) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(29);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    Quire q(s);
+    double reference = 0.0;  // exact: products/sums of small posits fit double
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t a = from_double(dist(rng), s);
+      const std::uint32_t b = from_double(dist(rng), s);
+      q.add_product(a, b);
+      reference += to_double(a, s) * to_double(b, s);
+    }
+    ASSERT_EQ(q.to_posit(), from_double(reference, s)) << s.to_string() << " trial " << trial;
+  }
+}
+
+TEST_P(QuireFormatTest, LongAccumulationDoesNotOverflow) {
+  const PositSpec s = spec();
+  Quire q(s);
+  const std::uint32_t one = from_double(1.0, s);
+  const int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) q.add_product(one, one);
+  EXPECT_DOUBLE_EQ(q.to_double(), static_cast<double>(kCount));
+  // Rounded posit result saturates at maxpos if the count exceeds it.
+  const double expected = std::min(static_cast<double>(kCount), maxpos_value(s));
+  EXPECT_DOUBLE_EQ(to_double(q.to_posit(), s), to_double(from_double(expected, s), s));
+}
+
+TEST_P(QuireFormatTest, NarPoisonsTheQuire) {
+  const PositSpec s = spec();
+  Quire q(s);
+  q.add_product(from_double(1.0, s), s.nar_code());
+  EXPECT_TRUE(q.is_nar());
+  EXPECT_EQ(q.to_posit(), s.nar_code());
+  q.clear();
+  EXPECT_FALSE(q.is_nar());
+  EXPECT_TRUE(q.is_zero());
+}
+
+TEST_P(QuireFormatTest, QuireBeatsSerialRoundingOnCancellation) {
+  // sum_i (x - x) interleaved as +x, +x, ..., -x, -x: serial posit
+  // accumulation of large then small terms loses the small ones; the quire
+  // recovers the exact answer.
+  const PositSpec s = spec();
+  const std::uint32_t big = from_double(maxpos_value(s) / 2, s);
+  const std::uint32_t small = s.minpos_code();
+  Quire q(s);
+  q.add_posit(big);
+  q.add_posit(small);
+  q.add_posit(neg(big, s));
+  EXPECT_EQ(q.to_posit(), small) << "quire preserves the small term";
+
+  std::uint32_t serial = add(big, small, s);
+  serial = add(serial, neg(big, s), s);
+  EXPECT_NE(serial, small) << "serial rounding drops the small term (sanity)";
+}
+
+INSTANTIATE_TEST_SUITE_P(FormatSweep, QuireFormatTest,
+                         ::testing::Values(std::pair{8, 0}, std::pair{8, 1}, std::pair{8, 2}, std::pair{16, 1},
+                                           std::pair{16, 2}, std::pair{32, 3}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.first) + "_" + std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace pdnn::posit

@@ -1,0 +1,77 @@
+// tables_test.cpp — regenerates the paper's Table I and checks every cell.
+#include <gtest/gtest.h>
+
+#include "posit/tables.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+// Table I: "The detail structures of positive values of (5,1) posit number".
+struct TableIRow {
+  const char* binary;
+  int regime;     // 'x' rows (zero) handled separately
+  int exponent;
+  const char* mantissa;
+  const char* value;
+};
+
+TEST(TablesTableI, AllPositiveRowsMatchPaper) {
+  const PositSpec s{5, 1};
+  const TableIRow rows[] = {
+      {"00001", -3, 0, "0", "1/64"}, {"00010", -2, 0, "0", "1/16"}, {"00011", -2, 1, "0", "1/8"},
+      {"00100", -1, 0, "0", "1/4"},  {"00101", -1, 0, "1/2", "3/8"}, {"00110", -1, 1, "0", "1/2"},
+      {"00111", -1, 1, "1/2", "3/4"}, {"01000", 0, 0, "0", "1"},     {"01001", 0, 0, "1/2", "3/2"},
+      {"01010", 0, 1, "0", "2"},     {"01011", 0, 1, "1/2", "3"},    {"01100", 1, 0, "0", "4"},
+      {"01101", 1, 1, "0", "8"},     {"01110", 2, 0, "0", "16"},     {"01111", 3, 0, "0", "64"},
+  };
+  for (std::uint32_t code = 1; code <= 0b01111u; ++code) {
+    const CodeDescription d = describe(code, s);
+    const TableIRow& want = rows[code - 1];
+    EXPECT_EQ(d.binary, want.binary) << "code " << code;
+    EXPECT_EQ(d.regime, want.regime) << "code " << code;
+    EXPECT_EQ(d.exponent, want.exponent) << "code " << code;
+    EXPECT_EQ(d.mantissa_str, want.mantissa) << "code " << code;
+    EXPECT_EQ(d.value_str, want.value) << "code " << code;
+  }
+}
+
+TEST(TablesTableI, ZeroRow) {
+  const CodeDescription d = describe(0u, PositSpec{5, 1});
+  EXPECT_EQ(d.binary, "00000");
+  EXPECT_TRUE(d.is_zero);
+  EXPECT_EQ(d.value_str, "0");
+}
+
+TEST(TablesTableI, NarRow) {
+  const CodeDescription d = describe(0b10000u, PositSpec{5, 1});
+  EXPECT_TRUE(d.is_nar);
+  EXPECT_EQ(d.value_str, "NaR");
+}
+
+TEST(TablesEnumerate, CoversRequestedRange) {
+  const auto rows = enumerate(0u, 0b01111u, PositSpec{5, 1});
+  ASSERT_EQ(rows.size(), 16u);
+  EXPECT_EQ(rows.front().value_str, "0");
+  EXPECT_EQ(rows.back().value_str, "64");
+}
+
+TEST(TablesEnumerate, NegativeCodesDescribe) {
+  const PositSpec s{5, 1};
+  // Two's complement of 01000 (value 1) is 11000 (value -1).
+  const CodeDescription d = describe(0b11000u, s);
+  EXPECT_EQ(d.value, -1.0);
+  EXPECT_EQ(d.value_str, "-1");
+}
+
+TEST(TablesDyadic, Rendering) {
+  EXPECT_EQ(dyadic_to_string(0, 0), "0");
+  EXPECT_EQ(dyadic_to_string(1, 0), "1");
+  EXPECT_EQ(dyadic_to_string(3, -1), "3/2");
+  EXPECT_EQ(dyadic_to_string(3, -3), "3/8");
+  EXPECT_EQ(dyadic_to_string(1, 6), "64");
+  EXPECT_EQ(dyadic_to_string(4, -8), "1/64");  // reduces 4/256
+  EXPECT_EQ(dyadic_to_string(6, -2), "3/2");   // reduces 6/4
+}
+
+}  // namespace
+}  // namespace pdnn::posit

@@ -1,0 +1,69 @@
+// scale_test.cpp — Eq. (2) statistics: fast-log2 accuracy and properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/scale.hpp"
+#include "tensor/random.hpp"
+
+namespace pdnn::quant {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Log2Mean, FastApproximationWithinBound) {
+  // log2_mean uses a quadratic mantissa approximation (error <= ~0.01,
+  // exact at powers of two); verify the bound against libm.
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor t = Tensor::randn({512}, rng, static_cast<float>(std::exp2(rng.uniform(-8.0, 8.0))));
+    double exact = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+      if (t[i] != 0.0f) {
+        exact += std::log2(std::fabs(static_cast<double>(t[i])));
+        ++n;
+      }
+    }
+    exact /= static_cast<double>(n);
+    EXPECT_NEAR(tensor::log2_mean(t), exact, 0.011);
+  }
+}
+
+TEST(Log2Mean, ExactAtPowersOfTwo) {
+  Tensor t({4});
+  t[0] = 4.0f;
+  t[1] = -0.5f;
+  t[2] = 1.0f;
+  t[3] = 0.125f;  // logs: 2, -1, 0, -3 -> mean -0.5
+  EXPECT_DOUBLE_EQ(tensor::log2_mean(t), -0.5);
+}
+
+TEST(ScaleShift, ShiftTracksMagnitude) {
+  Rng rng(5);
+  // Scaling the tensor by 2^k shifts Eq. (2) by exactly k.
+  Tensor t = Tensor::randn({2048}, rng, 0.1f);
+  const int base = scale_shift(t, kPaperSigma);
+  Tensor scaled = t;
+  scaled *= 16.0f;  // 2^4
+  EXPECT_EQ(scale_shift(scaled, kPaperSigma), base + 4);
+  Tensor shrunk = t;
+  shrunk *= 1.0f / 256.0f;  // 2^-8
+  EXPECT_EQ(scale_shift(shrunk, kPaperSigma), base - 8);
+}
+
+TEST(ScaleShift, SigmaAddsDirectly) {
+  Rng rng(7);
+  const Tensor t = Tensor::randn({512}, rng, 0.03f);
+  EXPECT_EQ(scale_shift(t, 0) + 2, scale_shift(t, 2));
+  EXPECT_EQ(scale_shift(t, 0) + 5, scale_shift(t, 5));
+}
+
+TEST(ScaleShift, AllZerosGiveSigma) {
+  const Tensor t = Tensor::zeros({16});
+  EXPECT_EQ(scale_shift(t, kPaperSigma), kPaperSigma);  // center defined as 0
+}
+
+}  // namespace
+}  // namespace pdnn::quant

@@ -1,0 +1,229 @@
+// transform_test.cpp — Algorithm 1 correctness: reference vs fast path vs the
+// independently validated posit codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "posit/tables.hpp"
+#include "quant/posit_transform.hpp"
+#include "quant/scale.hpp"
+
+namespace pdnn::quant {
+namespace {
+
+class TransformFormatTest : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  PositSpec spec() const { return PositSpec{GetParam().first, GetParam().second}; }
+};
+
+// The fast float-bit path and the literal Algorithm 1 transcription agree.
+TEST_P(TransformFormatTest, FastPathMatchesReference) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> scale_dist(s.min_scale() - 4.0, s.max_scale() + 4.0);
+  std::uniform_real_distribution<double> mant_dist(1.0, 2.0);
+  for (int t = 0; t < 20000; ++t) {
+    float x = static_cast<float>(mant_dist(rng) * std::exp2(scale_dist(rng)));
+    if (t % 2) x = -x;
+    const float fast = posit_transform(x, s);
+    const double ref = posit_transform_reference(x, s);
+    ASSERT_EQ(fast, static_cast<float>(ref)) << s.to_string() << " x=" << x;
+  }
+}
+
+// Algorithm 1 equals codec round-toward-zero + the underflow flush.
+TEST_P(TransformFormatTest, MatchesCodecTowardZero) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(37);
+  std::uniform_real_distribution<double> scale_dist(s.min_scale() - 4.0, s.max_scale() + 4.0);
+  std::uniform_real_distribution<double> mant_dist(1.0, 2.0);
+  const double minpos = posit::minpos_value(s);
+  for (int t = 0; t < 20000; ++t) {
+    float x = static_cast<float>(mant_dist(rng) * std::exp2(scale_dist(rng)));
+    if (t % 2) x = -x;
+    if (!std::isfinite(x)) continue;  // float overflow artifact at (32,3)
+    double want;
+    if (std::fabs(static_cast<double>(x)) < minpos) {
+      want = 0.0;
+    } else {
+      want = posit::to_double(posit::from_double(x, s, posit::RoundMode::kTowardZero), s);
+    }
+    ASSERT_EQ(posit_transform(x, s), static_cast<float>(want)) << s.to_string() << " x=" << x;
+  }
+}
+
+// Exhaustive: every representable posit value is a fixed point of P.
+TEST_P(TransformFormatTest, RepresentableValuesAreFixedPoints) {
+  const PositSpec s = spec();
+  if (s.n > 16) GTEST_SKIP();
+  for (std::uint64_t c = 0; c < s.code_count(); ++c) {
+    const auto code = static_cast<std::uint32_t>(c);
+    if (code == s.nar_code()) continue;
+    const double v = posit::to_double(code, s);
+    if (std::fabs(v) > 1e30) continue;  // beyond float range for big formats
+    const auto vf = static_cast<float>(v);
+    if (static_cast<double>(vf) != v) continue;  // not exactly a float
+    ASSERT_EQ(posit_transform(vf, s), vf) << s.to_string() << " code " << code;
+  }
+}
+
+TEST_P(TransformFormatTest, UnderflowFlushesToZero) {
+  const PositSpec s = spec();
+  const double minpos = posit::minpos_value(s);
+  if (minpos < 1e-30) GTEST_SKIP();
+  EXPECT_EQ(posit_transform(static_cast<float>(minpos) * 0.49f, s), 0.0f);
+  EXPECT_EQ(posit_transform(-static_cast<float>(minpos) * 0.49f, s), 0.0f);
+  // But minpos itself survives.
+  EXPECT_EQ(posit_transform(static_cast<float>(minpos), s), static_cast<float>(minpos));
+}
+
+TEST_P(TransformFormatTest, OverflowClipsToMaxpos) {
+  const PositSpec s = spec();
+  const double maxpos = posit::maxpos_value(s);
+  if (maxpos > 1e30) GTEST_SKIP();
+  EXPECT_EQ(posit_transform(static_cast<float>(maxpos) * 8.0f, s), static_cast<float>(maxpos));
+  EXPECT_EQ(posit_transform(-static_cast<float>(maxpos) * 8.0f, s), -static_cast<float>(maxpos));
+}
+
+TEST_P(TransformFormatTest, MagnitudeNeverIncreases) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int t = 0; t < 5000; ++t) {
+    const auto x = static_cast<float>(dist(rng));
+    const float q = posit_transform(x, s);
+    ASSERT_LE(std::fabs(q), std::fabs(x));
+    if (q != 0.0f) ASSERT_EQ(std::signbit(q), std::signbit(x));
+  }
+}
+
+TEST_P(TransformFormatTest, Idempotent) {
+  const PositSpec s = spec();
+  std::mt19937_64 rng(43);
+  std::uniform_real_distribution<double> dist(-50.0, 50.0);
+  for (int t = 0; t < 5000; ++t) {
+    const auto x = static_cast<float>(dist(rng));
+    const float q = posit_transform(x, s);
+    ASSERT_EQ(posit_transform(q, s), q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FormatSweep, TransformFormatTest,
+                         ::testing::Values(std::pair{5, 1}, std::pair{8, 0}, std::pair{8, 1}, std::pair{8, 2},
+                                           std::pair{16, 1}, std::pair{16, 2}, std::pair{32, 3}),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param.first) + "_" + std::to_string(info.param.second);
+                         });
+
+// Table I round-trip through the transform: P maps midranges onto the exact
+// Table I values (spot-checking the (5,1) grid the paper prints).
+TEST(TransformTableI, TruncatesOntoTableValues) {
+  const PositSpec s{5, 1};
+  EXPECT_FLOAT_EQ(posit_transform(0.40f, s), 0.375f);   // (3/8 .. 1/2) -> 3/8
+  EXPECT_FLOAT_EQ(posit_transform(0.99f, s), 0.75f);    // (3/4 .. 1)   -> 3/4
+  EXPECT_FLOAT_EQ(posit_transform(1.49f, s), 1.0f);
+  EXPECT_FLOAT_EQ(posit_transform(2.9f, s), 2.0f);
+  EXPECT_FLOAT_EQ(posit_transform(63.0f, s), 16.0f);    // (16 .. 64) -> 16
+  EXPECT_FLOAT_EQ(posit_transform(100.0f, s), 64.0f);   // clip to maxpos
+  EXPECT_FLOAT_EQ(posit_transform(-0.30f, s), -0.25f);
+}
+
+// Eq. (3): scaling with a power of two is exact and reversible.
+TEST(TransformScaling, ScaledTransformExactness) {
+  const PositSpec s{8, 1};
+  // x = 0.011 (center ~2^-6.3): raw posit(8,1) keeps little precision there,
+  // the shifted transform lands it near 1 where the fraction field is widest.
+  const float x = 0.011f;
+  const float raw = posit_transform(x, s);
+  const float scaled = posit_transform_scaled(x, s, /*shift=*/-6);
+  EXPECT_LT(std::fabs(scaled - x), std::fabs(raw - x));
+}
+
+TEST(TransformScaling, FastScaledPathMatchesLdexpComposition) {
+  // The integer fast path with a folded shift must agree with the explicit
+  // divide-transform-multiply composition of Eq. (3).
+  std::mt19937_64 rng(71);
+  std::uniform_real_distribution<double> dist(-64.0, 64.0);
+  for (const auto& [n, es] : {std::pair{8, 1}, std::pair{8, 2}, std::pair{16, 1}, std::pair{16, 2}}) {
+    const PositSpec s{n, es};
+    for (int shift : {-8, -3, 0, 2, 7}) {
+      for (int t = 0; t < 3000; ++t) {
+        const auto x = static_cast<float>(dist(rng));
+        const float composed =
+            std::ldexp(posit_transform(std::ldexp(x, -shift), s), shift);
+        ASSERT_EQ(posit_transform_scaled(x, s, shift), composed)
+            << s.to_string() << " x=" << x << " shift=" << shift;
+      }
+    }
+  }
+}
+
+TEST(TransformScaling, ShiftZeroIsPlainTransform) {
+  const PositSpec s{8, 1};
+  for (float x : {0.3f, -1.7f, 12.0f}) {
+    EXPECT_EQ(posit_transform_scaled(x, s, 0), posit_transform(x, s));
+  }
+}
+
+TEST(TransformScaling, Eq2CenterComputation) {
+  // Tensor with values 2^-5, 2^-6, 2^-7 -> mean log2 = -6, center = -6,
+  // shift = center + sigma = -4.
+  tensor::Tensor t({3});
+  t[0] = std::ldexp(1.0f, -5);
+  t[1] = std::ldexp(1.0f, -6);
+  t[2] = std::ldexp(1.0f, -7);
+  EXPECT_EQ(scale_shift(t, 2), -4);
+  EXPECT_EQ(scale_shift(t, 0), -6);
+}
+
+TEST(TransformScaling, ScaledQuantizationErrorBeatsRaw) {
+  // Property the paper's Eq. (2)/(3) claims: for a distribution concentrated
+  // far from 1, shifting reduces mean-squared quantization error.
+  const PositSpec s{8, 1};
+  tensor::Rng rng(55);
+  tensor::Tensor t = tensor::Tensor::randn({4096}, rng, 0.02f);  // center ~2^-6
+  const int shift = scale_shift(t, kPaperSigma);
+
+  double err_raw = 0.0, err_scaled = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const float q_raw = posit_transform(t[i], s);
+    const float q_scaled = posit_transform_scaled(t[i], s, shift);
+    err_raw += (q_raw - t[i]) * static_cast<double>(q_raw - t[i]);
+    err_scaled += (q_scaled - t[i]) * static_cast<double>(q_scaled - t[i]);
+  }
+  EXPECT_LT(err_scaled, err_raw * 0.5) << "shifting should cut MSE substantially";
+}
+
+TEST(TransformRounding, NearestBeatsTowardZeroOnMse) {
+  const PositSpec s{8, 1};
+  tensor::Rng rng(57);
+  tensor::Tensor a = tensor::Tensor::randn({4096}, rng, 0.5f);
+  tensor::Tensor b = a;
+  transform_inplace_rounded(a, s, posit::RoundMode::kTowardZero, nullptr, 0);
+  posit::RoundingRng prng(5);
+  transform_inplace_rounded(b, s, posit::RoundMode::kNearestEven, &prng, 0);
+  // Compare against a fresh copy of the source.
+  tensor::Rng rng2(57);
+  tensor::Tensor src = tensor::Tensor::randn({4096}, rng2, 0.5f);
+  double mse_tz = 0.0, mse_ne = 0.0;
+  for (std::size_t i = 0; i < src.numel(); ++i) {
+    mse_tz += (a[i] - src[i]) * static_cast<double>(a[i] - src[i]);
+    mse_ne += (b[i] - src[i]) * static_cast<double>(b[i] - src[i]);
+  }
+  EXPECT_LT(mse_ne, mse_tz);
+}
+
+TEST(TransformInplace, WholeTensor) {
+  const PositSpec s{8, 1};
+  tensor::Rng rng(59);
+  tensor::Tensor t = tensor::Tensor::randn({100}, rng);
+  tensor::Tensor copy = t;
+  transform_inplace(t, s);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], posit_transform(copy[i], s));
+  }
+}
+
+}  // namespace
+}  // namespace pdnn::quant
