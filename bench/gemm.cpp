@@ -1,0 +1,126 @@
+// gemm — dense-kernel perf baseline. Times matmul over a shape sweep at one
+// thread and at the full thread count, checks the threaded result is
+// bit-identical to the serial one, and writes BENCH_gemm.json so later PRs
+// can diff GFLOP/s against this PR's numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using pdnn::tensor::Rng;
+using pdnn::tensor::Tensor;
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+struct Result {
+  GemmShape shape;
+  int threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  bool bit_identical = true;
+};
+
+double time_matmul(const Tensor& a, const Tensor& b, Tensor& c, int reps) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    c.fill(0.0f);
+    const auto t0 = clock::now();
+    pdnn::tensor::matmul_acc(a, b, c);
+    const auto t1 = clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+  const std::vector<GemmShape> shapes = {
+      {128, 128, 128}, {256, 256, 256}, {512, 512, 512}, {1024, 1024, 1024},
+      {64, 576, 1024},  // conv-lowered GEMM shape (3x3, 64-channel, 32x32 image)
+  };
+  const int hw_threads = max_threads();
+  Rng rng(7);
+
+  std::vector<Result> results;
+  for (const auto& s : shapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor c({s.m, s.n});
+    const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
+    const int reps = s.m * s.k * s.n >= (1u << 27) ? 3 : 7;
+
+    set_threads(1);
+    const double t_serial = time_matmul(a, b, c, reps);
+    Tensor c_serial = c;
+    results.push_back({s, 1, t_serial, flops / t_serial * 1e-9, true});
+
+    set_threads(hw_threads);
+    const double t_par = time_matmul(a, b, c, reps);
+    const bool identical =
+        std::memcmp(c.data(), c_serial.data(), c.numel() * sizeof(float)) == 0;
+    results.push_back({s, hw_threads, t_par, flops / t_par * 1e-9, identical});
+
+    std::printf("%4zu x %4zu x %4zu  serial %8.2f GF/s  %2d-thread %8.2f GF/s  x%.2f  %s\n",
+                s.m, s.k, s.n, flops / t_serial * 1e-9, hw_threads, flops / t_par * 1e-9,
+                t_serial / t_par, identical ? "bit-identical" : "MISMATCH");
+  }
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "FAIL: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"gemm\",\n  \"threads_available\": " << hw_threads
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"m\": " << r.shape.m << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
+        << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
+        << ", \"gflops\": " << r.gflops
+        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  for (const auto& r : results) {
+    if (!r.bit_identical) {
+      std::cerr << "FAIL: threaded matmul diverged from serial result\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -4,6 +4,10 @@
 
 namespace pdnn::nn {
 
+// Threading mirrors src/tensor/ops.cpp: parallel axes are independent output
+// slices (BN channels, ReLU elements, rows of the bias add), each computed in
+// serial order, so threaded results are bit-identical to single-thread runs.
+
 using tensor::Shape;
 using tensor::Tensor;
 
@@ -76,6 +80,9 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
     cached_xhat_ = Tensor(x.shape());
     cached_inv_std_.assign(c, 0.0f);
   }
+  // Each channel owns its mean/var reduction, running-stat slot, and output
+  // plane slice — the batch*plane work per channel parallelizes by channel.
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
   for (std::size_t ci = 0; ci < c; ++ci) {
     float mean, var;
     if (training) {
@@ -123,6 +130,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const auto per_channel = static_cast<float>(n * plane);
 
   Tensor grad_in(cached_shape_);
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
   for (std::size_t ci = 0; ci < c; ++ci) {
     // Reductions: dGamma = sum(dY * xhat), dBeta = sum(dY).
     double dg = 0.0, db = 0.0;
@@ -162,10 +170,12 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 // ---------------------------------------------------------------------------
 Tensor ReLU::forward(const Tensor& x, bool training) {
   Tensor out = x;
-  if (training) mask_.assign(x.numel(), false);
-  for (std::size_t i = 0; i < out.numel(); ++i) {
+  const std::size_t numel = out.numel();
+  if (training) mask_.assign(numel, 0);
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
     if (out[i] > 0.0f) {
-      if (training) mask_[i] = true;
+      if (training) mask_[i] = 1;
     } else {
       out[i] = 0.0f;
     }
@@ -175,8 +185,10 @@ Tensor ReLU::forward(const Tensor& x, bool training) {
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor grad_in = grad_out;
-  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
-    if (!mask_[i]) grad_in[i] = 0.0f;
+  const std::size_t numel = grad_in.numel();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    if (mask_[i] == 0) grad_in[i] = 0.0f;
   }
   return grad_in;
 }
@@ -203,6 +215,7 @@ Tensor Linear::forward(const Tensor& x, bool training) {
   if (training) cached_input_ = x;
   Tensor out = tensor::matmul(x, tensor::transpose(cached_qweight_));
   const std::size_t n = out.shape()[0];
+#pragma omp parallel for schedule(static) if (n > 1 && n * out_f_ > 16384)
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < out_f_; ++j) out.at(i, j) += bias_.value[j];
   if (quantizing()) policy_->quantize_activation(out, name_, LayerClass::kLinear);
@@ -309,10 +322,12 @@ Tensor ResidualBlock::forward(const Tensor& x, bool training) {
   }
   h += skip;
   // Final ReLU; record mask for backward.
-  if (training) relu_mask_.assign(h.numel(), false);
-  for (std::size_t i = 0; i < h.numel(); ++i) {
+  const std::size_t numel = h.numel();
+  if (training) relu_mask_.assign(numel, 0);
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
     if (h[i] > 0.0f) {
-      if (training) relu_mask_[i] = true;
+      if (training) relu_mask_[i] = 1;
     } else {
       h[i] = 0.0f;
     }
@@ -325,8 +340,10 @@ Tensor ResidualBlock::forward(const Tensor& x, bool training) {
 Tensor ResidualBlock::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   if (quantizing()) policy_->quantize_error(g, name_, LayerClass::kConv);
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    if (!relu_mask_[i]) g[i] = 0.0f;
+  const std::size_t numel = g.numel();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    if (relu_mask_[i] == 0) g[i] = 0.0f;
   }
   // Main path.
   Tensor gm = bn2_.backward(g);

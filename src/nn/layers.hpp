@@ -2,6 +2,8 @@
 // Sequential, and the ResNet residual block.
 #pragma once
 
+#include <cstdint>
+
 #include "nn/module.hpp"
 #include "tensor/ops.hpp"
 
@@ -65,7 +67,9 @@ class ReLU final : public Module {
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
 
  private:
-  std::vector<bool> mask_;
+  // uint8 (not vector<bool>): distinct elements must be writable concurrently
+  // from the threaded elementwise loops.
+  std::vector<std::uint8_t> mask_;
 };
 
 /// Fully connected layer with bias: y = x W^T + b.
@@ -152,7 +156,7 @@ class ResidualBlock final : public Module {
   BatchNorm2d bn2_;
   std::unique_ptr<Conv2d> down_conv_;
   std::unique_ptr<BatchNorm2d> down_bn_;
-  std::vector<bool> relu_mask_;
+  std::vector<std::uint8_t> relu_mask_;
 };
 
 }  // namespace pdnn::nn

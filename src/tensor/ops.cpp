@@ -5,7 +5,17 @@
 #include <cstring>
 #include <limits>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace pdnn::tensor {
+
+// Parallelization strategy: every `omp parallel for` below distributes
+// *independent output slices* (matmul rows, im2col rows, conv batch samples,
+// col2im channels) across threads, and each slice is computed in exactly the
+// serial loop order. Results are therefore bit-identical to the serial path
+// for any thread count — a property matmul_parallel_test locks in.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor c({a.shape()[0], b.shape()[1]});
@@ -23,7 +33,10 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   const float* pb = b.data();
   float* pc = c.data();
   // i-k-j order: the inner loop is a saxpy over a row of B, which the
-  // compiler auto-vectorizes and which streams memory sequentially.
+  // compiler auto-vectorizes and which streams memory sequentially. Rows of C
+  // are independent, so the i loop is the parallel axis; the `if` clause keeps
+  // small GEMMs (per-sample conv tails, 1x1 blocks) free of fork overhead.
+#pragma omp parallel for schedule(static) if (m > 1 && m * n * k > 32768)
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = pc + i * n;
     for (std::size_t kk = 0; kk < k; ++kk) {
@@ -46,23 +59,25 @@ Tensor transpose(const Tensor& a) {
 void im2col(const float* img, const Conv2dGeom& g, float* cols) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t plane = g.in_h * g.in_w;
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < g.in_c; ++c) {
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out = cols + row * (oh * ow);
-        for (std::size_t y = 0; y < oh; ++y) {
-          const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
-          if (iy < 0 || iy >= static_cast<long>(g.in_h)) {
-            std::memset(out + y * ow, 0, ow * sizeof(float));
-            continue;
-          }
-          const float* src = img + c * plane + static_cast<std::size_t>(iy) * g.in_w;
-          for (std::size_t x = 0; x < ow; ++x) {
-            const long ix = static_cast<long>(x * g.stride + kx) - static_cast<long>(g.pad);
-            out[y * ow + x] = (ix < 0 || ix >= static_cast<long>(g.in_w)) ? 0.0f : src[ix];
-          }
-        }
+  const std::size_t rows = g.in_c * g.kernel * g.kernel;
+  // Each output row is owned by exactly one (c, ky, kx) triple: flatten the
+  // three loops so the rows can be distributed across threads.
+#pragma omp parallel for schedule(static) if (rows > 1 && rows * oh * ow > 16384)
+  for (std::size_t row = 0; row < rows; ++row) {
+    const std::size_t c = row / (g.kernel * g.kernel);
+    const std::size_t ky = (row / g.kernel) % g.kernel;
+    const std::size_t kx = row % g.kernel;
+    float* out = cols + row * (oh * ow);
+    for (std::size_t y = 0; y < oh; ++y) {
+      const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
+      if (iy < 0 || iy >= static_cast<long>(g.in_h)) {
+        std::memset(out + y * ow, 0, ow * sizeof(float));
+        continue;
+      }
+      const float* src = img + c * plane + static_cast<std::size_t>(iy) * g.in_w;
+      for (std::size_t x = 0; x < ow; ++x) {
+        const long ix = static_cast<long>(x * g.stride + kx) - static_cast<long>(g.pad);
+        out[y * ow + x] = (ix < 0 || ix >= static_cast<long>(g.in_w)) ? 0.0f : src[ix];
       }
     }
   }
@@ -71,8 +86,12 @@ void im2col(const float* img, const Conv2dGeom& g, float* cols) {
 void col2im(const float* cols, const Conv2dGeom& g, float* img) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t plane = g.in_h * g.in_w;
-  std::size_t row = 0;
+  // Rows within one channel accumulate into the same image plane, so the
+  // channel (not the row) is the parallel axis; per-channel accumulation
+  // keeps the serial order.
+#pragma omp parallel for schedule(static) if (g.in_c > 1 && g.in_c * g.kernel * g.kernel * oh * ow > 16384)
   for (std::size_t c = 0; c < g.in_c; ++c) {
+    std::size_t row = c * g.kernel * g.kernel;
     for (std::size_t ky = 0; ky < g.kernel; ++ky) {
       for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
         const float* in = cols + row * (oh * ow);
@@ -95,15 +114,37 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeo
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t patch = g.in_c * g.kernel * g.kernel;
   Tensor out({batch, g.out_c, oh, ow});
-  Tensor cols({patch, oh * ow});
   const Tensor w2d = weight.reshaped({g.out_c, patch});
-  Tensor out2d({g.out_c, oh * ow});
-  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
-    im2col(input.data() + nidx * g.in_c * g.in_h * g.in_w, g, cols.data());
+  const std::size_t in_stride = g.in_c * g.in_h * g.in_w;
+  const std::size_t out_stride = g.out_c * oh * ow;
+  // One sample's lowered GEMM is self-contained, so the batch is the parallel
+  // axis; cols/out2d scratch is per-thread inside the region.
+  const auto conv_one = [&](std::size_t nidx, Tensor& cols, Tensor& out2d) {
+    im2col(input.data() + nidx * in_stride, g, cols.data());
     out2d.fill(0.0f);
     matmul_acc(w2d, cols, out2d);
-    std::memcpy(out.data() + nidx * g.out_c * oh * ow, out2d.data(), out2d.numel() * sizeof(float));
+    std::memcpy(out.data() + nidx * out_stride, out2d.data(), out2d.numel() * sizeof(float));
+  };
+#ifdef _OPENMP
+  if (batch > 1) {
+    // Bound the team by the batch: surplus threads would allocate scratch
+    // below yet never receive an iteration.
+    const int team = static_cast<int>(
+        std::min<std::size_t>(batch, static_cast<std::size_t>(omp_get_max_threads())));
+#pragma omp parallel num_threads(team)
+    {
+      Tensor cols({patch, oh * ow});
+      Tensor out2d({g.out_c, oh * ow});
+#pragma omp for schedule(static)
+      for (std::size_t nidx = 0; nidx < batch; ++nidx) conv_one(nidx, cols, out2d);
+    }
+    return out;
   }
+#endif
+  // Single sample (or no OpenMP): the inner im2col/matmul_acc still thread.
+  Tensor cols({patch, oh * ow});
+  Tensor out2d({g.out_c, oh * ow});
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) conv_one(nidx, cols, out2d);
   return out;
 }
 
@@ -125,8 +166,11 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
     const float* go = grad_out.data() + nidx * g.out_c * oh * ow;
     std::memcpy(gout2d.data(), go, gout2d.numel() * sizeof(float));
 
-    // dW += dY * cols^T  (computed as (dY[o,:] . cols[p,:]) pairs)
+    // dW += dY * cols^T  (computed as (dY[o,:] . cols[p,:]) pairs). Each
+    // output channel's gw2d row is independent, and the serial batch loop
+    // keeps per-element accumulation order fixed.
     im2col(input.data() + nidx * g.in_c * g.in_h * g.in_w, g, cols.data());
+#pragma omp parallel for schedule(static) if (g.out_c > 1 && g.out_c * patch * oh * ow > 32768)
     for (std::size_t o = 0; o < g.out_c; ++o) {
       const float* gr = gout2d.data() + o * oh * ow;
       for (std::size_t p = 0; p < patch; ++p) {

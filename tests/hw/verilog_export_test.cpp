@@ -1,8 +1,13 @@
 // verilog_export_test.cpp — structural Verilog emission.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "hw/components.hpp"
 #include "hw/posit_codec_hw.hpp"
+#include "hw/posit_mac.hpp"
 #include "hw/verilog_export.hpp"
 
 namespace pdnn::hw {
@@ -77,6 +82,82 @@ TEST(VerilogExport, DuplicateOutputNamesDisambiguated) {
   const std::string v = to_verilog(nl, "dup");
   EXPECT_NE(v.find("output wire y;"), std::string::npos);
   EXPECT_NE(v.find("output wire y_dup2;"), std::string::npos);
+}
+
+
+// ---------------------------------------------------------------------------
+// Golden-file tests: the emitted Verilog for representative netlists is
+// checked in under tests/hw/golden/. A refactor of the netlist builders or
+// the exporter that changes the emitted text — even in formatting — fails
+// here and forces a deliberate golden update. Regenerate with:
+//   PDNN_UPDATE_GOLDEN=1 ./test_hw_verilog_export
+// ---------------------------------------------------------------------------
+
+std::string golden_path(const std::string& name) {
+  return std::string(PDNN_GOLDEN_DIR) + "/" + name;
+}
+
+void check_against_golden(const std::string& got, const std::string& file) {
+  const std::string path = golden_path(file);
+  if (std::getenv("PDNN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with PDNN_UPDATE_GOLDEN=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  // EXPECT_EQ on the full strings would dump both files on mismatch; compare
+  // line by line for a readable first-divergence message instead.
+  std::istringstream got_s(got), want_s(want.str());
+  std::string got_line, want_line;
+  std::size_t lineno = 0;
+  while (true) {
+    ++lineno;
+    const bool g = static_cast<bool>(std::getline(got_s, got_line));
+    const bool w = static_cast<bool>(std::getline(want_s, want_line));
+    if (!g && !w) break;
+    ASSERT_TRUE(g && w) << file << ": emitted Verilog has "
+                        << (g ? "more" : "fewer") << " lines than golden (line " << lineno << ")";
+    ASSERT_EQ(got_line, want_line) << file << ": first divergence at line " << lineno;
+  }
+}
+
+TEST(VerilogGolden, Adder4) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 4);
+  const Bus b = nl.input_bus("b", 4);
+  const SumCarry sc = ripple_adder(nl, a, b, nl.constant(false));
+  nl.mark_output_bus(sc.sum, "sum");
+  nl.mark_output(sc.carry_out, "cout");
+  check_against_golden(to_verilog(nl, "adder4"), "adder4.v");
+}
+
+TEST(VerilogGolden, Posit8Decoder) {
+  check_against_golden(
+      to_verilog(make_decoder_netlist(PositHwSpec{8, 1}, /*optimized=*/false), "posit8_1_decoder"),
+      "posit8_1_decoder.v");
+}
+
+TEST(VerilogGolden, Posit8DecoderOptimized) {
+  check_against_golden(
+      to_verilog(make_decoder_netlist(PositHwSpec{8, 1}, /*optimized=*/true), "posit8_1_decoder_opt"),
+      "posit8_1_decoder_opt.v");
+}
+
+TEST(VerilogGolden, Posit8Encoder) {
+  check_against_golden(
+      to_verilog(make_encoder_netlist(PositHwSpec{8, 1}, /*optimized=*/false), "posit8_1_encoder"),
+      "posit8_1_encoder.v");
+}
+
+TEST(VerilogGolden, Posit5Mac) {
+  check_against_golden(
+      to_verilog(make_posit_mac_netlist(PositHwSpec{5, 1}, /*optimized=*/true), "posit5_1_mac_opt"),
+      "posit5_1_mac_opt.v");
 }
 
 }  // namespace

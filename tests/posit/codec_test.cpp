@@ -153,6 +153,8 @@ TEST_P(CodecFormatTest, TowardZeroMatchesOracle) {
 
 TEST_P(CodecFormatTest, TowardZeroNeverIncreasesMagnitude) {
   const PositSpec s = spec();
+  // n=2 has an empty in-range scale interval (minpos == maxpos == 1).
+  if (s.max_scale() - 0.5 < s.min_scale() + 0.5) GTEST_SKIP() << "degenerate dynamic range";
   std::mt19937_64 rng(99);
   std::uniform_real_distribution<double> scale_dist(s.min_scale() + 0.5, s.max_scale() - 0.5);
   std::uniform_real_distribution<double> mant_dist(1.0, 2.0);
@@ -177,13 +179,20 @@ TEST_P(CodecFormatTest, SaturationAtDynamicRangeEnds) {
   EXPECT_EQ(from_double(std::nan(""), s), s.nar_code());
 }
 
-INSTANTIATE_TEST_SUITE_P(FormatSweep, CodecFormatTest,
-                         ::testing::Values(std::pair{3, 0}, std::pair{3, 1}, std::pair{4, 0}, std::pair{4, 1},
-                                           std::pair{5, 0}, std::pair{5, 1}, std::pair{5, 2}, std::pair{6, 0},
-                                           std::pair{6, 1}, std::pair{6, 2}, std::pair{7, 0}, std::pair{7, 1},
-                                           std::pair{8, 0}, std::pair{8, 1}, std::pair{8, 2}, std::pair{8, 3},
-                                           std::pair{9, 1}, std::pair{10, 0}, std::pair{10, 1}, std::pair{10, 2},
-                                           std::pair{12, 1}, std::pair{16, 1}, std::pair{16, 2}, std::pair{32, 3}),
+/// Every oracle-checkable format — the full (n <= 10, es <= 2) grid — plus
+/// wider spot formats used by the paper's tables (the oracle-backed tests
+/// GTEST_SKIP themselves for n > 10; the structural tests still run there).
+std::vector<std::pair<int, int>> sweep_formats() {
+  std::vector<std::pair<int, int>> formats;
+  for (int n = 2; n <= 10; ++n)
+    for (int es = 0; es <= 2; ++es) formats.emplace_back(n, es);
+  for (const auto& f : {std::pair{8, 3}, std::pair{12, 1}, std::pair{16, 1}, std::pair{16, 2},
+                        std::pair{32, 3}})
+    formats.push_back(f);
+  return formats;
+}
+
+INSTANTIATE_TEST_SUITE_P(FormatSweep, CodecFormatTest, ::testing::ValuesIn(sweep_formats()),
                          [](const auto& info) {
                            return "p" + std::to_string(info.param.first) + "_" + std::to_string(info.param.second);
                          });

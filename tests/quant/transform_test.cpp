@@ -94,7 +94,9 @@ TEST_P(TransformFormatTest, MagnitudeNeverIncreases) {
     const auto x = static_cast<float>(dist(rng));
     const float q = posit_transform(x, s);
     ASSERT_LE(std::fabs(q), std::fabs(x));
-    if (q != 0.0f) ASSERT_EQ(std::signbit(q), std::signbit(x));
+    if (q != 0.0f) {
+      ASSERT_EQ(std::signbit(q), std::signbit(x));
+    }
   }
 }
 
