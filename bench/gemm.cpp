@@ -1,12 +1,24 @@
-// gemm — dense-kernel perf baseline. Times matmul over a shape sweep at one
-// thread and at the full thread count, checks the threaded result is
-// bit-identical to the serial one, and writes BENCH_gemm.json so later PRs
-// can diff GFLOP/s against this PR's numbers.
+// gemm — dense-kernel perf tracking. Times the naive i-k-j loop against the
+// cache-blocked micro-kernel GEMM (what matmul_acc now runs) over a shape
+// sweep, serial and threaded, checks blocked results are bit-identical to the
+// naive oracle and threaded to serial, and writes BENCH_gemm.json including
+// the blocking parameters so later PRs can diff GFLOP/s.
+//
+// Usage:
+//   bench_gemm [out.json]
+//   bench_gemm --check-regression <baseline.json> [out.json]
+//     also compares blocked serial GFLOP/s against the committed baseline.
+//
+// Exit codes: 0 ok; 1 correctness mismatch (bit-identity broken — always a
+// real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
+// perf regression (>20% below baseline — CI treats this one as non-blocking).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,11 +26,13 @@
 #include <omp.h>
 #endif
 
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 
 namespace {
 
+using pdnn::tensor::GemmBlocking;
 using pdnn::tensor::Rng;
 using pdnn::tensor::Tensor;
 
@@ -28,19 +42,37 @@ struct GemmShape {
 
 struct Result {
   GemmShape shape;
+  std::string kind;  // "naive" or "blocked"
   int threads = 1;
   double seconds = 0.0;
   double gflops = 0.0;
   bool bit_identical = true;
 };
 
-double time_matmul(const Tensor& a, const Tensor& b, Tensor& c, int reps) {
+/// The PR-1 i-k-j saxpy loop, kept as the in-bench oracle and comparator.
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+template <typename Fn>
+double time_best(Fn&& fn, Tensor& c, int reps) {
   using clock = std::chrono::steady_clock;
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     c.fill(0.0f);
     const auto t0 = clock::now();
-    pdnn::tensor::matmul_acc(a, b, c);
+    fn();
     const auto t1 = clock::now();
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
@@ -63,10 +95,105 @@ void set_threads(int n) {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// Minimal JSON readback for --check-regression: scan the baseline's results
+// array object by object. Only the keys this bench itself writes are parsed.
+// ---------------------------------------------------------------------------
+
+bool scan_number(const std::string& obj, const std::string& key, double* out) {
+  const auto pos = obj.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(obj.c_str() + pos + key.size() + 3, nullptr);
+  return true;
+}
+
+std::string scan_string(const std::string& obj, const std::string& key) {
+  const auto pos = obj.find("\"" + key + "\": \"");
+  if (pos == std::string::npos) return "";
+  const auto start = pos + key.size() + 5;
+  const auto end = obj.find('"', start);
+  return end == std::string::npos ? "" : obj.substr(start, end - start);
+}
+
+struct BaselineEntry {
+  GemmShape shape;
+  std::string kind;
+  int threads = 0;
+  double gflops = 0.0;
+};
+
+std::vector<BaselineEntry> parse_baseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<BaselineEntry> entries;
+  if (!in.good()) return entries;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  auto pos = text.find("\"results\"");
+  if (pos == std::string::npos) return entries;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    double m = 0, k = 0, n = 0, threads = 0, gflops = 0;
+    if (scan_number(obj, "m", &m) && scan_number(obj, "k", &k) && scan_number(obj, "n", &n) &&
+        scan_number(obj, "threads", &threads) && scan_number(obj, "gflops", &gflops)) {
+      BaselineEntry e;
+      e.shape = {static_cast<std::size_t>(m), static_cast<std::size_t>(k),
+                 static_cast<std::size_t>(n)};
+      e.kind = scan_string(obj, "kind");
+      e.threads = static_cast<int>(threads);
+      e.gflops = gflops;
+      entries.push_back(e);
+    }
+    pos = end + 1;
+  }
+  return entries;
+}
+
+/// Serial reference GFLOP/s for a shape in the baseline: the best "blocked"
+/// 1-thread entry, falling back to any 1-thread entry (pre-blocking files had
+/// no "kind" field).
+double baseline_serial_gflops(const std::vector<BaselineEntry>& entries, const GemmShape& s) {
+  double best = 0.0;
+  for (const auto& e : entries) {
+    if (e.shape.m != s.m || e.shape.k != s.k || e.shape.n != s.n || e.threads != 1) continue;
+    if (!e.kind.empty() && e.kind != "blocked") continue;
+    best = std::max(best, e.gflops);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+  std::string out_path = "BENCH_gemm.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-regression") {
+      if (i + 1 >= argc) {
+        std::cerr << "FAIL: --check-regression needs a baseline path\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else {
+      out_path = arg;
+    }
+  }
+
+  // Read the baseline up front: out_path may legally be the same file (the
+  // README's `--check-regression BENCH_gemm.json` refreshes the baseline in
+  // place), and a missing baseline should fail before minutes of timing.
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    baseline = parse_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::cerr << "FAIL: no parsable results in baseline " << baseline_path << "\n";
+      return 2;
+    }
+  }
+
   const std::vector<GemmShape> shapes = {
       {128, 128, 128}, {256, 256, 256}, {512, 512, 512}, {1024, 1024, 1024},
       {64, 576, 1024},  // conv-lowered GEMM shape (3x3, 64-channel, 32x32 image)
@@ -80,22 +207,33 @@ int main(int argc, char** argv) {
     const Tensor b = Tensor::randn({s.k, s.n}, rng);
     Tensor c({s.m, s.n});
     const double flops = 2.0 * static_cast<double>(s.m) * s.k * s.n;
-    const int reps = s.m * s.k * s.n >= (1u << 27) ? 3 : 7;
+    // Small shapes are noisy on shared runners; more reps tighten the best-of.
+    const int reps = s.m * s.k * s.n >= (1u << 27) ? 3 : 15;
+
+    const double t_naive = time_best([&] { matmul_naive(a, b, c); }, c, reps);
+    Tensor c_naive = c;
+    results.push_back({s, "naive", 1, t_naive, flops / t_naive * 1e-9, true});
 
     set_threads(1);
-    const double t_serial = time_matmul(a, b, c, reps);
+    const double t_serial =
+        time_best([&] { pdnn::tensor::matmul_acc(a, b, c); }, c, reps);
     Tensor c_serial = c;
-    results.push_back({s, 1, t_serial, flops / t_serial * 1e-9, true});
+    const bool oracle_match =
+        std::memcmp(c_serial.data(), c_naive.data(), c.numel() * sizeof(float)) == 0;
+    results.push_back({s, "blocked", 1, t_serial, flops / t_serial * 1e-9, oracle_match});
 
     set_threads(hw_threads);
-    const double t_par = time_matmul(a, b, c, reps);
-    const bool identical =
+    const double t_par = time_best([&] { pdnn::tensor::matmul_acc(a, b, c); }, c, reps);
+    const bool thread_match =
         std::memcmp(c.data(), c_serial.data(), c.numel() * sizeof(float)) == 0;
-    results.push_back({s, hw_threads, t_par, flops / t_par * 1e-9, identical});
+    results.push_back({s, "blocked", hw_threads, t_par, flops / t_par * 1e-9, thread_match});
 
-    std::printf("%4zu x %4zu x %4zu  serial %8.2f GF/s  %2d-thread %8.2f GF/s  x%.2f  %s\n",
-                s.m, s.k, s.n, flops / t_serial * 1e-9, hw_threads, flops / t_par * 1e-9,
-                t_serial / t_par, identical ? "bit-identical" : "MISMATCH");
+    std::printf(
+        "%4zu x %4zu x %4zu  naive %7.2f GF/s  blocked %7.2f GF/s (x%.2f)  %2d-thread %7.2f GF/s "
+        "(x%.2f)  %s\n",
+        s.m, s.k, s.n, flops / t_naive * 1e-9, flops / t_serial * 1e-9, t_naive / t_serial,
+        hw_threads, flops / t_par * 1e-9, t_serial / t_par,
+        oracle_match && thread_match ? "bit-identical" : "MISMATCH");
   }
 
   std::ofstream out(out_path);
@@ -104,23 +242,54 @@ int main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"bench\": \"gemm\",\n  \"threads_available\": " << hw_threads
-      << ",\n  \"results\": [\n";
+      << ",\n  \"kernel_vectorized\": "
+      << (pdnn::tensor::gemm_kernel_vectorized() ? "true" : "false")
+      << ",\n  \"blocking\": {\"MR\": " << GemmBlocking::MR << ", \"NR\": " << GemmBlocking::NR
+      << ", \"MC\": " << GemmBlocking::MC << ", \"KC\": " << GemmBlocking::KC
+      << ", \"NC\": " << GemmBlocking::NC << "},\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     out << "    {\"m\": " << r.shape.m << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
-        << ", \"threads\": " << r.threads << ", \"seconds\": " << r.seconds
-        << ", \"gflops\": " << r.gflops
+        << ", \"kind\": \"" << r.kind << "\", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds << ", \"gflops\": " << r.gflops
         << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
 
+  bool mismatch = false;
   for (const auto& r : results) {
     if (!r.bit_identical) {
-      std::cerr << "FAIL: threaded matmul diverged from serial result\n";
-      return 1;
+      std::cerr << "FAIL: " << r.kind << " matmul (" << r.threads
+                << " threads) diverged from its reference\n";
+      mismatch = true;
     }
   }
-  return 0;
+
+  bool regressed = false;
+  if (!baseline_path.empty()) {
+    for (const auto& s : shapes) {
+      const Result* serial = nullptr;
+      for (const auto& r : results) {
+        if (r.kind == "blocked" && r.threads == 1 && r.shape.m == s.m && r.shape.k == s.k &&
+            r.shape.n == s.n) {
+          serial = &r;
+          break;
+        }
+      }
+      if (serial == nullptr) continue;
+      const double base = baseline_serial_gflops(baseline, s);
+      if (base <= 0.0) continue;  // shape not in baseline; nothing to compare
+      const double ratio = serial->gflops / base;
+      std::printf("regression check %4zu x %4zu x %4zu: %7.2f GF/s vs baseline %7.2f (x%.2f)%s\n",
+                  s.m, s.k, s.n, serial->gflops, base, ratio,
+                  ratio < 0.8 ? "  REGRESSION" : "");
+      if (ratio < 0.8) regressed = true;
+    }
+    if (regressed)
+      std::cerr << "FAIL: serial GFLOP/s dropped >20% vs " << baseline_path << "\n";
+  }
+  if (mismatch) return 1;
+  return regressed ? 3 : 0;
 }

@@ -15,13 +15,21 @@ using tensor::Tensor;
 // Conv2d
 // ---------------------------------------------------------------------------
 Conv2d::Conv2d(std::string name, std::size_t in_c, std::size_t out_c, std::size_t kernel,
-               std::size_t stride, std::size_t pad, tensor::Rng& rng)
-    : Module(std::move(name)), in_c_(in_c), out_c_(out_c), kernel_(kernel), stride_(stride), pad_(pad) {
+               std::size_t stride, std::size_t pad, tensor::Rng& rng, bool with_bias)
+    : Module(std::move(name)), with_bias_(with_bias), in_c_(in_c), out_c_(out_c), kernel_(kernel),
+      stride_(stride), pad_(pad) {
   weight_.name = name_ + ".weight";
   weight_.layer_class = LayerClass::kConv;
   const std::size_t fan_in = in_c * kernel * kernel;
   weight_.value = Tensor::kaiming({out_c, in_c, kernel, kernel}, fan_in, rng);
   weight_.grad = Tensor::zeros(weight_.value.shape());
+  if (with_bias_) {
+    bias_.name = name_ + ".bias";
+    bias_.layer_class = LayerClass::kConv;
+    bias_.value = Tensor::zeros({out_c});
+    bias_.grad = Tensor::zeros({out_c});
+    bias_.decay = false;
+  }
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool training) {
@@ -30,6 +38,20 @@ Tensor Conv2d::forward(const Tensor& x, bool training) {
   cached_qweight_ = quantizing() ? policy_->quantize_weight(weight_.value, name_, LayerClass::kConv)
                                  : weight_.value;
   Tensor out = tensor::conv2d_forward(x, cached_qweight_, geom_);
+  if (with_bias_) {
+    // Each output channel owns its slice across the batch — same parallel
+    // shape as the BN channel loops.
+    const std::size_t n = out.shape()[0];
+    const std::size_t plane = out.shape()[2] * out.shape()[3];
+#pragma omp parallel for schedule(static) if (out_c_ > 1 && n* out_c_* plane > 16384)
+    for (std::size_t ci = 0; ci < out_c_; ++ci) {
+      const float b = bias_.value[ci];
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        float* dst = out.data() + (ni * out_c_ + ci) * plane;
+        for (std::size_t i = 0; i < plane; ++i) dst[i] += b;
+      }
+    }
+  }
   if (training) cached_input_ = x;
   // Fig. 3a: A_p = P(A) on the output.
   if (quantizing()) policy_->quantize_activation(out, name_, LayerClass::kConv);
@@ -40,9 +62,26 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   // Fig. 3b: E_p = P(E) on the incoming error.
   Tensor e = grad_out;
   if (quantizing()) policy_->quantize_error(e, name_, LayerClass::kConv);
+  if (with_bias_) {
+    // db[c] = sum over batch and plane of the (quantized) error.
+    const std::size_t n = e.shape()[0];
+    const std::size_t plane = e.shape()[2] * e.shape()[3];
+#pragma omp parallel for schedule(static) if (out_c_ > 1 && n* out_c_* plane > 16384)
+    for (std::size_t ci = 0; ci < out_c_; ++ci) {
+      float acc = 0.0f;
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        const float* src = e.data() + (ni * out_c_ + ci) * plane;
+        for (std::size_t i = 0; i < plane; ++i) acc += src[i];
+      }
+      bias_.grad[ci] += acc;
+    }
+  }
   Tensor grad_in = tensor::conv2d_backward(cached_input_, cached_qweight_, e, geom_, weight_.grad);
   // Fig. 3b: dW_p = P(dW).
-  if (quantizing()) policy_->quantize_gradient(weight_.grad, name_, LayerClass::kConv);
+  if (quantizing()) {
+    policy_->quantize_gradient(weight_.grad, name_, LayerClass::kConv);
+    if (with_bias_) policy_->quantize_gradient(bias_.grad, name_, LayerClass::kConv);
+  }
   return grad_in;
 }
 

@@ -9,17 +9,23 @@
 
 namespace pdnn::nn {
 
-/// 2-d convolution (no bias — the paper's ResNets put BN after every conv).
+/// 2-d convolution. Bias defaults off (the paper's ResNets put BN after every
+/// conv); pass with_bias=true for a per-output-channel additive bias.
 class Conv2d final : public Module {
  public:
   Conv2d(std::string name, std::size_t in_c, std::size_t out_c, std::size_t kernel, std::size_t stride,
-         std::size_t pad, tensor::Rng& rng);
+         std::size_t pad, tensor::Rng& rng, bool with_bias = false);
 
   tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
-  std::vector<Param*> params() override { return {&weight_}; }
+  std::vector<Param*> params() override {
+    if (with_bias_) return {&weight_, &bias_};
+    return {&weight_};
+  }
 
   Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  bool has_bias() const { return with_bias_; }
   std::size_t in_channels() const { return in_c_; }
   std::size_t out_channels() const { return out_c_; }
   std::size_t kernel() const { return kernel_; }
@@ -28,6 +34,8 @@ class Conv2d final : public Module {
 
  private:
   Param weight_;
+  Param bias_;
+  bool with_bias_ = false;
   std::size_t in_c_, out_c_, kernel_, stride_, pad_;
   tensor::Tensor cached_input_;     // A^{l-1}_p
   tensor::Tensor cached_qweight_;   // W_p used in forward, reused in backward

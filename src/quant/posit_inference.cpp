@@ -73,7 +73,7 @@ Tensor posit_conv2d(const Tensor& x, const Tensor& w, const tensor::Conv2dGeom& 
                     const PositSpec& spec, AccumMode mode) {
   const std::size_t batch = x.shape()[0];
   const std::size_t oh = geom.out_h(), ow = geom.out_w();
-  const std::size_t patch = geom.in_c * geom.kernel * geom.kernel;
+  const std::size_t patch = geom.patch();
   const auto wc = encode_tensor(w, spec);
   posit::Quire quire(spec);
 

@@ -1,0 +1,197 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PDNN_GEMM_X86 1
+#endif
+
+namespace pdnn::tensor {
+namespace {
+
+constexpr std::size_t MR = GemmBlocking::MR;
+constexpr std::size_t NR = GemmBlocking::NR;
+constexpr std::size_t MC = GemmBlocking::MC;
+constexpr std::size_t KC = GemmBlocking::KC;
+constexpr std::size_t NC = GemmBlocking::NC;
+
+// ---------------------------------------------------------------------------
+// Packing. Panels are zero-padded to full MR rows / NR columns so the
+// micro-kernel never branches on ragged edges: padded lanes multiply zeros and
+// land in accumulator slots that are simply not stored back.
+// ---------------------------------------------------------------------------
+
+void pack_a(const float* a, std::size_t lda, std::size_t mc, std::size_t kc, float* ap) {
+  for (std::size_t ir = 0; ir < mc; ir += MR) {
+    const std::size_t mr = std::min(MR, mc - ir);
+    float* dst = ap + (ir / MR) * (kc * MR);
+    for (std::size_t kk = 0; kk < kc; ++kk)
+      for (std::size_t ii = 0; ii < MR; ++ii)
+        dst[kk * MR + ii] = ii < mr ? a[(ir + ii) * lda + kk] : 0.0f;
+  }
+}
+
+void pack_b(const float* b, std::size_t ldb, std::size_t kc, std::size_t nc, float* bp) {
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    float* dst = bp + (jr / NR) * (kc * NR);
+    for (std::size_t kk = 0; kk < kc; ++kk)
+      for (std::size_t jj = 0; jj < NR; ++jj)
+        dst[kk * NR + jj] = jj < nr ? b[kk * ldb + jr + jj] : 0.0f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernels: C[8,8] += Apanel * Bpanel over one KC slice. Accumulators are
+// loaded from C first and each product is added individually (no FMA, no
+// reassociation), so per-element rounding matches the naive i-k-j loop.
+// ---------------------------------------------------------------------------
+
+void micro_8x8_scalar(std::size_t kc, const float* ap, const float* bp, float* c,
+                      std::size_t ldc) {
+  for (std::size_t i = 0; i < MR; ++i) {
+    float acc[NR];
+    for (std::size_t j = 0; j < NR; ++j) acc[j] = c[i * ldc + j];
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      const float aik = ap[kk * MR + i];
+      const float* b = bp + kk * NR;
+      for (std::size_t j = 0; j < NR; ++j) acc[j] += aik * b[j];
+    }
+    for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] = acc[j];
+  }
+}
+
+#ifdef PDNN_GEMM_X86
+// The target attribute lets this translation unit stay buildable with baseline
+// x86-64 flags; gemm_kernel_vectorized() gates the call at runtime.
+__attribute__((target("avx2"))) void micro_8x8_avx2(std::size_t kc, const float* ap,
+                                                    const float* bp, float* c, std::size_t ldc) {
+  __m256 c0 = _mm256_loadu_ps(c);
+  __m256 c1 = _mm256_loadu_ps(c + ldc);
+  __m256 c2 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 c3 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 c4 = _mm256_loadu_ps(c + 4 * ldc);
+  __m256 c5 = _mm256_loadu_ps(c + 5 * ldc);
+  __m256 c6 = _mm256_loadu_ps(c + 6 * ldc);
+  __m256 c7 = _mm256_loadu_ps(c + 7 * ldc);
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const __m256 b = _mm256_loadu_ps(bp + kk * NR);
+    const float* a = ap + kk * MR;
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_broadcast_ss(a + 0), b));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_broadcast_ss(a + 1), b));
+    c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_broadcast_ss(a + 2), b));
+    c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_broadcast_ss(a + 3), b));
+    c4 = _mm256_add_ps(c4, _mm256_mul_ps(_mm256_broadcast_ss(a + 4), b));
+    c5 = _mm256_add_ps(c5, _mm256_mul_ps(_mm256_broadcast_ss(a + 5), b));
+    c6 = _mm256_add_ps(c6, _mm256_mul_ps(_mm256_broadcast_ss(a + 6), b));
+    c7 = _mm256_add_ps(c7, _mm256_mul_ps(_mm256_broadcast_ss(a + 7), b));
+  }
+  _mm256_storeu_ps(c, c0);
+  _mm256_storeu_ps(c + ldc, c1);
+  _mm256_storeu_ps(c + 2 * ldc, c2);
+  _mm256_storeu_ps(c + 3 * ldc, c3);
+  _mm256_storeu_ps(c + 4 * ldc, c4);
+  _mm256_storeu_ps(c + 5 * ldc, c5);
+  _mm256_storeu_ps(c + 6 * ldc, c6);
+  _mm256_storeu_ps(c + 7 * ldc, c7);
+}
+#endif
+
+using MicroFn = void (*)(std::size_t, const float*, const float*, float*, std::size_t);
+
+MicroFn micro_kernel() {
+  // Function-local static: resolved on first use, after libgcc's CPU-model
+  // constructor has definitely run.
+  static const MicroFn fn = [] {
+#ifdef PDNN_GEMM_X86
+    if (__builtin_cpu_supports("avx2")) return MicroFn{micro_8x8_avx2};
+#endif
+    return MicroFn{micro_8x8_scalar};
+  }();
+  return fn;
+}
+
+/// One packed A block × one packed B block into C. Ragged micro-tiles round
+/// trip through a full 8×8 scratch tile so the hot path stays branch-free.
+void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc, const float* ap,
+                  const float* bp, float* c, std::size_t ldc) {
+  const MicroFn micro = micro_kernel();
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    for (std::size_t ir = 0; ir < mc; ir += MR) {
+      const std::size_t mr = std::min(MR, mc - ir);
+      const float* apanel = ap + (ir / MR) * (kc * MR);
+      const float* bpanel = bp + (jr / NR) * (kc * NR);
+      float* ctile = c + ir * ldc + jr;
+      if (mr == MR && nr == NR) {
+        micro(kc, apanel, bpanel, ctile, ldc);
+      } else {
+        alignas(32) float tmp[MR * NR] = {};
+        for (std::size_t i = 0; i < mr; ++i)
+          for (std::size_t j = 0; j < nr; ++j) tmp[i * NR + j] = ctile[i * ldc + j];
+        micro(kc, apanel, bpanel, tmp, NR);
+        for (std::size_t i = 0; i < mr; ++i)
+          for (std::size_t j = 0; j < nr; ++j) ctile[i * ldc + j] = tmp[i * NR + j];
+      }
+    }
+  }
+}
+
+/// Pack scratch grows once per thread and is reused across calls; conv's
+/// per-sample GEMMs would otherwise malloc on every invocation.
+float* scratch(std::vector<float>& buf, std::size_t need) {
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+}  // namespace
+
+bool gemm_kernel_vectorized() { return micro_kernel() != micro_8x8_scalar; }
+
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float* c, std::size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;
+  thread_local std::vector<float> bp_buf;
+  float* bp = scratch(bp_buf, KC * std::min(((n + NR - 1) / NR) * NR, NC));
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = std::min(KC, k - pc);
+      pack_b(b + pc * ldb + jc, ldb, kc, nc, bp);
+      // Rows of C are the parallel axis, as in the naive kernel: each thread
+      // owns a contiguous range of MR-granular row panels and sweeps it in MC
+      // blocks. Row grouping never changes a C element's accumulation order
+      // (only the k split does), so any thread count is bit-identical.
+#ifdef _OPENMP
+      const bool parallel_rows = m > MR && m * n * k > 32768;
+#endif
+#pragma omp parallel if (parallel_rows)
+      {
+        std::size_t ir0 = 0, ir1 = m;
+#ifdef _OPENMP
+        const std::size_t panels = (m + MR - 1) / MR;
+        const std::size_t nt = static_cast<std::size_t>(omp_get_num_threads());
+        const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+        const std::size_t per = (panels + nt - 1) / nt;
+        ir0 = std::min(tid * per * MR, m);
+        ir1 = std::min(ir0 + per * MR, m);
+#endif
+        thread_local std::vector<float> ap_buf;
+        float* ap = scratch(ap_buf, MC * KC);
+        for (std::size_t ic = ir0; ic < ir1; ic += MC) {
+          const std::size_t mc = std::min(MC, ir1 - ic);
+          pack_a(a + ic * lda + pc, lda, mc, kc, ap);
+          macro_kernel(mc, nc, kc, ap, bp, c + ic * ldc + jc, ldc);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pdnn::tensor

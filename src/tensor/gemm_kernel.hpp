@@ -1,0 +1,39 @@
+// gemm_kernel.hpp — cache-blocked GEMM micro-kernel behind matmul/matmul_acc.
+//
+// The kernel packs A into MC×KC row panels and B into KC×NC column panels
+// (BLIS/marian-style), then drives an 8×8 register-tiled micro-kernel over the
+// packed panels. Accumulation for every C element is a plain multiply-then-add
+// in strictly ascending k order, with C stored and reloaded between KC blocks,
+// so the result is bit-identical to the naive i-k-j saxpy loop — and therefore
+// identical for any blocking, any leading dimension, and any thread count.
+#pragma once
+
+#include <cstddef>
+
+namespace pdnn::tensor {
+
+/// Blocking parameters of the packed GEMM (floats, row-major).
+///   MR×NR  register micro-tile: 8 AVX2 accumulators of 8 lanes each.
+///   KC×NR  packed B micro-panel (8 KiB) stays in L1 across an MC sweep.
+///   MC×KC  packed A block (128 KiB) stays in L2.
+///   KC×NC  packed B block (1 MiB) is streamed once per KC slice.
+struct GemmBlocking {
+  static constexpr std::size_t MR = 8;
+  static constexpr std::size_t NR = 8;
+  static constexpr std::size_t MC = 128;
+  static constexpr std::size_t KC = 256;
+  static constexpr std::size_t NC = 1024;
+};
+
+/// C[m,n] += A[m,k] * B[k,n] on row-major buffers with explicit leading
+/// dimensions (lda/ldb/ldc are row strides in elements; pass k/n/n for
+/// contiguous matrices). Parallelizes over MC row blocks with OpenMP; results
+/// are bit-identical to the serial naive i-k-j loop at any thread count.
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float* c, std::size_t ldc);
+
+/// True when the AVX2 micro-kernel is active on this host (false means the
+/// portable scalar micro-kernel — same results, lower throughput).
+bool gemm_kernel_vectorized();
+
+}  // namespace pdnn::tensor

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <stdexcept>
+
+#include "tensor/gemm_kernel.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -24,49 +27,47 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2 || c.shape().rank() != 2) {
+    throw std::invalid_argument("matmul: rank-2 operands required, got " + a.shape().to_string() +
+                                " x " + b.shape().to_string() + " -> " + c.shape().to_string());
+  }
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
   if (b.shape()[0] != k || c.shape()[0] != m || c.shape()[1] != n) {
     throw std::invalid_argument("matmul: shape mismatch " + a.shape().to_string() + " x " +
                                 b.shape().to_string() + " -> " + c.shape().to_string());
   }
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j order: the inner loop is a saxpy over a row of B, which the
-  // compiler auto-vectorizes and which streams memory sequentially. Rows of C
-  // are independent, so the i loop is the parallel axis; the `if` clause keeps
-  // small GEMMs (per-sample conv tails, 1x1 blocks) free of fork overhead.
-#pragma omp parallel for schedule(static) if (m > 1 && m * n * k > 32768)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // Cache-blocked packed GEMM (gemm_kernel.cpp): rows of C stay the parallel
+  // axis and every element accumulates in ascending-k i-k-j order, so results
+  // are bit-identical to the skip-free naive loop at any thread count. (The
+  // PR-1 loop also skipped aik == 0.0f rows, which for zero×inf/NaN products
+  // or -0.0 sums could differ; the blocked kernel never skips.)
+  gemm_blocked(m, n, k, a.data(), k, b.data(), n, c.data(), n);
 }
 
 Tensor transpose(const Tensor& a) {
   const std::size_t m = a.shape()[0], n = a.shape()[1];
   Tensor t({n, m});
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  transpose_into(a.data(), m, n, t.data());
   return t;
+}
+
+void transpose_into(const float* a, std::size_t m, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
 }
 
 void im2col(const float* img, const Conv2dGeom& g, float* cols) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t plane = g.in_h * g.in_w;
-  const std::size_t rows = g.in_c * g.kernel * g.kernel;
+  const std::size_t kh = g.kh(), kw = g.kw();
+  const std::size_t rows = g.in_c * kh * kw;
   // Each output row is owned by exactly one (c, ky, kx) triple: flatten the
   // three loops so the rows can be distributed across threads.
 #pragma omp parallel for schedule(static) if (rows > 1 && rows * oh * ow > 16384)
   for (std::size_t row = 0; row < rows; ++row) {
-    const std::size_t c = row / (g.kernel * g.kernel);
-    const std::size_t ky = (row / g.kernel) % g.kernel;
-    const std::size_t kx = row % g.kernel;
+    const std::size_t c = row / (kh * kw);
+    const std::size_t ky = (row / kw) % kh;
+    const std::size_t kx = row % kw;
     float* out = cols + row * (oh * ow);
     for (std::size_t y = 0; y < oh; ++y) {
       const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
@@ -86,14 +87,15 @@ void im2col(const float* img, const Conv2dGeom& g, float* cols) {
 void col2im(const float* cols, const Conv2dGeom& g, float* img) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t plane = g.in_h * g.in_w;
+  const std::size_t kh = g.kh(), kw = g.kw();
   // Rows within one channel accumulate into the same image plane, so the
   // channel (not the row) is the parallel axis; per-channel accumulation
   // keeps the serial order.
-#pragma omp parallel for schedule(static) if (g.in_c > 1 && g.in_c * g.kernel * g.kernel * oh * ow > 16384)
+#pragma omp parallel for schedule(static) if (g.in_c > 1 && g.in_c * kh * kw * oh * ow > 16384)
   for (std::size_t c = 0; c < g.in_c; ++c) {
-    std::size_t row = c * g.kernel * g.kernel;
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+    std::size_t row = c * kh * kw;
+    for (std::size_t ky = 0; ky < kh; ++ky) {
+      for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
         const float* in = cols + row * (oh * ow);
         for (std::size_t y = 0; y < oh; ++y) {
           const long iy = static_cast<long>(y * g.stride + ky) - static_cast<long>(g.pad);
@@ -112,7 +114,7 @@ void col2im(const float* cols, const Conv2dGeom& g, float* img) {
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g) {
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
-  const std::size_t patch = g.in_c * g.kernel * g.kernel;
+  const std::size_t patch = g.patch();
   Tensor out({batch, g.out_c, oh, ow});
   const Tensor w2d = weight.reshaped({g.out_c, patch});
   const std::size_t in_stride = g.in_c * g.in_h * g.in_w;
@@ -152,12 +154,13 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
                        const Conv2dGeom& g, Tensor& grad_weight) {
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
-  const std::size_t patch = g.in_c * g.kernel * g.kernel;
+  const std::size_t patch = g.patch();
   const Tensor w2d = weight.reshaped({g.out_c, patch});
   const Tensor w2d_t = transpose(w2d);  // [patch, out_c]
 
   Tensor grad_input({batch, g.in_c, g.in_h, g.in_w});
   Tensor cols({patch, oh * ow});
+  Tensor cols_t({oh * ow, patch});
   Tensor grad_cols({patch, oh * ow});
   Tensor gw2d = grad_weight.reshaped({g.out_c, patch});  // accumulate here, copy back below
   Tensor gout2d({g.out_c, oh * ow});
@@ -166,20 +169,12 @@ Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& 
     const float* go = grad_out.data() + nidx * g.out_c * oh * ow;
     std::memcpy(gout2d.data(), go, gout2d.numel() * sizeof(float));
 
-    // dW += dY * cols^T  (computed as (dY[o,:] . cols[p,:]) pairs). Each
-    // output channel's gw2d row is independent, and the serial batch loop
-    // keeps per-element accumulation order fixed.
+    // dW += dY * cols^T, lowered onto the blocked GEMM so the weight gradient
+    // inherits cache blocking and the threaded row distribution. The serial
+    // batch loop keeps per-element accumulation order fixed.
     im2col(input.data() + nidx * g.in_c * g.in_h * g.in_w, g, cols.data());
-#pragma omp parallel for schedule(static) if (g.out_c > 1 && g.out_c * patch * oh * ow > 32768)
-    for (std::size_t o = 0; o < g.out_c; ++o) {
-      const float* gr = gout2d.data() + o * oh * ow;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float* cr = cols.data() + p * oh * ow;
-        float acc = 0.0f;
-        for (std::size_t t = 0; t < oh * ow; ++t) acc += gr[t] * cr[t];
-        gw2d.at(o, p) += acc;
-      }
-    }
+    transpose_into(cols.data(), patch, oh * ow, cols_t.data());
+    matmul_acc(gout2d, cols_t, gw2d);
 
     // dX = col2im(W^T * dY)
     grad_cols.fill(0.0f);

@@ -8,32 +8,44 @@
 
 namespace pdnn::tensor {
 
-/// C[m,n] = A[m,k] * B[k,n]. Blocked i-k-j loop order (streams B rows).
+/// C[m,n] = A[m,k] * B[k,n] via the cache-blocked micro-kernel GEMM
+/// (gemm_kernel.hpp); bit-identical to the naive i-k-j loop.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
-/// C[m,n] += A[m,k] * B[k,n] without reallocating C.
+/// C[m,n] += A[m,k] * B[k,n] without reallocating C. Throws
+/// std::invalid_argument unless all three operands are rank-2 with
+/// compatible shapes.
 void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
 
 /// B[n,m] = A[m,n]^T.
 Tensor transpose(const Tensor& a);
 
-/// Geometry of a 2-d convolution / pooling window.
+/// out[n,m] = a[m,n]^T into caller-owned storage (no allocation).
+void transpose_into(const float* a, std::size_t m, std::size_t n, float* out);
+
+/// Geometry of a 2-d convolution / pooling window. `kernel` is the window
+/// height; `kernel_w` is the width, with 0 (the default, so existing braced
+/// initializers stay valid) meaning a square `kernel`×`kernel` window.
 struct Conv2dGeom {
   std::size_t in_c = 0, in_h = 0, in_w = 0;
   std::size_t out_c = 0;
   std::size_t kernel = 3;
   std::size_t stride = 1;
   std::size_t pad = 1;
-  std::size_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
-  std::size_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  std::size_t kernel_w = 0;
+  std::size_t kh() const { return kernel; }
+  std::size_t kw() const { return kernel_w != 0 ? kernel_w : kernel; }
+  std::size_t patch() const { return in_c * kh() * kw(); }
+  std::size_t out_h() const { return (in_h + 2 * pad - kh()) / stride + 1; }
+  std::size_t out_w() const { return (in_w + 2 * pad - kw()) / stride + 1; }
 };
 
-/// Unfold one image [C,H,W] into columns [C*K*K, out_h*out_w].
+/// Unfold one image [C,H,W] into columns [C*KH*KW, out_h*out_w].
 void im2col(const float* img, const Conv2dGeom& g, float* cols);
 /// Fold columns back, accumulating overlaps (adjoint of im2col).
 void col2im(const float* cols, const Conv2dGeom& g, float* img);
 
-/// Forward convolution: input [N,C,H,W], weight [O,I,K,K] -> [N,O,H',W'].
+/// Forward convolution: input [N,C,H,W], weight [O,I,KH,KW] -> [N,O,H',W'].
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g);
 
 /// Gradients of conv2d. `grad_out` is [N,O,H',W'].
