@@ -1,0 +1,66 @@
+// bench_util.hpp — helpers shared by the perf-tracking benches
+// (bench_gemm, bench_posit): best-of timing, OpenMP thread control, and the
+// minimal JSON readback used by --check-regression. The scanners only parse
+// the flat one-object-per-line results arrays these benches themselves
+// write; a structural change to that format must update every bench through
+// this single header.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace pdnn::benchutil {
+
+template <typename Fn>
+double time_best(Fn&& fn, int reps) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+inline int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Scan `"key": <number>` inside one serialized result object.
+inline bool scan_number(const std::string& obj, const std::string& key, double* out) {
+  const auto pos = obj.find("\"" + key + "\":");
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(obj.c_str() + pos + key.size() + 3, nullptr);
+  return true;
+}
+
+/// Scan `"key": "<value>"` inside one serialized result object.
+inline std::string scan_string(const std::string& obj, const std::string& key) {
+  const auto pos = obj.find("\"" + key + "\": \"");
+  if (pos == std::string::npos) return "";
+  const auto start = pos + key.size() + 5;
+  const auto end = obj.find('"', start);
+  return end == std::string::npos ? "" : obj.substr(start, end - start);
+}
+
+}  // namespace pdnn::benchutil

@@ -14,7 +14,6 @@
 // perf regression (>20% below baseline — CI treats this one as non-blocking).
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,10 +21,7 @@
 #include <string>
 #include <vector>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
+#include "bench_util.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -65,6 +61,13 @@ void matmul_naive(const Tensor& a, const Tensor& b, Tensor& c) {
   }
 }
 
+using pdnn::benchutil::max_threads;
+using pdnn::benchutil::scan_number;
+using pdnn::benchutil::scan_string;
+using pdnn::benchutil::set_threads;
+
+/// Like benchutil::time_best, but re-zeroes the accumulation target between
+/// reps (matmul_acc adds into C).
 template <typename Fn>
 double time_best(Fn&& fn, Tensor& c, int reps) {
   using clock = std::chrono::steady_clock;
@@ -77,42 +80,6 @@ double time_best(Fn&& fn, Tensor& c, int reps) {
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   return best;
-}
-
-int max_threads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
-
-void set_threads(int n) {
-#ifdef _OPENMP
-  omp_set_num_threads(n);
-#else
-  (void)n;
-#endif
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON readback for --check-regression: scan the baseline's results
-// array object by object. Only the keys this bench itself writes are parsed.
-// ---------------------------------------------------------------------------
-
-bool scan_number(const std::string& obj, const std::string& key, double* out) {
-  const auto pos = obj.find("\"" + key + "\":");
-  if (pos == std::string::npos) return false;
-  *out = std::strtod(obj.c_str() + pos + key.size() + 3, nullptr);
-  return true;
-}
-
-std::string scan_string(const std::string& obj, const std::string& key) {
-  const auto pos = obj.find("\"" + key + "\": \"");
-  if (pos == std::string::npos) return "";
-  const auto start = pos + key.size() + 5;
-  const auto end = obj.find('"', start);
-  return end == std::string::npos ? "" : obj.substr(start, end - start);
 }
 
 struct BaselineEntry {

@@ -1,0 +1,305 @@
+// posit — posit inference engine perf tracking. Times the retained scalar
+// reference path (coded operands, decode per MAC, weights re-encoded per
+// call) against the decode-once engine for representative layer shapes, per
+// spec and accumulation mode, serial and threaded, checks the engine is
+// bit-identical to the reference (and threaded to serial), and writes
+// BENCH_posit.json (codes/s and effective GF/s) so later PRs can diff.
+//
+// Usage:
+//   bench_posit [out.json]
+//   bench_posit --check-regression <baseline.json> [out.json]
+//     also compares engine serial MAC/s against the committed baseline.
+//
+// Exit codes: 0 ok; 1 correctness mismatch (bit-identity broken — always a
+// real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
+// perf regression (>20% below baseline — CI treats this one as non-blocking).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "posit/mul_lut.hpp"
+#include "quant/posit_inference.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using pdnn::posit::PositSpec;
+using pdnn::quant::AccumMode;
+using pdnn::quant::EncodedTensor;
+using pdnn::tensor::Conv2dGeom;
+using pdnn::tensor::Rng;
+using pdnn::tensor::Tensor;
+
+const char* mode_name(AccumMode m) {
+  switch (m) {
+    case AccumMode::kQuire: return "quire";
+    case AccumMode::kSerial: return "serial";
+    case AccumMode::kFma: return "fma";
+  }
+  return "?";
+}
+
+struct Case {
+  std::string label;     // stable key for cross-PR comparison
+  bool is_conv = false;
+  // linear: x [m, k] * w [n, k]^T
+  std::size_t m = 0, k = 0, n = 0;
+  Conv2dGeom geom;
+  std::size_t batch = 0;
+  double macs = 0.0;
+};
+
+struct Result {
+  std::string label;
+  PositSpec spec{8, 1};
+  AccumMode mode = AccumMode::kQuire;
+  std::string path;  // "reference" | "engine" | "engine_cached"
+  int threads = 1;
+  double seconds = 0.0;
+  double macs_per_s = 0.0;
+  bool lut = false;
+  bool bit_identical = true;
+  double speedup = 0.0;  // vs reference at the same (label, spec, mode); 0 when n/a
+};
+
+using pdnn::benchutil::max_threads;
+using pdnn::benchutil::scan_number;
+using pdnn::benchutil::scan_string;
+using pdnn::benchutil::set_threads;
+using pdnn::benchutil::time_best;
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+struct BaselineEntry {
+  std::string label, mode, path;
+  int n = 0, es = 0, threads = 0;
+  double macs_per_s = 0.0;
+};
+
+std::vector<BaselineEntry> parse_baseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<BaselineEntry> entries;
+  if (!in.good()) return entries;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  auto pos = text.find("\"results\"");
+  if (pos == std::string::npos) return entries;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    double n = 0, es = 0, threads = 0, macs_per_s = 0;
+    if (scan_number(obj, "spec_n", &n) && scan_number(obj, "spec_es", &es) &&
+        scan_number(obj, "threads", &threads) && scan_number(obj, "macs_per_s", &macs_per_s)) {
+      BaselineEntry e;
+      e.label = scan_string(obj, "label");
+      e.mode = scan_string(obj, "mode");
+      e.path = scan_string(obj, "path");
+      e.n = static_cast<int>(n);
+      e.es = static_cast<int>(es);
+      e.threads = static_cast<int>(threads);
+      e.macs_per_s = macs_per_s;
+      entries.push_back(e);
+    }
+    pos = end + 1;
+  }
+  return entries;
+}
+
+double baseline_engine_macs(const std::vector<BaselineEntry>& entries, const Result& r) {
+  for (const auto& e : entries) {
+    if (e.label == r.label && e.mode == mode_name(r.mode) && e.path == r.path &&
+        e.n == r.spec.n && e.es == r.spec.es && e.threads == 1) {
+      return e.macs_per_s;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_posit.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-regression") {
+      if (i + 1 >= argc) {
+        std::cerr << "FAIL: --check-regression needs a baseline path\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else {
+      out_path = arg;
+    }
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    baseline = parse_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::cerr << "FAIL: no parsable results in baseline " << baseline_path << "\n";
+      return 2;
+    }
+  }
+
+  // The acceptance shape (linear 64x512x512) plus a conv-lowered panel; the
+  // spec set covers the LUT dispatch (n=8), the ImageNet format (16,1), and
+  // a wide format exercising the full unpacked range.
+  std::vector<Case> cases;
+  {
+    Case lin;
+    lin.label = "linear_64x512x512";
+    lin.m = 64;
+    lin.k = 512;
+    lin.n = 512;
+    lin.macs = 64.0 * 512 * 512;
+    cases.push_back(lin);
+    Case conv;
+    conv.label = "conv_8c16x16_o16k3";
+    conv.is_conv = true;
+    conv.geom = Conv2dGeom{8, 16, 16, 16, 3, 1, 1};
+    conv.batch = 4;
+    conv.macs = static_cast<double>(conv.batch) * conv.geom.out_c * conv.geom.out_h() *
+                conv.geom.out_w() * conv.geom.patch();
+    cases.push_back(conv);
+  }
+  const std::vector<PositSpec> specs = {{8, 1}, {16, 1}, {32, 2}};
+  const std::vector<AccumMode> modes = {AccumMode::kQuire, AccumMode::kSerial, AccumMode::kFma};
+
+  const int hw_threads = max_threads();
+  Rng rng(7);
+  std::vector<Result> results;
+  bool mismatch = false;
+
+  for (const Case& c : cases) {
+    const Tensor x = c.is_conv ? Tensor::randn({c.batch, c.geom.in_c, c.geom.in_h, c.geom.in_w}, rng)
+                               : Tensor::randn({c.m, c.k}, rng);
+    const Tensor w = c.is_conv
+                         ? Tensor::randn({c.geom.out_c, c.geom.in_c, c.geom.kh(), c.geom.kw()}, rng, 0.3f)
+                         : Tensor::randn({c.n, c.k}, rng, 0.3f);
+    const Tensor bias = c.is_conv ? Tensor::randn({c.geom.out_c}, rng, 0.1f)
+                                  : Tensor::randn({c.n}, rng, 0.1f);
+
+    for (const PositSpec& spec : specs) {
+      for (const AccumMode mode : modes) {
+        const bool lut =
+            mode == AccumMode::kSerial &&
+            pdnn::posit::mul_lut_supported(spec, pdnn::posit::RoundMode::kNearestEven);
+        // Small shapes are noisy on shared runners; more reps tighten the
+        // best-of (mirrors bench_gemm).
+        const bool small = c.macs < 8.0e6;
+        const int ref_reps = small ? 3 : 1;
+        const int eng_reps = small ? 10 : 3;
+        set_threads(1);
+
+        Tensor ref_out, eng_out;
+        const auto run_ref = [&] {
+          ref_out = c.is_conv
+                        ? pdnn::quant::posit_conv2d_reference(x, w, bias, c.geom, spec, mode)
+                        : pdnn::quant::posit_linear_reference(x, w, bias, spec, mode);
+        };
+        const auto run_eng = [&] {
+          eng_out = c.is_conv ? pdnn::quant::posit_conv2d(x, w, bias, c.geom, spec, mode)
+                              : pdnn::quant::posit_linear(x, w, bias, spec, mode);
+        };
+
+        const double t_ref = time_best(run_ref, ref_reps);
+        const double t_eng = time_best(run_eng, eng_reps);
+        const bool eng_match = same_bits(eng_out, ref_out);
+
+        // Steady-state serving: weights already encoded + unpacked (what
+        // posit_forward sees through WeightCodeCache after the first batch).
+        const EncodedTensor we = pdnn::quant::encode_unpack(w, spec);
+        const EncodedTensor be = pdnn::quant::encode_unpack(bias, spec);
+        Tensor cached_out;
+        const auto run_cached = [&] {
+          cached_out = c.is_conv ? pdnn::quant::posit_conv2d(x, we, be, c.geom, mode)
+                                 : pdnn::quant::posit_linear(x, we, be, mode);
+        };
+        const double t_cached = time_best(run_cached, eng_reps);
+        const bool cached_match = same_bits(cached_out, ref_out);
+
+        set_threads(hw_threads);
+        Tensor thr_out;
+        const auto run_thr = [&] {
+          thr_out = c.is_conv ? pdnn::quant::posit_conv2d(x, we, be, c.geom, mode)
+                              : pdnn::quant::posit_linear(x, we, be, mode);
+        };
+        const double t_thr = time_best(run_thr, eng_reps);
+        const bool thr_match = same_bits(thr_out, ref_out);
+        set_threads(1);
+
+        results.push_back({c.label, spec, mode, "reference", 1, t_ref, c.macs / t_ref, lut, true, 1.0});
+        results.push_back(
+            {c.label, spec, mode, "engine", 1, t_eng, c.macs / t_eng, lut, eng_match, t_ref / t_eng});
+        results.push_back({c.label, spec, mode, "engine_cached", 1, t_cached, c.macs / t_cached, lut,
+                           cached_match, t_ref / t_cached});
+        results.push_back({c.label, spec, mode, "engine_cached", hw_threads, t_thr, c.macs / t_thr,
+                           lut, thr_match, t_ref / t_thr});
+        mismatch = mismatch || !eng_match || !cached_match || !thr_match;
+
+        std::printf("%-20s %-11s %-6s ref %8.3f MMAC/s  engine %8.3f MMAC/s (x%5.1f)  cached %8.3f "
+                    "MMAC/s (x%5.1f)  %d-thr %8.3f  %s%s\n",
+                    c.label.c_str(), spec.to_string().c_str(), mode_name(mode), c.macs / t_ref * 1e-6,
+                    c.macs / t_eng * 1e-6, t_ref / t_eng, c.macs / t_cached * 1e-6, t_ref / t_cached,
+                    hw_threads, c.macs / t_thr * 1e-6,
+                    eng_match && cached_match && thr_match ? "bit-identical" : "MISMATCH",
+                    lut ? " [lut]" : "");
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "FAIL: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  out << "{\n  \"bench\": \"posit\",\n  \"threads_available\": " << hw_threads
+      << ",\n  \"act_tile\": " << pdnn::quant::kActTile << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"label\": \"" << r.label << "\", \"spec_n\": " << r.spec.n
+        << ", \"spec_es\": " << r.spec.es << ", \"mode\": \"" << mode_name(r.mode)
+        << "\", \"path\": \"" << r.path << "\", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds << ", \"macs_per_s\": " << r.macs_per_s
+        << ", \"gflops\": " << 2.0 * r.macs_per_s * 1e-9 << ", \"lut\": " << (r.lut ? "true" : "false")
+        << ", \"speedup_vs_reference\": " << r.speedup
+        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (mismatch) {
+    std::cerr << "FAIL: engine diverged from the scalar reference\n";
+  }
+
+  bool regressed = false;
+  if (!baseline_path.empty()) {
+    for (const auto& r : results) {
+      if ((r.path != "engine" && r.path != "engine_cached") || r.threads != 1) continue;
+      const double base = baseline_engine_macs(baseline, r);
+      if (base <= 0.0) continue;  // entry not in baseline; nothing to compare
+      const double ratio = r.macs_per_s / base;
+      std::printf("regression check %-20s %-13s %-11s %-6s: %8.3f MMAC/s vs baseline %8.3f (x%.2f)%s\n",
+                  r.label.c_str(), r.path.c_str(), r.spec.to_string().c_str(), mode_name(r.mode),
+                  r.macs_per_s * 1e-6, base * 1e-6, ratio, ratio < 0.8 ? "  REGRESSION" : "");
+      if (ratio < 0.8) regressed = true;
+    }
+    if (regressed)
+      std::cerr << "FAIL: engine serial MAC/s dropped >20% vs " << baseline_path << "\n";
+  }
+  if (mismatch) return 1;
+  return regressed ? 3 : 0;
+}

@@ -15,13 +15,15 @@ using tensor::Tensor;
 // Conv2d
 // ---------------------------------------------------------------------------
 Conv2d::Conv2d(std::string name, std::size_t in_c, std::size_t out_c, std::size_t kernel,
-               std::size_t stride, std::size_t pad, tensor::Rng& rng, bool with_bias)
+               std::size_t stride, std::size_t pad, tensor::Rng& rng, bool with_bias,
+               std::size_t kernel_w)
     : Module(std::move(name)), with_bias_(with_bias), in_c_(in_c), out_c_(out_c), kernel_(kernel),
-      stride_(stride), pad_(pad) {
+      stride_(stride), pad_(pad), kernel_w_(kernel_w) {
+  const std::size_t kw = this->kernel_w();
   weight_.name = name_ + ".weight";
   weight_.layer_class = LayerClass::kConv;
-  const std::size_t fan_in = in_c * kernel * kernel;
-  weight_.value = Tensor::kaiming({out_c, in_c, kernel, kernel}, fan_in, rng);
+  const std::size_t fan_in = in_c * kernel * kw;
+  weight_.value = Tensor::kaiming({out_c, in_c, kernel, kw}, fan_in, rng);
   weight_.grad = Tensor::zeros(weight_.value.shape());
   if (with_bias_) {
     bias_.name = name_ + ".bias";
@@ -33,7 +35,8 @@ Conv2d::Conv2d(std::string name, std::size_t in_c, std::size_t out_c, std::size_
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool training) {
-  geom_ = tensor::Conv2dGeom{in_c_, x.shape()[2], x.shape()[3], out_c_, kernel_, stride_, pad_};
+  geom_ = tensor::Conv2dGeom{in_c_, x.shape()[2], x.shape()[3], out_c_, kernel_, stride_, pad_,
+                             kernel_w_};
   // Fig. 3a: W_p = P(W); the quantized weight is also what backward sees.
   cached_qweight_ = quantizing() ? policy_->quantize_weight(weight_.value, name_, LayerClass::kConv)
                                  : weight_.value;

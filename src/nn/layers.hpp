@@ -11,10 +11,13 @@ namespace pdnn::nn {
 
 /// 2-d convolution. Bias defaults off (the paper's ResNets put BN after every
 /// conv); pass with_bias=true for a per-output-channel additive bias.
+/// `kernel` is the window height; `kernel_w` selects a rectangular
+/// kernel x kernel_w window, with 0 (the default) meaning square — the same
+/// convention as tensor::Conv2dGeom.
 class Conv2d final : public Module {
  public:
   Conv2d(std::string name, std::size_t in_c, std::size_t out_c, std::size_t kernel, std::size_t stride,
-         std::size_t pad, tensor::Rng& rng, bool with_bias = false);
+         std::size_t pad, tensor::Rng& rng, bool with_bias = false, std::size_t kernel_w = 0);
 
   tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
@@ -29,6 +32,8 @@ class Conv2d final : public Module {
   std::size_t in_channels() const { return in_c_; }
   std::size_t out_channels() const { return out_c_; }
   std::size_t kernel() const { return kernel_; }
+  /// Window width; equals kernel() for square windows.
+  std::size_t kernel_w() const { return kernel_w_ != 0 ? kernel_w_ : kernel_; }
   std::size_t stride() const { return stride_; }
   std::size_t pad() const { return pad_; }
 
@@ -36,7 +41,7 @@ class Conv2d final : public Module {
   Param weight_;
   Param bias_;
   bool with_bias_ = false;
-  std::size_t in_c_, out_c_, kernel_, stride_, pad_;
+  std::size_t in_c_, out_c_, kernel_, stride_, pad_, kernel_w_;
   tensor::Tensor cached_input_;     // A^{l-1}_p
   tensor::Tensor cached_qweight_;   // W_p used in forward, reused in backward
   tensor::Conv2dGeom geom_;

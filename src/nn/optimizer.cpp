@@ -25,6 +25,7 @@ void SgdMomentum::step() {
     if (policy_ != nullptr && policy_->active()) {
       policy_->quantize_updated_weight(p.value, p.name, p.layer_class);
     }
+    p.mark_updated();
   }
 }
 

@@ -6,6 +6,8 @@
 // route every tensor to its (n, es) format and layer-wise scale factor.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "tensor/tensor.hpp"
@@ -30,6 +32,14 @@ enum class TensorRole {
 const char* to_string(LayerClass c);
 const char* to_string(TensorRole r);
 
+/// Process-wide monotonic counter backing Param::version. Every Param starts
+/// at a fresh value, so a (data pointer, version) pair can never collide with
+/// an earlier Param that happened to reuse the same allocation.
+inline std::uint64_t next_param_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
 /// A learnable tensor with its gradient and routing metadata.
 struct Param {
   std::string name;            ///< e.g. "stage2.block0.conv1.weight"
@@ -37,8 +47,14 @@ struct Param {
   tensor::Tensor value;
   tensor::Tensor grad;
   bool decay = true;           ///< participates in weight decay (BN params do not)
+  std::uint64_t version = next_param_version();  ///< bumped on every value mutation
 
   void zero_grad() { grad.fill(0.0f); }
+
+  /// Invalidation hook: every code path that rewrites `value` (optimizer
+  /// step, checkpoint load, manual surgery) must call this so derived caches
+  /// (e.g. the posit inference weight-code cache) refresh their encodings.
+  void mark_updated() { version = next_param_version(); }
 };
 
 inline const char* to_string(LayerClass c) {

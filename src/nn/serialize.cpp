@@ -105,6 +105,7 @@ void load_parameters(std::istream& is, Sequential& net) {
     is.read(reinterpret_cast<char*>(it->second->value.data()),
             static_cast<std::streamsize>(it->second->value.numel() * sizeof(float)));
     if (!is) throw std::runtime_error("checkpoint: truncated data for " + ns.name);
+    it->second->mark_updated();
   }
 }
 
@@ -180,6 +181,7 @@ void load_parameters_posit(std::istream& is, Sequential& net) {
       packed.set_code(e, code);
     }
     it->second->value = packed.unpack();
+    it->second->mark_updated();
   }
 }
 

@@ -1,5 +1,7 @@
 #include "posit/arith.hpp"
 
+#include "posit/unpacked.hpp"
+
 namespace pdnn::posit {
 
 namespace {
@@ -128,6 +130,44 @@ std::uint32_t fma(std::uint32_t a, std::uint32_t b, std::uint32_t c, const Posit
   dp.neg = da.neg != db.neg;
   dp.scale = static_cast<int>(pscale);
   dp.sig = static_cast<std::uint64_t>(product >> (msb - 62));
+  return add_decoded(dp, dc, spec, mode, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Decode-once overloads (operands already unpacked; see unpacked.hpp). These
+// reproduce the coded paths above on pre-decoded fields: the reduced
+// significand product equals the full 128-bit product shifted right by its
+// (all-zero) trailing bits, so round_pack sees the same value with the same
+// sticky state and emits the same code.
+// ---------------------------------------------------------------------------
+
+std::uint32_t mul(const Unpacked& a, const Unpacked& b, const PositSpec& spec, RoundMode mode,
+                  RoundingRng* rng) {
+  if (a.is_nar() || b.is_nar()) return spec.nar_code();
+  if (a.is_zero() || b.is_zero()) return 0u;
+  const std::uint64_t product = static_cast<std::uint64_t>(a.sig) * b.sig;  // <= 60 bits
+  const int msb = 63 - __builtin_clzll(product);
+  const long scale = static_cast<long>(a.lsb_weight) + b.lsb_weight + msb;
+  return round_pack(spec, a.neg != b.neg, scale, product, msb, false, mode, rng);
+}
+
+std::uint32_t fma(const Unpacked& a, const Unpacked& b, std::uint32_t c, const PositSpec& spec,
+                  RoundMode mode, RoundingRng* rng) {
+  const Decoded dc = decode(c, spec);
+  if (a.is_nar() || b.is_nar() || dc.is_nar) return spec.nar_code();
+  if (a.is_zero() || b.is_zero()) return c & spec.mask();
+  const std::uint64_t product = static_cast<std::uint64_t>(a.sig) * b.sig;
+  const int msb = 63 - __builtin_clzll(product);
+  const long pscale = static_cast<long>(a.lsb_weight) + b.lsb_weight + msb;
+  if (dc.is_zero) {
+    return round_pack(spec, a.neg != b.neg, pscale, product, msb, false, mode, rng);
+  }
+  // Same Decoded product the coded fma builds: hidden bit restored to 62
+  // (exact — only zero bits are shifted in).
+  Decoded dp;
+  dp.neg = a.neg != b.neg;
+  dp.scale = static_cast<int>(pscale);
+  dp.sig = product << (62 - msb);
   return add_decoded(dp, dc, spec, mode, rng);
 }
 

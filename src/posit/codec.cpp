@@ -1,6 +1,7 @@
 #include "posit/codec.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace pdnn::posit {
@@ -96,6 +97,56 @@ std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned _
   if (k < spec.min_k()) return finish(spec.minpos_code());
 
   const int rb = k >= 0 ? static_cast<int>(k) + 2 : static_cast<int>(1 - k);
+  const int target = n - 1;
+
+  // Fast path (the engine's encode hot loop): when the regime and full
+  // exponent field fit the body, only fraction bits are ever discarded, so
+  // the whole assembly/round runs in 64-bit arithmetic. Discarded bits are
+  // the low `shift` bits of `sig` (the hidden bit sits above them), making
+  // guard/sticky direct masks — bit-identical to the 128-bit composition
+  // below, which remains for truncated-exponent codes (rb + es > target).
+  const int body_frac_bits = target - rb - es;
+  if (body_frac_bits >= 0) {
+    const auto sig64 = static_cast<std::uint64_t>(sig);  // sig_bits <= 62
+    const std::uint64_t hi =
+        ((k >= 0 ? ((1ULL << (k + 2)) - 2) : 1ULL) << es) | static_cast<std::uint64_t>(e);
+    std::uint32_t body;
+    if (sig_bits <= body_frac_bits) {
+      const std::uint64_t frac_all = sig64 & ((1ULL << sig_bits) - 1);
+      body = static_cast<std::uint32_t>(((hi << sig_bits) | frac_all) << (body_frac_bits - sig_bits));
+      // No discarded bits inside the word; `sticky` alone never rounds up.
+    } else {
+      const int shift = sig_bits - body_frac_bits;
+      const std::uint64_t discarded = sig64 & ((1ULL << shift) - 1);
+      body = static_cast<std::uint32_t>((hi << body_frac_bits) | ((sig64 & ((1ULL << sig_bits) - 1)) >> shift));
+      const bool guard = ((discarded >> (shift - 1)) & 1) != 0;
+      const bool low_sticky = (discarded & ((1ULL << (shift - 1)) - 1)) != 0 || sticky;
+      bool round_up = false;
+      switch (mode) {
+        case RoundMode::kNearestEven:
+          round_up = guard && (low_sticky || (body & 1u));
+          break;
+        case RoundMode::kTowardZero:
+          round_up = false;
+          break;
+        case RoundMode::kStochastic: {
+          const int cmp_bits = shift > 63 ? 63 : shift;
+          const std::uint64_t disc =
+              (discarded >> (shift - cmp_bits)) + (sticky ? 1u : 0u);
+          const std::uint64_t rnd = rng != nullptr ? (rng->next() >> (64 - cmp_bits)) : 0u;
+          round_up = rnd < disc;
+          break;
+        }
+      }
+      if (round_up) {
+        ++body;
+        if (body > body_max) body = body_max;  // never round into NaR
+      }
+      if (body == 0) body = spec.minpos_code();  // never round a non-zero value to zero
+    }
+    return finish(body);
+  }
+
   const unsigned __int128 regime_pattern =
       k >= 0 ? ((static_cast<unsigned __int128>(1) << (k + 2)) - 2)  // k+1 ones then a zero
              : static_cast<unsigned __int128>(1);                    // -k zeros then a one
@@ -104,7 +155,6 @@ std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned _
   unsigned __int128 v = (regime_pattern << (es + sig_bits)) | (static_cast<unsigned __int128>(e) << sig_bits) |
                         frac_field;
   const int width = rb + es + sig_bits;
-  const int target = n - 1;
 
   std::uint32_t body;
   if (width <= target) {
@@ -151,15 +201,28 @@ std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned _
 }
 
 std::uint32_t from_double(double x, const PositSpec& spec, RoundMode mode, RoundingRng* rng) {
-  if (x == 0.0) return 0u;
-  if (std::isnan(x) || std::isinf(x)) return spec.nar_code();
-  const bool neg = std::signbit(x);
-  int exp2 = 0;
-  const double m = std::frexp(std::fabs(x), &exp2);  // m in [0.5, 1)
-  // m * 2^63 in [2^62, 2^63): hidden bit lands at 62; double's 53-bit mantissa
-  // is captured exactly.
-  const auto sig = static_cast<std::uint64_t>(std::ldexp(m, 63));
-  return round_pack(spec, neg, exp2 - 1, sig, 62, false, mode, rng);
+  // Direct IEEE-754 field extraction (no libm): this sits on the encode hot
+  // path of the posit inference engine, where frexp/ldexp calls dominated.
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const std::uint64_t mant = bits & ((1ULL << 52) - 1);
+  const int biased = static_cast<int>((bits >> 52) & 0x7FF);
+  if (biased == 0x7FF) return spec.nar_code();    // NaN or +/-Inf
+  if (biased == 0 && mant == 0) return 0u;        // +/-0
+  const bool neg = (bits >> 63) != 0;
+  std::uint64_t sig;
+  long scale;
+  if (biased != 0) {
+    // Normal: |x| = 1.mant * 2^(biased-1023); hidden bit lands at 62.
+    sig = ((1ULL << 52) | mant) << 10;
+    scale = biased - 1023;
+  } else {
+    // Subnormal: |x| = mant * 2^-1074; normalize the leading bit to 62.
+    const int msb = 63 - __builtin_clzll(mant);
+    sig = mant << (62 - msb);
+    scale = msb - 1074;
+  }
+  return round_pack(spec, neg, scale, sig, 62, false, mode, rng);
 }
 
 double to_double(std::uint32_t code, const PositSpec& spec) {

@@ -1,0 +1,41 @@
+#include "posit/mul_lut.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace pdnn::posit {
+
+MulLut::MulLut(const PositSpec& spec, RoundMode mode) : spec_(spec), mode_(mode) {
+  if (!mul_lut_supported(spec, mode)) {
+    throw std::invalid_argument("MulLut: unsupported for " + spec.to_string());
+  }
+  const std::size_t count = static_cast<std::size_t>(1) << spec.n;
+  table_.resize(count * count);
+  for (std::uint32_t a = 0; a < count; ++a) {
+    for (std::uint32_t b = 0; b < count; ++b) {
+      table_[(static_cast<std::size_t>(a) << spec.n) | b] =
+          static_cast<std::uint8_t>(mul(a, b, spec, mode));
+    }
+  }
+}
+
+bool mul_lut_supported(const PositSpec& spec, RoundMode mode) {
+  return spec.n <= 8 && mode != RoundMode::kStochastic;
+}
+
+const MulLut& mul_lut(const PositSpec& spec, RoundMode mode) {
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, int>, std::unique_ptr<MulLut>> cache;
+  const auto key = std::make_tuple(spec.n, spec.es, static_cast<int>(mode));
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<MulLut>(spec, mode)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace pdnn::posit

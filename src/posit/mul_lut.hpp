@@ -1,0 +1,45 @@
+// mul_lut.hpp — tabulated posit multiplication for small formats.
+//
+// For n <= 8 the whole code space fits in one byte, so round(a*b) is a
+// 2^n x 2^n byte table (at most 64 KiB — L2-resident) built once per
+// (spec, rounding mode) and shared process-wide. The engine dispatches onto
+// the table at runtime the same way the GEMM picks its AVX2 micro-kernel:
+// eligible format -> table, otherwise the decode-once arithmetic path.
+// PAPERS.md's tabulated small-n codecs are the precedent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "posit/arith.hpp"
+
+namespace pdnn::posit {
+
+/// One fully materialized multiplication table: entry [(a << n) | b] holds
+/// the n-bit code of round(a*b) under the table's rounding mode.
+class MulLut {
+ public:
+  MulLut(const PositSpec& spec, RoundMode mode);
+
+  std::uint32_t at(std::uint32_t a, std::uint32_t b) const {
+    return table_[(static_cast<std::size_t>(a) << spec_.n) | b];
+  }
+  const PositSpec& spec() const { return spec_; }
+  RoundMode mode() const { return mode_; }
+  std::size_t byte_size() const { return table_.size(); }
+
+ private:
+  PositSpec spec_;
+  RoundMode mode_;
+  std::vector<std::uint8_t> table_;
+};
+
+/// True when a table can serve this (spec, mode): n <= 8 (codes fit a byte)
+/// and a deterministic rounding mode (stochastic draws cannot be tabulated).
+bool mul_lut_supported(const PositSpec& spec, RoundMode mode);
+
+/// Process-wide table cache (thread-safe; built on first use). Throws
+/// std::invalid_argument when mul_lut_supported() is false.
+const MulLut& mul_lut(const PositSpec& spec, RoundMode mode);
+
+}  // namespace pdnn::posit

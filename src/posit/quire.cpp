@@ -20,6 +20,10 @@ Quire::Quire(const PositSpec& spec, int guard_bits) : spec_(spec) {
   const long int_bits = 2L * spec_.max_scale() + guard_bits + 2;
   const long total = frac_bits_ + int_bits + 1;  // +1 sign
   words_.assign(static_cast<std::size_t>((total + 63) / 64), 0u);
+  // accumulate_dot scratch: one 64-bit limb per 32 register bits plus two
+  // spill limbs, twice (positive stream then negative stream).
+  limbs_.assign((words_.size() * 2 + 2) * 2, 0u);
+  mag_scratch_.assign(words_.size(), 0u);
 }
 
 void Quire::clear() {
@@ -92,6 +96,107 @@ void Quire::add_product(std::uint32_t a, std::uint32_t b) {
   add_shifted(product, lsb_weight, da.neg != db.neg);
 }
 
+void Quire::add_shifted64(std::uint64_t sig, long lsb_weight, bool negative) {
+  const long pos = frac_bits_ + lsb_weight;
+  if (pos < 0 || sig == 0) return;  // cannot happen for valid posit products
+  std::size_t word = static_cast<std::size_t>(pos / 64);
+  const int bit = static_cast<int>(pos % 64);
+  const std::uint64_t lo = sig << bit;
+  const std::uint64_t hi = bit != 0 ? sig >> (64 - bit) : 0u;
+
+  if (!negative) {
+    u128 s = static_cast<u128>(words_[word]) + lo;
+    words_[word] = static_cast<std::uint64_t>(s);
+    unsigned carry = static_cast<unsigned>(s >> 64);
+    for (std::size_t i = word + 1; (carry || (i == word + 1 && hi)) && i < words_.size(); ++i) {
+      s = static_cast<u128>(words_[i]) + (i == word + 1 ? hi : 0u) + carry;
+      words_[i] = static_cast<std::uint64_t>(s);
+      carry = static_cast<unsigned>(s >> 64);
+    }
+  } else {
+    const std::uint64_t before = words_[word];
+    words_[word] = before - lo;
+    std::uint64_t borrow = before < lo ? 1u : 0u;
+    for (std::size_t i = word + 1; (borrow || (i == word + 1 && hi)) && i < words_.size(); ++i) {
+      const u128 sub_amount = static_cast<u128>(i == word + 1 ? hi : 0u) + borrow;
+      const u128 w = words_[i];
+      words_[i] = static_cast<std::uint64_t>(w - sub_amount);
+      borrow = w < sub_amount ? 1u : 0u;
+    }
+  }
+}
+
+void Quire::add_product(const Unpacked& a, const Unpacked& b) {
+  if ((a.flags | b.flags) != 0) {  // zero or NaR operand: no deposit
+    if (a.is_nar() || b.is_nar()) nar_ = true;
+    return;
+  }
+  const std::uint64_t product = static_cast<std::uint64_t>(a.sig) * b.sig;
+  add_shifted64(product, static_cast<long>(a.lsb_weight) + b.lsb_weight, a.neg != b.neg);
+}
+
+void Quire::fold_limbs(std::uint64_t* limbs, bool negative) {
+  const std::size_t nlimbs = words_.size() * 2 + 2;
+  // Carry-propagate the 32-bit payloads; spill past the register width drops
+  // out, matching the mod-2^width wraparound of sequential deposits.
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < nlimbs; ++i) {
+    const u128 t = static_cast<u128>(limbs[i]) + carry;
+    limbs[i] = static_cast<std::uint64_t>(t) & 0xFFFFFFFFu;
+    carry = static_cast<std::uint64_t>(t >> 32);
+  }
+  if (!negative) {
+    unsigned c = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t v = limbs[2 * w] | (limbs[2 * w + 1] << 32);
+      const u128 s = static_cast<u128>(words_[w]) + v + c;
+      words_[w] = static_cast<std::uint64_t>(s);
+      c = static_cast<unsigned>(s >> 64);
+    }
+  } else {
+    std::uint64_t borrow = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const u128 sub_amount =
+          static_cast<u128>(limbs[2 * w] | (limbs[2 * w + 1] << 32)) + borrow;
+      const u128 before = words_[w];
+      words_[w] = static_cast<std::uint64_t>(before - sub_amount);
+      borrow = before < sub_amount ? 1u : 0u;
+    }
+  }
+}
+
+void Quire::accumulate_dot(const Unpacked* a, const Unpacked* b, std::size_t count) {
+  const std::size_t nlimbs = words_.size() * 2 + 2;
+  std::uint64_t* pos_limbs = limbs_.data();
+  std::uint64_t* neg_limbs = limbs_.data() + nlimbs;
+  std::fill(limbs_.begin(), limbs_.end(), 0u);
+  const long base = frac_bits_;
+  bool nar = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Unpacked ua = a[i];
+    const Unpacked ub = b[i];
+    // Zero operands fall through for free (sig == 0 deposits nothing); only
+    // NaR needs the branch, and it never fires on real panels.
+    if (((ua.flags | ub.flags) & Unpacked::kNarFlag) != 0) {
+      nar = true;
+      continue;
+    }
+    const std::uint64_t product = static_cast<std::uint64_t>(ua.sig) * ub.sig;  // <= 60 bits
+    const auto pos = static_cast<std::size_t>(base + ua.lsb_weight + ub.lsb_weight);
+    const std::size_t idx = pos >> 5;
+    const std::uint32_t sh = pos & 31;
+    std::uint64_t* dst = (ua.neg ^ ub.neg) != 0 ? neg_limbs : pos_limbs;
+    // Three 32-bit chunks of product << sh, in plain 64-bit ops. The last
+    // chunk's shift stays defined at sh == 0 by splitting it in two.
+    dst[idx] += (product << sh) & 0xFFFFFFFFu;
+    dst[idx + 1] += (product >> (32 - sh)) & 0xFFFFFFFFu;
+    dst[idx + 2] += (product >> 1) >> (63 - sh);
+  }
+  if (nar) nar_ = true;
+  fold_limbs(pos_limbs, false);
+  fold_limbs(neg_limbs, true);
+}
+
 void Quire::sub_product(std::uint32_t a, std::uint32_t b) { add_product(a, neg(b, spec_)); }
 
 void Quire::add_posit(std::uint32_t a) {
@@ -108,7 +213,8 @@ std::uint32_t Quire::to_posit(RoundMode mode, RoundingRng* rng) const {
   if (nar_) return spec_.nar_code();
   // Determine sign from the top word (two's complement).
   const bool negative = (words_.back() >> 63) != 0;
-  std::vector<std::uint64_t> mag = words_;
+  std::vector<std::uint64_t>& mag = mag_scratch_;  // per-output hot path: no allocation
+  mag = words_;
   if (negative) {
     unsigned carry = 1;
     for (auto& w : mag) {
@@ -155,7 +261,8 @@ std::uint32_t Quire::to_posit(RoundMode mode, RoundingRng* rng) const {
 double Quire::to_double() const {
   if (nar_) return std::numeric_limits<double>::quiet_NaN();
   const bool negative = (words_.back() >> 63) != 0;
-  std::vector<std::uint64_t> mag = words_;
+  std::vector<std::uint64_t>& mag = mag_scratch_;
+  mag = words_;
   if (negative) {
     unsigned carry = 1;
     for (auto& w : mag) {

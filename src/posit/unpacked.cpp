@@ -1,0 +1,24 @@
+#include "posit/unpacked.hpp"
+
+namespace pdnn::posit {
+
+void decode_unpacked(const std::uint32_t* codes, std::size_t count, const PositSpec& spec,
+                     Unpacked* out) {
+  for (std::size_t i = 0; i < count; ++i) out[i] = decode_unpacked(codes[i], spec);
+}
+
+Decoded to_decoded(const Unpacked& u) {
+  // Only the numeric fields (sign, scale, sig) are rebuilt; the raw field view
+  // (k, e, frac) is reporting-only and stays zero.
+  Decoded d;
+  d.is_zero = u.is_zero();
+  d.is_nar = u.is_nar();
+  if (d.is_zero || d.is_nar) return d;
+  d.neg = u.neg != 0;
+  const int msb = 31 - __builtin_clz(u.sig);
+  d.scale = static_cast<int>(u.lsb_weight) + msb;
+  d.sig = static_cast<std::uint64_t>(u.sig) << (62 - msb);
+  return d;
+}
+
+}  // namespace pdnn::posit

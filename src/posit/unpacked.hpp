@@ -1,0 +1,108 @@
+// unpacked.hpp — compact decode-once operand form for the posit engine.
+//
+// The arithmetic routines in arith.cpp/quire.cpp re-decode their raw-code
+// operands on every call, which dominates the cost of a software posit MAC.
+// Unpacked is the decode-once alternative: an 8-byte POD holding the sign,
+// the reduced significand (trailing zeros stripped, so it fits 30 bits for
+// every supported spec) and the binary weight of its least significant bit.
+// A code is unpacked exactly once; the hot loops then multiply/accumulate on
+// the fields directly with results bit-identical to the coded paths.
+#pragma once
+
+#include <cstdint>
+
+#include "posit/codec.hpp"
+
+namespace pdnn::posit {
+
+/// Decode-once operand: value = (neg ? -1 : 1) * sig * 2^lsb_weight.
+///
+/// `sig` is the Decoded significand with its trailing zeros shifted out
+/// (odd for every finite non-zero posit), at most 30 bits since fraction
+/// widths are <= 29. Zero and NaR are carried in `flags` with sig == 0, so a
+/// product against them contributes nothing by construction and the NaR flag
+/// can be checked per element, not per MAC.
+struct Unpacked {
+  std::uint32_t sig = 0;
+  std::int16_t lsb_weight = 0;
+  std::uint8_t neg = 0;
+  std::uint8_t flags = kZeroFlag;  ///< kZeroFlag / kNarFlag, 0 for finite non-zero
+
+  static constexpr std::uint8_t kZeroFlag = 1;
+  static constexpr std::uint8_t kNarFlag = 2;
+
+  bool is_zero() const { return (flags & kZeroFlag) != 0; }
+  bool is_nar() const { return (flags & kNarFlag) != 0; }
+};
+
+/// Unpack one code. Field-for-field equivalent to decode(): the reduced
+/// (sig, lsb_weight) pair denotes exactly the same real value as Decoded's
+/// (sig, scale), so every consumer rounds identically.
+///
+/// Inline, clz-based parse (no per-bit regime loop): this runs once per
+/// tensor element on the engine's encode path. The exhaustive and randomized
+/// round-trip tests in tests/posit/arith_test.cpp pin it to decode().
+inline Unpacked decode_unpacked(std::uint32_t code, const PositSpec& spec) {
+  Unpacked u;
+  code &= spec.mask();
+  if (code == 0) return u;  // default-constructed: kZeroFlag, sig 0
+  if (code == spec.nar_code()) {
+    u.flags = Unpacked::kNarFlag;
+    return u;
+  }
+  const bool neg = (code & spec.sign_bit()) != 0;
+  const std::uint32_t mag = neg ? ((~code + 1u) & spec.mask()) : code;
+  const int body_bits = spec.n - 1;
+  const std::uint32_t body = mag & (spec.sign_bit() - 1u);
+
+  // Regime: length of the leading run of identical bits. Aligning the body
+  // to the top of the word makes the run a leading-zero count: the shifted-in
+  // low zeros terminate an all-ones run (after inversion) and body >= 1
+  // terminates an all-zeros run, so clz caps at body_bits by construction.
+  const std::uint32_t x = body << (32 - body_bits);
+  const bool first = (x >> 31) != 0;
+  const int run = first ? __builtin_clz(~x) : __builtin_clz(x);
+  const int k = first ? run - 1 : -run;
+
+  const int after_regime = body_bits - run - 1;  // bits below the terminator
+  const int remaining = after_regime > 0 ? after_regime : 0;
+  const int e_stored = remaining < spec.es ? remaining : spec.es;
+  std::uint32_t e_bits = 0;
+  if (e_stored > 0) e_bits = (body >> (remaining - e_stored)) & ((1u << e_stored) - 1u);
+  const int e = static_cast<int>(e_bits) << (spec.es - e_stored);
+
+  const int frac_width = remaining - e_stored;
+  const std::uint32_t frac = frac_width > 0 ? (body & ((1u << frac_width) - 1u)) : 0u;
+  const int scale = (k << spec.es) + e;
+
+  // Reduced significand: Decoded's hidden-at-62 sig is ((1<<fw)|frac) with
+  // 62-fw trailing zeros appended; strip the fraction's own trailing zeros
+  // on top of that.
+  const std::uint32_t sig_frac = (1u << frac_width) | frac;
+  const int tz = __builtin_ctz(sig_frac);
+  u.sig = sig_frac >> tz;
+  u.lsb_weight = static_cast<std::int16_t>(scale - frac_width + tz);
+  u.neg = neg ? 1 : 0;
+  u.flags = 0;
+  return u;
+}
+
+/// Unpack a contiguous span of codes (the panel form the engine caches).
+void decode_unpacked(const std::uint32_t* codes, std::size_t count, const PositSpec& spec,
+                     Unpacked* out);
+
+/// Rebuild the Decoded view of an unpacked operand (hidden bit back at 62).
+/// Used by the arith overloads; exact for every finite non-zero operand.
+Decoded to_decoded(const Unpacked& u);
+
+/// round(a*b) on unpacked operands — bit-identical to mul() on the codes the
+/// operands were unpacked from.
+std::uint32_t mul(const Unpacked& a, const Unpacked& b, const PositSpec& spec,
+                  RoundMode mode = RoundMode::kNearestEven, RoundingRng* rng = nullptr);
+
+/// round(a*b + c) with the product kept exact — bit-identical to fma() on the
+/// corresponding codes.
+std::uint32_t fma(const Unpacked& a, const Unpacked& b, std::uint32_t c, const PositSpec& spec,
+                  RoundMode mode = RoundMode::kNearestEven, RoundingRng* rng = nullptr);
+
+}  // namespace pdnn::posit

@@ -1,4 +1,4 @@
-// posit_inference.hpp — TRUE posit-arithmetic inference.
+// posit_inference.hpp — TRUE posit-arithmetic inference engine.
 //
 // The training stack simulates posit numerics in FP32 (as the paper's PyTorch
 // implementation does): tensors are snapped onto the posit grid but the
@@ -10,12 +10,26 @@
 //   * kSerial — with a rounded posit add per term (a plain posit ALU), or
 //   * kFma    — with a fused multiply-add chain (one rounding per term,
 //               the behavior of the paper's Fig. 4 MAC pipeline).
-// Comparing these against the FP32-simulated quantized forward measures the
-// emulation fidelity of the training methodology.
+//
+// Execution is decode-once: every operand is unpacked exactly once into
+// posit::Unpacked fields (weights once per *network* via WeightCodeCache,
+// activations once per layer call), the hot loops run on the unpacked panels
+// with per-thread quires OpenMP-distributed over output rows/pixels, and
+// n <= 8 serial-mode multiplies dispatch onto the tabulated MulLut at
+// runtime. Results are bit-identical to the retained scalar reference path
+// (posit_linear_reference / posit_conv2d_reference) at every spec and
+// accumulation mode, and to single-threaded runs at any thread count.
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "nn/layers.hpp"
 #include "posit/quire.hpp"
+#include "posit/unpacked.hpp"
 #include "quant/policy.hpp"
 
 namespace pdnn::quant {
@@ -26,24 +40,111 @@ enum class AccumMode {
   kFma,     ///< fused multiply-add chain: round(a*b + acc) per term
 };
 
+/// The single rounding mode used for every float -> posit encode on the
+/// inference path (weights, activations, im2col panels, BN constants).
+constexpr posit::RoundMode kEncodeRound = posit::RoundMode::kNearestEven;
+
+/// Activation rows (or output pixels) per OpenMP work item in the engine
+/// GEMM: the unpacked activation tile stays cache-resident while each weight
+/// row streams through it once per tile.
+constexpr std::size_t kActTile = 16;
+
+/// Decode-once operand panel: a tensor's n-bit codes plus their unpacked
+/// fields. Codes feed the LUT and serial paths, unpacked fields the
+/// quire/fma hot loops.
+struct EncodedTensor {
+  posit::PositSpec spec{8, 1};
+  tensor::Shape shape;
+  std::vector<std::uint32_t> codes;
+  std::vector<posit::Unpacked> ops;
+
+  std::size_t numel() const { return codes.size(); }
+  bool empty() const { return codes.empty(); }
+};
+
+/// Encode (under kEncodeRound) and unpack a whole tensor in one pass.
+EncodedTensor encode_unpack(const tensor::Tensor& t, const posit::PositSpec& spec);
+
+/// Process-wide weight-code cache: parameter tensors encode once per network,
+/// not once per forward. Entries are keyed on (tensor storage, spec) and
+/// carry the Param::version they were built from; any mutation that calls
+/// Param::mark_updated() (optimizer step, checkpoint load) refreshes the
+/// codes on next use. Versions are process-unique, so a recycled allocation
+/// can never alias a stale entry. Entries whose Param was destroyed (or whose
+/// value tensor was reassigned to new storage) cannot be detected
+/// individually, so the cache self-flushes when it exceeds kMaxEntries —
+/// live panels re-encode once and the map stays bounded in long-lived
+/// processes.
+class WeightCodeCache {
+ public:
+  static WeightCodeCache& instance();
+
+  /// The encoded panel for p.value under spec (cached or freshly built).
+  std::shared_ptr<const EncodedTensor> get(const nn::Param& p, const posit::PositSpec& spec);
+
+  void clear();
+  std::size_t entries() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  /// Flush threshold: generous for any realistic network (params x specs),
+  /// small enough that leaked entries cannot grow without bound.
+  static constexpr std::size_t kMaxEntries = 1024;
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    std::shared_ptr<const EncodedTensor> panel;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<const void*, std::pair<int, int>>, Entry> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Dense posit matrix-vector building block: y = x W^T + b, all posit.
-/// x is [N, in], w is [out, in], bias optional ([out] or empty).
+/// x is [N, in], w is [out, in], bias optional ([out] or empty). Encodes the
+/// weights per call; prefer the EncodedTensor overload (or posit_forward,
+/// which caches) when the weights are reused.
 tensor::Tensor posit_linear(const tensor::Tensor& x, const tensor::Tensor& w, const tensor::Tensor& bias,
                             const posit::PositSpec& spec, AccumMode mode);
 
-/// Posit convolution: input [N,C,H,W], weight [O,I,K,K].
-tensor::Tensor posit_conv2d(const tensor::Tensor& x, const tensor::Tensor& w,
+/// Engine form: weights (and optional bias) already encoded+unpacked.
+tensor::Tensor posit_linear(const tensor::Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
+                            AccumMode mode);
+
+/// Posit convolution: input [N,C,H,W], weight [O,I,KH,KW] (rectangular
+/// windows via geom.kernel_w), optional per-output-channel bias ([O] or
+/// empty).
+tensor::Tensor posit_conv2d(const tensor::Tensor& x, const tensor::Tensor& w, const tensor::Tensor& bias,
                             const tensor::Conv2dGeom& geom, const posit::PositSpec& spec, AccumMode mode);
 
+/// Engine form: weights/bias already encoded+unpacked.
+tensor::Tensor posit_conv2d(const tensor::Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
+                            const tensor::Conv2dGeom& geom, AccumMode mode);
+
 /// Run a full eval-mode forward pass of a Sequential built from the layer
-/// types in this library (Conv2d, BatchNorm2d, ReLU, pooling, Linear,
-/// ResidualBlock are NOT yet supported — see limitations) using true posit
-/// arithmetic with the per-layer-class formats of `cfg`.
-///
-/// Supported topologies: mlp() (Linear/ReLU chains) and plain_cnn()
-/// (Conv2d/BatchNorm2d/ReLU/MaxPool/GlobalAvgPool/Linear). Throws
-/// std::invalid_argument on unsupported children.
+/// types in this library (Conv2d, BatchNorm2d, ReLU, pooling, Linear;
+/// ResidualBlock is NOT yet supported) using true posit arithmetic with the
+/// per-layer-class formats of `cfg`. Weight codes come from WeightCodeCache.
+/// Throws std::invalid_argument on unsupported children.
 tensor::Tensor posit_forward(nn::Sequential& net, const tensor::Tensor& x, const QuantConfig& cfg,
                              AccumMode mode);
+
+// ---------------------------------------------------------------------------
+// Retained scalar reference path (the pre-engine implementation): coded
+// operands, full decode per multiply-accumulate, weights re-encoded on every
+// call, serial triple loop. This is the bit-exactness oracle for
+// quant.posit_engine and the baseline bench_posit measures speedups against.
+// ---------------------------------------------------------------------------
+
+tensor::Tensor posit_linear_reference(const tensor::Tensor& x, const tensor::Tensor& w,
+                                      const tensor::Tensor& bias, const posit::PositSpec& spec,
+                                      AccumMode mode);
+
+tensor::Tensor posit_conv2d_reference(const tensor::Tensor& x, const tensor::Tensor& w,
+                                      const tensor::Tensor& bias, const tensor::Conv2dGeom& geom,
+                                      const posit::PositSpec& spec, AccumMode mode);
 
 }  // namespace pdnn::quant

@@ -12,6 +12,7 @@
 
 #include "posit/arith.hpp"
 #include "posit/posit.hpp"
+#include "posit/unpacked.hpp"
 
 namespace pdnn::posit {
 namespace {
@@ -176,6 +177,39 @@ TEST_P(ArithFormatTest, FmaIsExactlyRoundedProductPlusAddend) {
   }
 }
 
+TEST_P(ArithFormatTest, ExhaustiveUnpackedMulFmaMatchCodedPaths) {
+  // The decode-once overloads must be bit-identical to the coded ones for
+  // every operand pair, including zero and NaR.
+  const PositSpec s = spec();
+  std::mt19937_64 rng(31);
+  for (std::uint64_t a = 0; a < s.code_count(); ++a) {
+    const Unpacked ua = decode_unpacked(static_cast<std::uint32_t>(a), s);
+    for (std::uint64_t b = 0; b < s.code_count(); ++b) {
+      const Unpacked ub = decode_unpacked(static_cast<std::uint32_t>(b), s);
+      ASSERT_EQ(mul(ua, ub, s), mul(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b), s))
+          << s.to_string() << " codes " << a << " * " << b;
+      const std::uint32_t c = static_cast<std::uint32_t>(rng()) & s.mask();
+      ASSERT_EQ(fma(ua, ub, c, s),
+                fma(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b), c, s))
+          << s.to_string() << " codes " << a << " * " << b << " + " << c;
+    }
+  }
+}
+
+TEST_P(ArithFormatTest, UnpackedRoundTripsThroughDecoded) {
+  const PositSpec s = spec();
+  for (std::uint64_t a = 0; a < s.code_count(); ++a) {
+    const Decoded want = decode(static_cast<std::uint32_t>(a), s);
+    const Decoded got = to_decoded(decode_unpacked(static_cast<std::uint32_t>(a), s));
+    ASSERT_EQ(got.is_zero, want.is_zero);
+    ASSERT_EQ(got.is_nar, want.is_nar);
+    if (want.is_zero || want.is_nar) continue;
+    ASSERT_EQ(got.neg, want.neg) << a;
+    ASSERT_EQ(got.scale, want.scale) << a;
+    ASSERT_EQ(got.sig, want.sig) << a;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(FormatSweep, ArithFormatTest,
                          ::testing::Values(std::pair{5, 1}, std::pair{6, 0}, std::pair{6, 1}, std::pair{6, 2},
                                            std::pair{7, 0}, std::pair{7, 1}, std::pair{8, 0}, std::pair{8, 1},
@@ -214,11 +248,61 @@ TEST_P(Arith16Test, RandomAddMulAgainstLongDouble) {
   }
 }
 
+TEST_P(Arith16Test, RandomUnpackedRoundTripAndMulAgainstCoded) {
+  // The clz-based decode_unpacked parser vs the canonical decode(), on
+  // formats too wide for the exhaustive sweep.
+  const PositSpec s = spec();
+  std::mt19937_64 rng(47);
+  for (int t = 0; t < 200000; ++t) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+    const Decoded want = decode(a, s);
+    const Decoded got = to_decoded(decode_unpacked(a, s));
+    ASSERT_EQ(got.is_zero, want.is_zero) << a;
+    ASSERT_EQ(got.is_nar, want.is_nar) << a;
+    if (!want.is_zero && !want.is_nar) {
+      ASSERT_EQ(got.neg, want.neg) << a;
+      ASSERT_EQ(got.scale, want.scale) << a;
+      ASSERT_EQ(got.sig, want.sig) << a;
+    }
+    const std::uint32_t b = static_cast<std::uint32_t>(rng()) & s.mask();
+    ASSERT_EQ(mul(decode_unpacked(a, s), decode_unpacked(b, s), s), mul(a, b, s)) << a << " " << b;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(FormatSweep, Arith16Test,
                          ::testing::Values(std::pair{16, 1}, std::pair{16, 2}),
                          [](const auto& info) {
                            return "p" + std::to_string(info.param.first) + "_" + std::to_string(info.param.second);
                          });
+
+TEST(UnpackedWideFormats, RoundTripMatchesDecodeOnRandomCodes) {
+  // Spot the widest supported formats (32-bit words, large es) where field
+  // boundaries stress the clz parser the most.
+  std::mt19937_64 rng(53);
+  for (const auto& [n, es] : {std::pair{24, 1}, std::pair{32, 0}, std::pair{32, 2}, std::pair{32, 3},
+                              std::pair{32, 6}}) {
+    const PositSpec s{n, es};
+    for (int t = 0; t < 50000; ++t) {
+      const std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+      const Decoded want = decode(a, s);
+      const Decoded got = to_decoded(decode_unpacked(a, s));
+      ASSERT_EQ(got.is_zero, want.is_zero) << s.to_string() << " " << a;
+      ASSERT_EQ(got.is_nar, want.is_nar) << s.to_string() << " " << a;
+      if (want.is_zero || want.is_nar) continue;
+      ASSERT_EQ(got.neg, want.neg) << s.to_string() << " " << a;
+      ASSERT_EQ(got.scale, want.scale) << s.to_string() << " " << a;
+      ASSERT_EQ(got.sig, want.sig) << s.to_string() << " " << a;
+    }
+    // The extremes: minpos/maxpos and their negations.
+    for (const std::uint32_t c : {s.minpos_code(), s.maxpos_code(), neg(s.minpos_code(), s),
+                                  neg(s.maxpos_code(), s)}) {
+      const Decoded want = decode(c, s);
+      const Decoded got = to_decoded(decode_unpacked(c, s));
+      ASSERT_EQ(got.scale, want.scale) << s.to_string() << " " << c;
+      ASSERT_EQ(got.sig, want.sig) << s.to_string() << " " << c;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // The value-typed wrapper.

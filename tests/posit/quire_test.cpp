@@ -132,6 +132,69 @@ TEST_P(QuireFormatTest, QuireBeatsSerialRoundingOnCancellation) {
   EXPECT_NE(serial, small) << "serial rounding drops the small term (sanity)";
 }
 
+TEST_P(QuireFormatTest, UnpackedAddProductMatchesCodedAccumulation) {
+  // Decode-once accumulation must land in exactly the same register state as
+  // the coded path: same rounded posit after any mixed-sign sequence.
+  const PositSpec s = spec();
+  std::mt19937_64 rng(37);
+  for (int trial = 0; trial < 500; ++trial) {
+    Quire coded(s), unpacked(s);
+    for (int i = 0; i < 48; ++i) {
+      std::uint32_t a = static_cast<std::uint32_t>(rng()) & s.mask();
+      std::uint32_t b = static_cast<std::uint32_t>(rng()) & s.mask();
+      if (a == s.nar_code()) a = 0;
+      if (b == s.nar_code()) b = 0;
+      coded.add_product(a, b);
+      unpacked.add_product(decode_unpacked(a, s), decode_unpacked(b, s));
+    }
+    ASSERT_EQ(unpacked.to_posit(), coded.to_posit()) << s.to_string() << " trial " << trial;
+    ASSERT_DOUBLE_EQ(unpacked.to_double(), coded.to_double());
+  }
+}
+
+TEST_P(QuireFormatTest, AccumulateDotMatchesSequentialAddProduct) {
+  // The batched carry-save dot must leave the register in exactly the state
+  // `count` sequential deposits would — including zeros, extreme scales, and
+  // heavy cancellation.
+  const PositSpec s = spec();
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Unpacked> a, b;
+    Quire sequential(s);
+    for (int i = 0; i < 96; ++i) {
+      std::uint32_t ca = static_cast<std::uint32_t>(rng()) & s.mask();
+      std::uint32_t cb = static_cast<std::uint32_t>(rng()) & s.mask();
+      if (ca == s.nar_code()) ca = 0;
+      if (cb == s.nar_code()) cb = 0;
+      a.push_back(decode_unpacked(ca, s));
+      b.push_back(decode_unpacked(cb, s));
+      sequential.add_product(ca, cb);
+    }
+    Quire batched(s);
+    batched.accumulate_dot(a.data(), b.data(), a.size());
+    ASSERT_EQ(batched.to_posit(), sequential.to_posit()) << s.to_string() << " trial " << trial;
+    ASSERT_DOUBLE_EQ(batched.to_double(), sequential.to_double());
+  }
+  // NaR operands poison the batched path too.
+  const Unpacked nar = decode_unpacked(s.nar_code(), s);
+  const Unpacked one = decode_unpacked(from_double(1.0, s), s);
+  Quire q(s);
+  q.accumulate_dot(&nar, &one, 1);
+  EXPECT_TRUE(q.is_nar());
+}
+
+TEST_P(QuireFormatTest, UnpackedNarPoisonsLikeCoded) {
+  const PositSpec s = spec();
+  Quire q(s);
+  q.add_product(decode_unpacked(from_double(1.0, s), s), decode_unpacked(s.nar_code(), s));
+  EXPECT_TRUE(q.is_nar());
+  EXPECT_EQ(q.to_posit(), s.nar_code());
+  // NaR * zero is still NaR (matches the coded ordering of the checks).
+  q.clear();
+  q.add_product(decode_unpacked(s.nar_code(), s), decode_unpacked(0u, s));
+  EXPECT_TRUE(q.is_nar());
+}
+
 INSTANTIATE_TEST_SUITE_P(FormatSweep, QuireFormatTest,
                          ::testing::Values(std::pair{8, 0}, std::pair{8, 1}, std::pair{8, 2}, std::pair{16, 1},
                                            std::pair{16, 2}, std::pair{32, 3}),

@@ -1,0 +1,221 @@
+// posit_engine_test.cpp — the decode-once engine against the retained scalar
+// reference: exact bit-equality over the full spec grid and every
+// accumulation mode, thread-count invariance, and weight-code cache
+// invalidation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+#include "quant/posit_inference.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::quant {
+namespace {
+
+using posit::PositSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+const std::vector<PositSpec>& spec_grid() {
+  // n in {8,16,32} x es in {0,1,2}: every engine dispatch (LUT at n=8,
+  // unpacked arithmetic elsewhere) and regime-width regime the paper uses.
+  static const std::vector<PositSpec> grid = {
+      {8, 0}, {8, 1}, {8, 2}, {16, 0}, {16, 1}, {16, 2}, {32, 0}, {32, 1}, {32, 2},
+  };
+  return grid;
+}
+
+const std::vector<AccumMode>& mode_grid() {
+  static const std::vector<AccumMode> modes = {AccumMode::kQuire, AccumMode::kSerial,
+                                               AccumMode::kFma};
+  return modes;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+TEST(PositEngine, LinearBitIdenticalToScalarReferenceAcrossSpecGridAndModes) {
+  Rng rng(41);
+  const Tensor x = Tensor::randn({5, 37}, rng);
+  const Tensor w = Tensor::randn({9, 37}, rng, 0.4f);
+  const Tensor bias = Tensor::randn({9}, rng, 0.2f);
+  for (const PositSpec& spec : spec_grid()) {
+    for (const AccumMode mode : mode_grid()) {
+      const Tensor ref = posit_linear_reference(x, w, bias, spec, mode);
+      const Tensor got = posit_linear(x, w, bias, spec, mode);
+      EXPECT_TRUE(bit_identical(got, ref))
+          << spec.to_string() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(PositEngine, LinearWithoutBiasMatchesReference) {
+  Rng rng(43);
+  const Tensor x = Tensor::randn({3, 65}, rng);
+  const Tensor w = Tensor::randn({4, 65}, rng);
+  const Tensor none;
+  for (const PositSpec& spec : spec_grid()) {
+    for (const AccumMode mode : mode_grid()) {
+      EXPECT_TRUE(bit_identical(posit_linear(x, w, none, spec, mode),
+                                posit_linear_reference(x, w, none, spec, mode)))
+          << spec.to_string() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(PositEngine, ConvBitIdenticalToScalarReferenceWithBiasAndRectKernel) {
+  Rng rng(47);
+  // Rectangular 3x2 window, stride 2, pad 1: exercises the kernel_w plumbing
+  // end to end, plus the per-channel bias.
+  tensor::Conv2dGeom g{3, 9, 8, 4, 3, 2, 1, 2};
+  const Tensor x = Tensor::randn({2, 3, 9, 8}, rng);
+  const Tensor w = Tensor::randn({4, 3, 3, 2}, rng, 0.3f);
+  const Tensor bias = Tensor::randn({4}, rng, 0.2f);
+  for (const PositSpec& spec : spec_grid()) {
+    for (const AccumMode mode : mode_grid()) {
+      const Tensor ref = posit_conv2d_reference(x, w, bias, g, spec, mode);
+      const Tensor got = posit_conv2d(x, w, bias, g, spec, mode);
+      EXPECT_TRUE(bit_identical(got, ref))
+          << spec.to_string() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(PositEngine, ThreadedRunsBitIdenticalToSerial) {
+#ifdef _OPENMP
+  Rng rng(53);
+  const Tensor x = Tensor::randn({37, 41}, rng);
+  const Tensor w = Tensor::randn({13, 41}, rng);
+  const Tensor bias = Tensor::randn({13}, rng);
+  const int restore = omp_get_max_threads();
+  for (const PositSpec& spec : {PositSpec{8, 1}, PositSpec{16, 1}, PositSpec{32, 2}}) {
+    for (const AccumMode mode : mode_grid()) {
+      omp_set_num_threads(1);
+      const Tensor serial = posit_linear(x, w, bias, spec, mode);
+      for (const int threads : {2, 4}) {
+        omp_set_num_threads(threads);
+        EXPECT_TRUE(bit_identical(posit_linear(x, w, bias, spec, mode), serial))
+            << spec.to_string() << " mode " << static_cast<int>(mode) << " threads " << threads;
+      }
+    }
+  }
+  omp_set_num_threads(restore);
+#else
+  GTEST_SKIP() << "built without OpenMP";
+#endif
+}
+
+TEST(PositEngine, ForwardMatchesPerLayerReference) {
+  // posit_forward with the cache must agree bit-for-bit with hand-chaining
+  // the reference kernels on a Linear/ReLU stack.
+  Rng rng(59);
+  auto net = nn::mlp(6, 10, 3, 1, rng);
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  const QuantConfig cfg = QuantConfig::imagenet16();
+  const PositSpec spec = cfg.linear.forward;
+  for (const AccumMode mode : mode_grid()) {
+    Tensor ref = x;
+    for (std::size_t i = 0; i < net->size(); ++i) {
+      if (auto* fc = dynamic_cast<nn::Linear*>(&net->child(i))) {
+        ref = posit_linear_reference(ref, fc->weight().value, fc->bias().value, spec, mode);
+      } else {
+        ref.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+      }
+    }
+    const Tensor got = posit_forward(*net, x, cfg, mode);
+    EXPECT_TRUE(bit_identical(got, ref)) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(PositEngine, ForwardAppliesConvBiasAndRectangularKernel) {
+  Rng rng(61);
+  nn::Sequential net("n");
+  auto conv = std::make_unique<nn::Conv2d>("c", 2, 3, /*kernel=*/3, /*stride=*/1, /*pad=*/1, rng,
+                                           /*with_bias=*/true, /*kernel_w=*/2);
+  nn::Conv2d* conv_ptr = conv.get();
+  net.add(std::move(conv));
+  conv_ptr->bias().value = Tensor::randn({3}, rng, 0.5f);  // ctor zero-inits the bias
+  conv_ptr->bias().mark_updated();
+  const Tensor x = Tensor::randn({2, 2, 6, 7}, rng);
+  const QuantConfig cfg = QuantConfig::imagenet16();
+  const tensor::Conv2dGeom g{2, 6, 7, 3, 3, 1, 1, 2};
+  const Tensor ref = posit_conv2d_reference(x, conv_ptr->weight().value, conv_ptr->bias().value, g,
+                                            cfg.conv.forward, AccumMode::kQuire);
+  const Tensor got = posit_forward(net, x, cfg, AccumMode::kQuire);
+  EXPECT_TRUE(bit_identical(got, ref));
+  // The bias must actually land: zeroing it changes the output.
+  conv_ptr->bias().value.fill(0.0f);
+  conv_ptr->bias().mark_updated();
+  EXPECT_FALSE(bit_identical(posit_forward(net, x, cfg, AccumMode::kQuire), got));
+}
+
+TEST(WeightCodeCache, HitsThenRefreshesOnMarkUpdated) {
+  WeightCodeCache& cache = WeightCodeCache::instance();
+  cache.clear();
+  Rng rng(67);
+  nn::Param p;
+  p.name = "w";
+  p.value = Tensor::randn({4, 8}, rng);
+  const PositSpec spec{16, 1};
+
+  const auto first = cache.get(p, spec);
+  const auto second = cache.get(p, spec);
+  EXPECT_EQ(first.get(), second.get()) << "unchanged param must hit";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Same tensor under a different spec is a distinct entry.
+  const auto other_spec = cache.get(p, PositSpec{8, 2});
+  EXPECT_NE(other_spec.get(), first.get());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Mutate + invalidate: codes refresh and reflect the new value.
+  p.value[0] = 1234.5f;
+  p.mark_updated();
+  const auto refreshed = cache.get(p, spec);
+  EXPECT_NE(refreshed.get(), first.get());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(refreshed->codes[0], posit::from_double(1234.5, spec, kEncodeRound));
+  cache.clear();
+}
+
+TEST(WeightCodeCache, OptimizerStepInvalidatesNetworkWeights) {
+  WeightCodeCache& cache = WeightCodeCache::instance();
+  cache.clear();
+  Rng rng(71);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const QuantConfig cfg = QuantConfig::imagenet16();
+
+  const Tensor y1 = posit_forward(*net, x, cfg, AccumMode::kQuire);
+  const auto misses_cold = cache.misses();
+  EXPECT_GT(misses_cold, 0u);
+  const Tensor y2 = posit_forward(*net, x, cfg, AccumMode::kQuire);
+  EXPECT_EQ(cache.misses(), misses_cold) << "warm forward must not re-encode";
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_TRUE(bit_identical(y1, y2));
+
+  // One SGD step rewrites every weight; the next forward must re-encode and
+  // see the new values.
+  const Tensor out = net->forward(x, true);
+  net->backward(Tensor::full(out.shape(), 0.1f));
+  nn::SgdMomentum opt(net->params(), nn::SgdConfig{0.5f, 0.0f, 0.0f});
+  opt.step();
+  const Tensor y3 = posit_forward(*net, x, cfg, AccumMode::kQuire);
+  EXPECT_GT(cache.misses(), misses_cold) << "mutated params must refresh their codes";
+  EXPECT_FALSE(bit_identical(y1, y3)) << "refreshed codes must reflect the updated weights";
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace pdnn::quant

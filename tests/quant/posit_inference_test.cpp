@@ -83,7 +83,8 @@ TEST(PositConv, MatchesFp32OnExactWeights) {
   Tensor w({3, 2, 3, 3});
   for (std::size_t i = 0; i < w.numel(); ++i) w[i] = static_cast<float>((static_cast<int>(i) % 5) - 2) * 0.25f;
   const Tensor ref = tensor::conv2d_forward(x, w, g);
-  const Tensor y = posit_conv2d(x, w, g, PositSpec{16, 1}, AccumMode::kQuire);
+  const Tensor none;
+  const Tensor y = posit_conv2d(x, w, none, g, PositSpec{16, 1}, AccumMode::kQuire);
   for (std::size_t i = 0; i < y.numel(); ++i) {
     // Inputs/weights exact; quire sum exact; only the final rounding differs.
     EXPECT_NEAR(y[i], ref[i], std::fabs(ref[i]) * 0.001 + 1e-4) << i;
