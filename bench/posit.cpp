@@ -6,9 +6,13 @@
 // BENCH_posit.json (codes/s and effective GF/s) so later PRs can diff.
 //
 // Usage:
-//   bench_posit [out.json]
-//   bench_posit --check-regression <baseline.json> [out.json]
+//   bench_posit [--session] [out.json]
+//   bench_posit [--session] --check-regression <baseline.json> [out.json]
 //     also compares engine serial MAC/s against the committed baseline.
+//
+// --session additionally benches the compiled PositSession: steady-state
+// run() throughput on each shape (path "session") plus a batch-size sweep on
+// the linear shape (labels "linear_sweep_b*"), all recorded in the JSON.
 //
 // Exit codes: 0 ok; 1 correctness mismatch (bit-identity broken — always a
 // real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
@@ -17,13 +21,16 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "nn/layers.hpp"
 #include "posit/mul_lut.hpp"
 #include "quant/posit_inference.hpp"
+#include "quant/posit_session.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
 
@@ -32,6 +39,8 @@ namespace {
 using pdnn::posit::PositSpec;
 using pdnn::quant::AccumMode;
 using pdnn::quant::EncodedTensor;
+using pdnn::quant::PositSession;
+using pdnn::quant::SessionConfig;
 using pdnn::tensor::Conv2dGeom;
 using pdnn::tensor::Rng;
 using pdnn::tensor::Tensor;
@@ -126,11 +135,46 @@ double baseline_engine_macs(const std::vector<BaselineEntry>& entries, const Res
   return 0.0;
 }
 
+/// One-layer network holding exactly the bench case's weights, so the
+/// session path measures the same arithmetic the engine paths do.
+std::unique_ptr<pdnn::nn::Sequential> case_net(const Case& c, const Tensor& w, const Tensor& bias) {
+  // Local Rng: the ctor init is overwritten below, and consuming the bench's
+  // stream here would shift every later case's data.
+  Rng rng(999);
+  auto net = std::make_unique<pdnn::nn::Sequential>("bench");
+  if (c.is_conv) {
+    auto conv = std::make_unique<pdnn::nn::Conv2d>("layer", c.geom.in_c, c.geom.out_c,
+                                                   c.geom.kh(), c.geom.stride, c.geom.pad, rng,
+                                                   /*with_bias=*/true, c.geom.kernel_w);
+    conv->weight().value = w;
+    conv->weight().mark_updated();
+    conv->bias().value = bias;
+    conv->bias().mark_updated();
+    net->add(std::move(conv));
+  } else {
+    auto fc = std::make_unique<pdnn::nn::Linear>("layer", c.k, c.n, rng);
+    fc->weight().value = w;
+    fc->weight().mark_updated();
+    fc->bias().value = bias;
+    fc->bias().mark_updated();
+    net->add(std::move(fc));
+  }
+  return net;
+}
+
+SessionConfig session_config(const PositSpec& spec, AccumMode mode) {
+  SessionConfig cfg;
+  cfg.spec = spec;
+  cfg.mode = mode;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_posit.json";
   std::string baseline_path;
+  bool run_session = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check-regression") {
@@ -139,6 +183,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       baseline_path = argv[++i];
+    } else if (arg == "--session") {
+      run_session = true;
     } else {
       out_path = arg;
     }
@@ -219,7 +265,7 @@ int main(int argc, char** argv) {
         const bool eng_match = same_bits(eng_out, ref_out);
 
         // Steady-state serving: weights already encoded + unpacked (what
-        // posit_forward sees through WeightCodeCache after the first batch).
+        // a compiled session holds in its panels).
         const EncodedTensor we = pdnn::quant::encode_unpack(w, spec);
         const EncodedTensor be = pdnn::quant::encode_unpack(bias, spec);
         Tensor cached_out;
@@ -256,7 +302,64 @@ int main(int argc, char** argv) {
                     hw_threads, c.macs / t_thr * 1e-6,
                     eng_match && cached_match && thr_match ? "bit-identical" : "MISMATCH",
                     lut ? " [lut]" : "");
+
+        if (run_session) {
+          // Compiled steady state: weights pre-encoded into session panels,
+          // quire arenas planned, scratch reused across run() calls.
+          auto net = case_net(c, w, bias);
+          PositSession session = PositSession::compile(*net, session_config(spec, mode));
+          const Tensor* sess_out = nullptr;
+          const auto run_sess = [&] { sess_out = &session.run(x); };
+          run_sess();  // settle buffer shapes before timing
+          const double t_sess = time_best(run_sess, eng_reps);
+          const bool sess_match = same_bits(*sess_out, ref_out);
+          set_threads(hw_threads);
+          const double t_sess_thr = time_best(run_sess, eng_reps);
+          const bool sess_thr_match = same_bits(*sess_out, ref_out);
+          set_threads(1);
+          results.push_back({c.label, spec, mode, "session", 1, t_sess, c.macs / t_sess, lut,
+                             sess_match, t_ref / t_sess});
+          results.push_back({c.label, spec, mode, "session", hw_threads, t_sess_thr,
+                             c.macs / t_sess_thr, lut, sess_thr_match, t_ref / t_sess_thr});
+          mismatch = mismatch || !sess_match || !sess_thr_match;
+          std::printf("%-20s %-11s %-6s session %8.3f MMAC/s (x%5.1f vs ref, x%4.2f vs cached)  "
+                      "%d-thr %8.3f  %s\n",
+                      c.label.c_str(), spec.to_string().c_str(), mode_name(mode),
+                      c.macs / t_sess * 1e-6, t_ref / t_sess, t_cached / t_sess, hw_threads,
+                      c.macs / t_sess_thr * 1e-6,
+                      sess_match && sess_thr_match ? "bit-identical" : "MISMATCH");
+        }
       }
+    }
+  }
+
+  if (run_session) {
+    // Batch-size sweep: serving throughput as the per-run batch grows, on the
+    // acceptance shape's format (posit(16,1), quire accumulation).
+    const PositSpec spec{16, 1};
+    const AccumMode mode = AccumMode::kQuire;
+    const Case& lin = cases[0];
+    const Tensor w = Tensor::randn({lin.n, lin.k}, rng, 0.3f);
+    const Tensor bias = Tensor::randn({lin.n}, rng, 0.1f);
+    auto net = case_net(lin, w, bias);
+    PositSession session = PositSession::compile(*net, session_config(spec, mode));
+    const EncodedTensor we = pdnn::quant::encode_unpack(w, spec);
+    const EncodedTensor be = pdnn::quant::encode_unpack(bias, spec);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                                    std::size_t{256}}) {
+      const Tensor x = Tensor::randn({batch, lin.k}, rng);
+      const double macs = static_cast<double>(batch) * lin.k * lin.n;
+      const Tensor* out = nullptr;
+      const auto run_sess = [&] { out = &session.run(x); };
+      run_sess();
+      const double t = time_best(run_sess, batch >= 64 ? 3 : 10);
+      const bool match = same_bits(*out, pdnn::quant::posit_linear(x, we, be, mode));
+      const std::string label = "linear_sweep_b" + std::to_string(batch);
+      results.push_back({label, spec, mode, "session", 1, t, macs / t, false, match, 0.0});
+      mismatch = mismatch || !match;
+      std::printf("%-20s %-11s %-6s session %8.3f MMAC/s  %s\n", label.c_str(),
+                  spec.to_string().c_str(), mode_name(mode), macs / t * 1e-6,
+                  match ? "bit-identical" : "MISMATCH");
     }
   }
 
@@ -288,7 +391,10 @@ int main(int argc, char** argv) {
   bool regressed = false;
   if (!baseline_path.empty()) {
     for (const auto& r : results) {
-      if ((r.path != "engine" && r.path != "engine_cached") || r.threads != 1) continue;
+      if ((r.path != "engine" && r.path != "engine_cached" && r.path != "session") ||
+          r.threads != 1) {
+        continue;
+      }
       const double base = baseline_engine_macs(baseline, r);
       if (base <= 0.0) continue;  // entry not in baseline; nothing to compare
       const double ratio = r.macs_per_s / base;

@@ -5,10 +5,12 @@
 //               ./build/examples/quickstart
 #include <cstdio>
 
+#include "nn/resnet.hpp"
 #include "posit/math.hpp"
 #include "posit/posit.hpp"
 #include "posit/quire.hpp"
 #include "posit/tables.hpp"
+#include "quant/posit_session.hpp"
 #include "quant/posit_transform.hpp"
 #include "quant/scale.hpp"
 
@@ -55,5 +57,21 @@ int main() {
   std::printf("P(x/Sf)*Sf:      %g -> %g  (finer grid where the data lives)\n",
               static_cast<double>(w[0]),
               static_cast<double>(quant::posit_transform_scaled(w[0], p81, shift)));
+
+  // --- 6. compiled inference: PositSession ---------------------------------
+  // Compile once (weights pre-encoded into session-owned panels, buffers
+  // planned), then run() is the allocation-free hot loop — true posit
+  // arithmetic through the whole network, residual blocks included.
+  auto net = nn::cifar_resnet({/*blocks_per_stage=*/1, /*base_channels=*/4}, rng);
+  net->forward(tensor::Tensor::randn({2, 3, 8, 8}, rng), /*training=*/true);  // settle BN stats
+  quant::SessionConfig scfg;
+  scfg.spec = {16, 1};                      // default format
+  scfg.mode = quant::AccumMode::kQuire;     // exact dots, one rounding each
+  scfg.by_name["fc"] = {posit::PositSpec{16, 2}, {}};  // per-layer override
+  quant::PositSession session = quant::PositSession::compile(*net, scfg);
+  const tensor::Tensor& logits = session.run(tensor::Tensor::randn({2, 3, 8, 8}, rng));
+  std::printf("\nPositSession over ResNet-8: %zu steps, %zu bound params, logits %s, l[0,0] = %g\n",
+              session.steps(), session.bound_params(), logits.shape().to_string().c_str(),
+              static_cast<double>(logits.at(0, 0)));
   return 0;
 }

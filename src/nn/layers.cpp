@@ -319,18 +319,11 @@ Tensor Sequential::backward(const Tensor& grad_out) {
   return g;
 }
 
-std::vector<Param*> Sequential::params() {
-  std::vector<Param*> all;
-  for (auto& child : children_) {
-    const auto ps = child->params();
-    all.insert(all.end(), ps.begin(), ps.end());
-  }
-  return all;
-}
-
-void Sequential::set_policy(PrecisionPolicy* policy) {
-  Module::set_policy(policy);
-  for (auto& child : children_) child->set_policy(policy);
+std::vector<Module*> Sequential::children() {
+  std::vector<Module*> out;
+  out.reserve(children_.size());
+  for (auto& child : children_) out.push_back(child.get());
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -403,32 +396,13 @@ Tensor ResidualBlock::backward(const Tensor& grad_out) {
   return gm;
 }
 
-std::vector<Param*> ResidualBlock::params() {
-  std::vector<Param*> all;
-  for (Module* m : std::initializer_list<Module*>{&conv1_, &bn1_, &conv2_, &bn2_}) {
-    const auto ps = m->params();
-    all.insert(all.end(), ps.begin(), ps.end());
-  }
+std::vector<Module*> ResidualBlock::children() {
+  std::vector<Module*> out{&conv1_, &bn1_, &relu1_, &conv2_, &bn2_};
   if (down_conv_ != nullptr) {
-    for (Module* m : std::initializer_list<Module*>{down_conv_.get(), down_bn_.get()}) {
-      const auto ps = m->params();
-      all.insert(all.end(), ps.begin(), ps.end());
-    }
+    out.push_back(down_conv_.get());
+    out.push_back(down_bn_.get());
   }
-  return all;
-}
-
-void ResidualBlock::set_policy(PrecisionPolicy* policy) {
-  Module::set_policy(policy);
-  conv1_.set_policy(policy);
-  bn1_.set_policy(policy);
-  relu1_.set_policy(policy);
-  conv2_.set_policy(policy);
-  bn2_.set_policy(policy);
-  if (down_conv_ != nullptr) {
-    down_conv_->set_policy(policy);
-    down_bn_->set_policy(policy);
-  }
+  return out;
 }
 
 }  // namespace pdnn::nn

@@ -139,8 +139,7 @@ class Sequential final : public Module {
 
   tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
-  std::vector<Param*> params() override;
-  void set_policy(PrecisionPolicy* policy) override;
+  std::vector<Module*> children() override;
 
   std::size_t size() const { return children_.size(); }
   Module& child(std::size_t i) { return *children_[i]; }
@@ -158,8 +157,20 @@ class ResidualBlock final : public Module {
 
   tensor::Tensor forward(const tensor::Tensor& x, bool training) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
-  std::vector<Param*> params() override;
-  void set_policy(PrecisionPolicy* policy) override;
+  /// Main path (conv1, bn1, relu1, conv2, bn2) then the downsample pair when
+  /// present — the order params() has always used.
+  std::vector<Module*> children() override;
+
+  // Branch structure, exposed so graph consumers (PositSession::compile) can
+  // bind the main and skip paths separately.
+  Conv2d& conv1() { return conv1_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  ReLU& relu1() { return relu1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  bool has_downsample() const { return down_conv_ != nullptr; }
+  Conv2d* down_conv() { return down_conv_.get(); }
+  BatchNorm2d* down_bn() { return down_bn_.get(); }
 
  private:
   Conv2d conv1_;

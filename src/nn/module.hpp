@@ -4,8 +4,14 @@
 // One module instance processes one batch at a time (no re-entrancy), which is
 // all the trainer needs. The shared PrecisionPolicy pointer is injected once
 // via set_policy() and threaded through containers.
+//
+// Containers (Sequential, ResidualBlock) expose their structure through
+// children(): params() and set_policy() recurse over it by default, and
+// visit() walks the whole module graph pre-order — the traversal the compiled
+// inference session (quant::PositSession) uses to bind every layer.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,11 +37,32 @@ class Module {
   /// Propagate the loss gradient; fills parameter .grad (accumulating).
   virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
 
-  /// All learnable parameters (including those of children).
-  virtual std::vector<Param*> params() { return {}; }
+  /// Direct submodules in forward order (empty for leaf layers). Pointers
+  /// stay owned by this module and valid for its lifetime.
+  virtual std::vector<Module*> children() { return {}; }
 
-  /// Inject the precision policy (recursively for containers).
-  virtual void set_policy(PrecisionPolicy* policy) { policy_ = policy; }
+  /// Pre-order traversal: fn(*this), then every descendant.
+  void visit(const std::function<void(Module&)>& fn) {
+    fn(*this);
+    for (Module* c : children()) c->visit(fn);
+  }
+
+  /// All learnable parameters. The default aggregates children() in order;
+  /// leaf layers with parameters override.
+  virtual std::vector<Param*> params() {
+    std::vector<Param*> all;
+    for (Module* c : children()) {
+      const auto ps = c->params();
+      all.insert(all.end(), ps.begin(), ps.end());
+    }
+    return all;
+  }
+
+  /// Inject the precision policy (recursively through children()).
+  virtual void set_policy(PrecisionPolicy* policy) {
+    policy_ = policy;
+    for (Module* c : children()) c->set_policy(policy);
+  }
 
   const std::string& name() const { return name_; }
 

@@ -1,0 +1,109 @@
+#include "posit/add_lut.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace pdnn::posit {
+
+AddLut::AddLut(const PositSpec& spec, RoundMode mode) : spec_(spec), mode_(mode) {
+  if (!add_lut_supported(spec, mode)) {
+    throw std::invalid_argument("AddLut: unsupported for " + spec.to_string());
+  }
+  const std::size_t count = static_cast<std::size_t>(1) << spec.n;
+  table_.resize(count * count);
+  for (std::uint32_t a = 0; a < count; ++a) {
+    for (std::uint32_t b = 0; b < count; ++b) {
+      table_[(static_cast<std::size_t>(a) << spec.n) | b] =
+          static_cast<std::uint8_t>(add(a, b, spec, mode));
+    }
+  }
+}
+
+FmaLut::FmaLut(const PositSpec& spec, RoundMode mode) : spec_(spec), mode_(mode) {
+  if (!fma_lut_supported(spec, mode)) {
+    throw std::invalid_argument("FmaLut: unsupported for " + spec.to_string());
+  }
+  const std::size_t count = static_cast<std::size_t>(1) << spec.n;
+
+  // Pass 1: collapse code pairs onto exact-product value classes. The product
+  // of two unpacked operands is (neg, sig_a*sig_b, lsb_a+lsb_b) — already
+  // reduced, since odd*odd is odd — so the class key is that triple, with one
+  // reserved key each for zero products and NaR. fma's result depends only on
+  // this value (and c), so one representative pair per class suffices.
+  pair_class_.resize(count * count);
+  std::map<std::tuple<int, std::uint32_t, int>, std::uint16_t> classes;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reps;
+  std::vector<Unpacked> ops(count);
+  for (std::uint32_t a = 0; a < count; ++a) ops[a] = decode_unpacked(a, spec);
+  for (std::uint32_t a = 0; a < count; ++a) {
+    for (std::uint32_t b = 0; b < count; ++b) {
+      std::tuple<int, std::uint32_t, int> key;
+      if (ops[a].is_nar() || ops[b].is_nar()) {
+        key = {2, 0, 0};  // NaR: distinct from every finite product
+      } else if (ops[a].is_zero() || ops[b].is_zero()) {
+        key = {0, 0, 0};  // exact zero product (sig 0 never occurs otherwise)
+      } else {
+        key = {ops[a].neg != ops[b].neg ? 1 : 0, ops[a].sig * ops[b].sig,
+               ops[a].lsb_weight + ops[b].lsb_weight};
+      }
+      auto it = classes.find(key);
+      if (it == classes.end()) {
+        if (reps.size() >= 0xFFFF) {
+          // Unreachable for n <= 8 (products collapse to a few thousand
+          // classes), but the u16 id must never silently wrap.
+          throw std::logic_error("FmaLut: product class id overflow");
+        }
+        it = classes.emplace(key, static_cast<std::uint16_t>(reps.size())).first;
+        reps.emplace_back(a, b);
+      }
+      pair_class_[(static_cast<std::size_t>(a) << spec.n) | b] = it->second;
+    }
+  }
+
+  // Pass 2: one fma row per class, from its representative pair.
+  table_.resize(reps.size() << spec.n);
+  for (std::size_t cls = 0; cls < reps.size(); ++cls) {
+    for (std::uint32_t c = 0; c < count; ++c) {
+      table_[(cls << spec.n) | c] =
+          static_cast<std::uint8_t>(fma(reps[cls].first, reps[cls].second, c, spec, mode));
+    }
+  }
+}
+
+bool add_lut_supported(const PositSpec& spec, RoundMode mode) {
+  return spec.n <= 8 && mode != RoundMode::kStochastic;
+}
+
+bool fma_lut_supported(const PositSpec& spec, RoundMode mode) {
+  return spec.n <= 8 && mode != RoundMode::kStochastic;
+}
+
+namespace {
+
+template <typename Lut>
+const Lut& cached_lut(const PositSpec& spec, RoundMode mode) {
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, int>, std::unique_ptr<Lut>> cache;
+  const auto key = std::make_tuple(spec.n, spec.es, static_cast<int>(mode));
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Lut>(spec, mode)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+const AddLut& add_lut(const PositSpec& spec, RoundMode mode) {
+  return cached_lut<AddLut>(spec, mode);
+}
+
+const FmaLut& fma_lut(const PositSpec& spec, RoundMode mode) {
+  return cached_lut<FmaLut>(spec, mode);
+}
+
+}  // namespace pdnn::posit

@@ -1,0 +1,87 @@
+// add_lut.hpp — tabulated posit addition and fused multiply-add for small
+// formats.
+//
+// MulLut (mul_lut.hpp) removed the multiply from the n <= 8 serial hot loop,
+// but the accumulator add — and the fma chain — still decoded the running
+// accumulator on every term (the "next lever" ROADMAP named after PR 3).
+// These tables close that gap:
+//
+//   * AddLut — round(a+b) as a 2^n x 2^n byte table, the exact mirror of
+//     MulLut. Serial accumulation becomes two table reads per term
+//     (AddLut[acc, MulLut[a, b]]), and every bias add in any accumulation
+//     mode is one read.
+//   * FmaLut — round(a*b + c) cannot be split into MulLut+AddLut (fma keeps
+//     the product exact; mul rounds it), and a direct 2^3n table would be
+//     16 MiB at n = 8. But the rounded result depends only on the *value* of
+//     the exact product, and the distinct exact products of an n <= 8 format
+//     are few: pairs (a, b) collapse onto product-equivalence classes
+//     (a 2^2n u16 table), and the fma table is classes x 2^n bytes built
+//     from one representative pair per class.
+//
+// Both are built once per (spec, rounding mode) and shared process-wide, and
+// are bit-identical to posit::add / posit::fma by construction — the engine
+// dispatches onto them at runtime exactly like MulLut.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "posit/arith.hpp"
+#include "posit/unpacked.hpp"
+
+namespace pdnn::posit {
+
+/// One fully materialized addition table: entry [(a << n) | b] holds the
+/// n-bit code of round(a+b) under the table's rounding mode.
+class AddLut {
+ public:
+  AddLut(const PositSpec& spec, RoundMode mode);
+
+  std::uint32_t at(std::uint32_t a, std::uint32_t b) const {
+    return table_[(static_cast<std::size_t>(a) << spec_.n) | b];
+  }
+  const PositSpec& spec() const { return spec_; }
+  RoundMode mode() const { return mode_; }
+  std::size_t byte_size() const { return table_.size(); }
+
+ private:
+  PositSpec spec_;
+  RoundMode mode_;
+  std::vector<std::uint8_t> table_;
+};
+
+/// round(a*b + c) via product-equivalence classes: pair_class maps the
+/// (a, b) code pair to the id of its exact product's value class; the fma
+/// table holds round(product + c) for every (class, c).
+class FmaLut {
+ public:
+  FmaLut(const PositSpec& spec, RoundMode mode);
+
+  std::uint32_t at(std::uint32_t a, std::uint32_t b, std::uint32_t c) const {
+    const std::size_t cls = pair_class_[(static_cast<std::size_t>(a) << spec_.n) | b];
+    return table_[(cls << spec_.n) | c];
+  }
+  const PositSpec& spec() const { return spec_; }
+  RoundMode mode() const { return mode_; }
+  /// Number of distinct exact-product value classes.
+  std::size_t classes() const { return table_.size() >> spec_.n; }
+  std::size_t byte_size() const { return table_.size() + pair_class_.size() * sizeof(std::uint16_t); }
+
+ private:
+  PositSpec spec_;
+  RoundMode mode_;
+  std::vector<std::uint16_t> pair_class_;
+  std::vector<std::uint8_t> table_;
+};
+
+/// True when the tables can serve this (spec, mode): n <= 8 (codes fit a
+/// byte) and a deterministic rounding mode — the same predicate as MulLut.
+bool add_lut_supported(const PositSpec& spec, RoundMode mode);
+bool fma_lut_supported(const PositSpec& spec, RoundMode mode);
+
+/// Process-wide table caches (thread-safe; built on first use). Throw
+/// std::invalid_argument when the corresponding *_supported() is false.
+const AddLut& add_lut(const PositSpec& spec, RoundMode mode);
+const FmaLut& fma_lut(const PositSpec& spec, RoundMode mode);
+
+}  // namespace pdnn::posit

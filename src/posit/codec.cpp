@@ -61,7 +61,9 @@ Decoded decode(std::uint32_t code, const PositSpec& spec) {
   d.frac_width = remaining_after_regime - e_stored;
   d.frac = d.frac_width > 0 ? (body & ((1u << d.frac_width) - 1u)) : 0u;
 
-  d.scale = (d.k << spec.es) + d.e;
+  // k can be negative: scale by multiplication, not <<, which is UB on
+  // negative operands.
+  d.scale = d.k * (1 << spec.es) + d.e;
   // Significand with hidden bit at 62: (1 << fw | frac) << (62 - fw).
   d.sig = ((1ULL << d.frac_width) | static_cast<std::uint64_t>(d.frac)) << (62 - d.frac_width);
   return d;
@@ -90,7 +92,7 @@ std::uint32_t round_pack(const PositSpec& spec, bool neg, long scale, unsigned _
   }
 
   long k = floor_div_pow2(scale, es);
-  const long e = scale - (k << es);  // 0 <= e < 2^es
+  const long e = scale - k * (1L << es);  // 0 <= e < 2^es (k may be negative: no <<)
 
   // Regime saturation. k == n-2 is representable only as maxpos itself.
   if (k >= spec.max_k()) return finish(body_max);

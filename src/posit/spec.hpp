@@ -38,9 +38,10 @@ struct PositSpec {
   constexpr int min_k() const { return 2 - n; }
 
   /// Binary scale (log2) of maxpos = useed^(n-2).
-  constexpr int max_scale() const { return (n - 2) << es; }
-  /// Binary scale (log2) of minpos = useed^(2-n).
-  constexpr int min_scale() const { return (2 - n) << es; }
+  constexpr int max_scale() const { return (n - 2) * (1 << es); }
+  /// Binary scale (log2) of minpos = useed^(2-n). Multiplication, not <<:
+  /// left-shifting the negative regime is undefined behavior.
+  constexpr int min_scale() const { return (2 - n) * (1 << es); }
 
   /// Bit mask covering the n-bit word.
   constexpr std::uint32_t mask() const { return n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1u); }

@@ -73,7 +73,7 @@ inline Unpacked decode_unpacked(std::uint32_t code, const PositSpec& spec) {
 
   const int frac_width = remaining - e_stored;
   const std::uint32_t frac = frac_width > 0 ? (body & ((1u << frac_width) - 1u)) : 0u;
-  const int scale = (k << spec.es) + e;
+  const int scale = k * (1 << spec.es) + e;  // k may be negative: no <<
 
   // Reduced significand: Decoded's hidden-at-62 sig is ((1<<fw)|frac) with
   // 62-fw trailing zeros appended; strip the fraction's own trailing zeros

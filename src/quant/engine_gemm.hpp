@@ -1,0 +1,67 @@
+// engine_gemm.hpp — internal decode-once GEMM shared by the free-function
+// engine entry points (posit_linear / posit_conv2d) and the compiled
+// PositSession. Not part of the public API.
+#pragma once
+
+#include <cstddef>
+
+#include "posit/add_lut.hpp"
+#include "posit/mul_lut.hpp"
+#include "posit/quire.hpp"
+#include "quant/posit_inference.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace pdnn::quant::detail {
+
+/// Upper bound on the OpenMP team size the engine regions can start.
+inline int engine_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// The tabulated kernels a (spec, mode) pair can dispatch onto (n <= 8
+/// formats; all pointers null otherwise). `mul`+`add` drive serial
+/// accumulation, `fma` the fma chain, and `add` alone every bias add in any
+/// mode. Results are bit-identical to the arithmetic routines by
+/// construction.
+struct EngineLuts {
+  const posit::MulLut* mul = nullptr;
+  const posit::AddLut* add = nullptr;
+  const posit::FmaLut* fma = nullptr;
+};
+
+/// Resolve the tables once per call/compile (takes the process-wide LUT
+/// cache lock; never call on the per-row hot path).
+EngineLuts resolve_luts(const posit::PositSpec& spec, AccumMode mode);
+
+/// The decode-once GEMM at the heart of the engine. `a` holds `rows`
+/// contiguous unpacked operand rows of length k (activation panel), `w` holds
+/// `cols` rows of length k (weight panel); the rounded dot of every pair —
+/// plus optional per-column bias — lands at
+/// out[r * row_stride + o * col_stride].
+///
+/// Threading is over activation tiles with one quire per thread. Each output
+/// is accumulated start-to-finish by a single thread in ascending-k order —
+/// exactly the reference order — so results are bit-identical to the scalar
+/// reference and to any other thread count, for every AccumMode.
+///
+/// `quire_pool` must hold at least engine_threads() quires of `w.spec` when
+/// mode == kQuire (the session's pre-planned per-thread arenas; the free
+/// functions build a transient pool). Ignored for the other modes.
+void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTensor& bias,
+                 std::size_t rows, std::size_t k, std::size_t cols, AccumMode mode, float* out,
+                 std::size_t row_stride, std::size_t col_stride, const EngineLuts& luts,
+                 posit::Quire* quire_pool);
+
+/// Encode the im2col panel `cols` ([patch, pixels]) transposed into `panel`
+/// so each output pixel's patch is contiguous, reusing the panel's storage.
+void encode_conv_panel(const float* cols, std::size_t patch, std::size_t pixels,
+                       const posit::PositSpec& spec, EncodedTensor& panel);
+
+}  // namespace pdnn::quant::detail

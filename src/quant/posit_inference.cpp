@@ -1,50 +1,50 @@
 #include "quant/posit_inference.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
-#include <typeinfo>
 
-#include "nn/activations.hpp"
-#include "posit/mul_lut.hpp"
+#include "quant/engine_gemm.hpp"
+#include "quant/posit_session.hpp"
 #include "tensor/ops.hpp"
 
 namespace pdnn::quant {
 
-using posit::MulLut;
 using posit::PositSpec;
 using posit::Unpacked;
 using tensor::Tensor;
 
-namespace {
+namespace detail {
 
-/// The decode-once GEMM at the heart of the engine. `a` holds `rows`
-/// contiguous unpacked operand rows of length k (activation panel), `w` holds
-/// `cols` rows of length k (cached weight panel); the rounded dot of every
-/// pair — plus optional per-column bias — lands at
-/// out[r * row_stride + o * col_stride].
-///
-/// Threading is over activation tiles with one quire per thread. Each output
-/// is accumulated start-to-finish by a single thread in ascending-k order —
-/// exactly the reference order — so results are bit-identical to the scalar
-/// reference and to any other thread count, for every AccumMode. Serial-mode
-/// multiplies dispatch onto the tabulated MulLut when the format allows
-/// (n <= 8), the runtime-dispatch analogue of the GEMM's AVX2 micro-kernel.
+EngineLuts resolve_luts(const PositSpec& spec, AccumMode mode) {
+  // The tables tabulate the *arithmetic* rounding of the engine
+  // (nearest-even, the default of posit::add/mul/fma), which is independent
+  // of the kEncodeRound float->posit encode constant.
+  constexpr posit::RoundMode kArith = posit::RoundMode::kNearestEven;
+  EngineLuts luts;
+  if (posit::add_lut_supported(spec, kArith)) luts.add = &posit::add_lut(spec, kArith);
+  if (mode == AccumMode::kSerial && posit::mul_lut_supported(spec, kArith)) {
+    luts.mul = &posit::mul_lut(spec, kArith);
+  }
+  if (mode == AccumMode::kFma && posit::fma_lut_supported(spec, kArith)) {
+    luts.fma = &posit::fma_lut(spec, kArith);
+  }
+  return luts;
+}
+
 void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTensor& bias,
                  std::size_t rows, std::size_t k, std::size_t cols, AccumMode mode, float* out,
-                 std::size_t row_stride, std::size_t col_stride) {
+                 std::size_t row_stride, std::size_t col_stride, const EngineLuts& luts,
+                 posit::Quire* quire_pool) {
   const PositSpec spec = w.spec;
-  // The LUT tabulates the *arithmetic* rounding of the serial path
-  // (posit::mul's nearest-even default), which is independent of the
-  // kEncodeRound float->posit encode constant.
-  const MulLut* lut =
-      mode == AccumMode::kSerial && posit::mul_lut_supported(spec, posit::RoundMode::kNearestEven)
-          ? &posit::mul_lut(spec, posit::RoundMode::kNearestEven)
-          : nullptr;
   const std::size_t tiles = (rows + kActTile - 1) / kActTile;
 #pragma omp parallel
   {
-    posit::Quire quire(spec);
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    posit::Quire* quire = mode == AccumMode::kQuire ? &quire_pool[tid] : nullptr;
 #pragma omp for schedule(static)
     for (std::size_t tile = 0; tile < tiles; ++tile) {
       const std::size_t r0 = tile * kActTile;
@@ -54,18 +54,20 @@ void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTe
         const std::uint32_t* wcodes = w.codes.data() + o * k;
         for (std::size_t r = r0; r < r1; ++r) {
           const Unpacked* arow = a.ops.data() + r * k;
+          const std::uint32_t* acodes = a.codes.data() + r * k;
           std::uint32_t acc = 0;
           switch (mode) {
             case AccumMode::kQuire:
-              quire.clear();
-              quire.accumulate_dot(arow, wrow, k);
-              acc = quire.to_posit();
+              quire->clear();
+              quire->accumulate_dot(arow, wrow, k);
+              acc = quire->to_posit();
               break;
             case AccumMode::kSerial:
-              if (lut != nullptr) {
-                const std::uint32_t* acodes = a.codes.data() + r * k;
+              if (luts.mul != nullptr && luts.add != nullptr) {
+                // Two table reads per term: the multiply and the accumulator
+                // add both come out of L2-resident LUTs.
                 for (std::size_t i = 0; i < k; ++i) {
-                  acc = posit::add(acc, lut->at(acodes[i], wcodes[i]), spec);
+                  acc = luts.add->at(acc, luts.mul->at(acodes[i], wcodes[i]));
                 }
               } else {
                 for (std::size_t i = 0; i < k; ++i) {
@@ -74,15 +76,54 @@ void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTe
               }
               break;
             case AccumMode::kFma:
-              for (std::size_t i = 0; i < k; ++i) acc = posit::fma(arow[i], wrow[i], acc, spec);
+              if (luts.fma != nullptr) {
+                for (std::size_t i = 0; i < k; ++i) acc = luts.fma->at(acodes[i], wcodes[i], acc);
+              } else {
+                for (std::size_t i = 0; i < k; ++i) acc = posit::fma(arow[i], wrow[i], acc, spec);
+              }
               break;
           }
-          if (!bias.empty()) acc = posit::add(acc, bias.codes[o], spec);
+          if (!bias.empty()) {
+            acc = luts.add != nullptr ? luts.add->at(acc, bias.codes[o])
+                                      : posit::add(acc, bias.codes[o], spec);
+          }
           out[r * row_stride + o * col_stride] = static_cast<float>(posit::to_double(acc, spec));
         }
       }
     }
   }
+}
+
+void encode_conv_panel(const float* cols, std::size_t patch, std::size_t pixels,
+                       const PositSpec& spec, EncodedTensor& panel) {
+  panel.spec = spec;
+  panel.shape = {pixels, patch};
+  panel.codes.resize(pixels * patch);
+  panel.ops.resize(pixels * patch);
+#pragma omp parallel for schedule(static) if (pixels > 8)
+  for (std::size_t t = 0; t < pixels; ++t) {
+    for (std::size_t p = 0; p < patch; ++p) {
+      const std::uint32_t code = posit::from_double(cols[p * pixels + t], spec, kEncodeRound);
+      panel.codes[t * patch + p] = code;
+      panel.ops[t * patch + p] = posit::decode_unpacked(code, spec);
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Transient per-thread quire pool for the free-function entry points (the
+/// session plans its arenas once at compile instead).
+std::vector<posit::Quire> make_quire_pool(const PositSpec& spec, AccumMode mode) {
+  std::vector<posit::Quire> pool;
+  if (mode == AccumMode::kQuire) {
+    const int threads = detail::engine_threads();
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(spec);
+  }
+  return pool;
 }
 
 // ---------------------------------------------------------------------------
@@ -128,68 +169,22 @@ std::uint32_t dot(const std::uint32_t* a, const std::uint32_t* b, std::size_t co
 
 EncodedTensor encode_unpack(const Tensor& t, const PositSpec& spec) {
   EncodedTensor e;
-  e.spec = spec;
   e.shape = t.shape();
-  e.codes.resize(t.numel());
-  e.ops.resize(t.numel());
-  const float* src = t.data();
-  const std::size_t count = t.numel();
-#pragma omp parallel for schedule(static) if (count > 4096)
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint32_t code = posit::from_double(src[i], spec, kEncodeRound);
-    e.codes[i] = code;
-    e.ops[i] = posit::decode_unpacked(code, spec);
-  }
+  encode_unpack_into(t.data(), t.numel(), spec, e);
   return e;
 }
 
-WeightCodeCache& WeightCodeCache::instance() {
-  static WeightCodeCache cache;
-  return cache;
-}
-
-std::shared_ptr<const EncodedTensor> WeightCodeCache::get(const nn::Param& p, const PositSpec& spec) {
-  const std::pair<const void*, std::pair<int, int>> key{p.value.data(), {spec.n, spec.es}};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it != map_.end() && it->second.version == p.version) {
-      ++hits_;
-      return it->second.panel;
-    }
+void encode_unpack_into(const float* src, std::size_t count, const PositSpec& spec,
+                        EncodedTensor& out) {
+  out.spec = spec;
+  out.codes.resize(count);
+  out.ops.resize(count);
+#pragma omp parallel for schedule(static) if (count > 4096)
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t code = posit::from_double(src[i], spec, kEncodeRound);
+    out.codes[i] = code;
+    out.ops[i] = posit::decode_unpacked(code, spec);
   }
-  // Encode outside the lock: panels can be large and encode_unpack is
-  // threaded. A concurrent get() for the same param at worst encodes twice.
-  auto panel = std::make_shared<const EncodedTensor>(encode_unpack(p.value, spec));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++misses_;
-    if (map_.size() >= kMaxEntries) map_.clear();  // drop unreachable stale panels
-    map_[key] = Entry{p.version, panel};
-  }
-  return panel;
-}
-
-void WeightCodeCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
-}
-
-std::size_t WeightCodeCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
-}
-
-std::uint64_t WeightCodeCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-std::uint64_t WeightCodeCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
 }
 
 Tensor posit_linear(const Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
@@ -206,8 +201,10 @@ Tensor posit_linear(const Tensor& x, const EncodedTensor& w, const EncodedTensor
     throw std::invalid_argument("posit_linear: bias/weight spec mismatch");
   }
   const EncodedTensor xe = encode_unpack(x, w.spec);
+  const detail::EngineLuts luts = detail::resolve_luts(w.spec, mode);
+  std::vector<posit::Quire> pool = make_quire_pool(w.spec, mode);
   Tensor y({n, out});
-  engine_gemm(xe, w, bias, n, in, out, mode, y.data(), out, 1);
+  detail::engine_gemm(xe, w, bias, n, in, out, mode, y.data(), out, 1, luts, pool.data());
   return y;
 }
 
@@ -222,6 +219,7 @@ Tensor posit_linear(const Tensor& x, const Tensor& w, const Tensor& bias, const 
 
 Tensor posit_conv2d(const Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
                     const tensor::Conv2dGeom& geom, AccumMode mode) {
+  geom.validate();
   const PositSpec spec = w.spec;
   const std::size_t batch = x.shape()[0];
   const std::size_t oh = geom.out_h(), ow = geom.out_w();
@@ -235,28 +233,19 @@ Tensor posit_conv2d(const Tensor& x, const EncodedTensor& w, const EncodedTensor
     throw std::invalid_argument("posit_conv2d: bias/weight spec mismatch");
   }
 
+  const detail::EngineLuts luts = detail::resolve_luts(spec, mode);
+  std::vector<posit::Quire> pool = make_quire_pool(spec, mode);
   Tensor out({batch, geom.out_c, oh, ow});
   Tensor cols({patch, pixels});
   EncodedTensor panel;
-  panel.spec = spec;
-  panel.shape = {pixels, patch};
-  panel.codes.resize(pixels * patch);
-  panel.ops.resize(pixels * patch);
   for (std::size_t nidx = 0; nidx < batch; ++nidx) {
     tensor::im2col(x.data() + nidx * geom.in_c * geom.in_h * geom.in_w, geom, cols.data());
     // Encode the unfolded image once, transposed so each output pixel's patch
     // is contiguous (the decode-once activation panel).
-#pragma omp parallel for schedule(static) if (pixels > 8)
-    for (std::size_t t = 0; t < pixels; ++t) {
-      for (std::size_t p = 0; p < patch; ++p) {
-        const std::uint32_t code = posit::from_double(cols[p * pixels + t], spec, kEncodeRound);
-        panel.codes[t * patch + p] = code;
-        panel.ops[t * patch + p] = posit::decode_unpacked(code, spec);
-      }
-    }
+    detail::encode_conv_panel(cols.data(), patch, pixels, spec, panel);
     // Output plane for this image is [out_c, pixels]: column stride `pixels`.
-    engine_gemm(panel, w, bias, pixels, patch, geom.out_c, mode,
-                out.data() + nidx * geom.out_c * pixels, 1, pixels);
+    detail::engine_gemm(panel, w, bias, pixels, patch, geom.out_c, mode,
+                        out.data() + nidx * geom.out_c * pixels, 1, pixels, luts, pool.data());
   }
   return out;
 }
@@ -271,89 +260,8 @@ Tensor posit_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
 }
 
 Tensor posit_forward(nn::Sequential& net, const Tensor& x, const QuantConfig& cfg, AccumMode mode) {
-  WeightCodeCache& cache = WeightCodeCache::instance();
-  Tensor h = x;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    nn::Module& m = net.child(i);
-    if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
-      const PositSpec& spec = cfg.linear.forward;
-      const auto wc = cache.get(fc->weight(), spec);
-      const auto bc = cache.get(fc->bias(), spec);
-      h = posit_linear(h, *wc, *bc, mode);
-    } else if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
-      const PositSpec& spec = cfg.conv.forward;
-      const tensor::Conv2dGeom geom{conv->in_channels(), h.shape()[2],     h.shape()[3],
-                                    conv->out_channels(), conv->kernel(),  conv->stride(),
-                                    conv->pad(),          conv->kernel_w()};
-      const auto wc = cache.get(conv->weight(), spec);
-      if (conv->has_bias()) {
-        const auto bc = cache.get(conv->bias(), spec);
-        h = posit_conv2d(h, *wc, *bc, geom, mode);
-      } else {
-        EncodedTensor no_bias;
-        no_bias.spec = spec;
-        h = posit_conv2d(h, *wc, no_bias, geom, mode);
-      }
-    } else if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
-      // Eval-mode BN as posit arithmetic: y = g * (x - mean) * rsqrt(var+eps) + b.
-      const PositSpec& spec = cfg.bn.forward;
-      const std::size_t n = h.shape()[0], c = h.shape()[1];
-      const std::size_t plane = h.shape()[2] * h.shape()[3];
-      // Channel slices are independent (same parallel shape as the FP32 BN).
-#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
-      for (std::size_t ci = 0; ci < c; ++ci) {
-        const double inv_std = 1.0 / std::sqrt(static_cast<double>(bn->running_var()[ci]) + bn->eps());
-        const std::uint32_t g = posit::from_double(bn->gamma().value[ci], spec, kEncodeRound);
-        const std::uint32_t scale =
-            posit::mul(g, posit::from_double(inv_std, spec, kEncodeRound), spec);
-        const std::uint32_t mean = posit::from_double(bn->running_mean()[ci], spec, kEncodeRound);
-        const std::uint32_t beta = posit::from_double(bn->beta().value[ci], spec, kEncodeRound);
-        for (std::size_t ni = 0; ni < n; ++ni) {
-          float* row = h.data() + (ni * c + ci) * plane;
-          for (std::size_t p = 0; p < plane; ++p) {
-            const std::uint32_t xv = posit::from_double(row[p], spec, kEncodeRound);
-            const std::uint32_t centered = posit::sub(xv, mean, spec);
-            const std::uint32_t scaled = posit::fma(centered, scale, beta, spec);
-            row[p] = static_cast<float>(posit::to_double(scaled, spec));
-          }
-        }
-      }
-    } else if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
-      h.apply([](float v) { return v > 0.0f ? v : 0.0f; });  // exact on posit values
-    } else if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
-      std::vector<std::size_t> argmax;
-      h = tensor::maxpool2x2_forward(h, argmax);  // comparisons only: exact
-    } else if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
-      // Average = quire sum then posit division by the (exact) plane count.
-      const PositSpec& spec = cfg.conv.forward;
-      const std::size_t n = h.shape()[0], c = h.shape()[1];
-      const std::size_t plane = h.shape()[2] * h.shape()[3];
-      Tensor pooled({n, c});
-      const std::uint32_t divisor = posit::from_double(static_cast<double>(plane), spec, kEncodeRound);
-      // Each (image, channel) cell owns its reduction; per-thread quires.
-#pragma omp parallel
-      {
-        posit::Quire quire(spec);
-#pragma omp for schedule(static) collapse(2)
-        for (std::size_t ni = 0; ni < n; ++ni) {
-          for (std::size_t ci = 0; ci < c; ++ci) {
-            quire.clear();
-            const float* src = h.data() + (ni * c + ci) * plane;
-            for (std::size_t p = 0; p < plane; ++p) {
-              quire.add_posit(posit::from_double(src[p], spec, kEncodeRound));
-            }
-            const std::uint32_t sum = quire.to_posit();
-            pooled.at(ni, ci) = static_cast<float>(posit::to_double(posit::div(sum, divisor, spec), spec));
-          }
-        }
-      }
-      h = pooled;
-    } else {
-      throw std::invalid_argument("posit_forward: unsupported layer '" + m.name() + "' (" +
-                                  typeid(m).name() + ")");
-    }
-  }
-  return h;
+  PositSession session = PositSession::compile(net, SessionConfig::from_quant(cfg, mode));
+  return session.run(x);
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +290,7 @@ Tensor posit_linear_reference(const Tensor& x, const Tensor& w, const Tensor& bi
 
 Tensor posit_conv2d_reference(const Tensor& x, const Tensor& w, const Tensor& bias,
                               const tensor::Conv2dGeom& geom, const PositSpec& spec, AccumMode mode) {
+  geom.validate();
   const std::size_t batch = x.shape()[0];
   const std::size_t oh = geom.out_h(), ow = geom.out_w();
   const std::size_t patch = geom.patch();

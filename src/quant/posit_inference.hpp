@@ -12,19 +12,22 @@
 //               the behavior of the paper's Fig. 4 MAC pipeline).
 //
 // Execution is decode-once: every operand is unpacked exactly once into
-// posit::Unpacked fields (weights once per *network* via WeightCodeCache,
-// activations once per layer call), the hot loops run on the unpacked panels
-// with per-thread quires OpenMP-distributed over output rows/pixels, and
-// n <= 8 serial-mode multiplies dispatch onto the tabulated MulLut at
-// runtime. Results are bit-identical to the retained scalar reference path
+// posit::Unpacked fields, the hot loops run on the unpacked panels with
+// per-thread quires OpenMP-distributed over output rows/pixels, and n <= 8
+// formats dispatch at runtime onto tabulated kernels (MulLut/AddLut for the
+// serial chain and every bias add, the pair-classed FmaLut for the fma
+// chain). Results are bit-identical to the retained scalar reference path
 // (posit_linear_reference / posit_conv2d_reference) at every spec and
 // accumulation mode, and to single-threaded runs at any thread count.
+//
+// The free functions below encode their weights per call. Whole-network
+// inference lives in quant::PositSession (posit_session.hpp), which compiles
+// a module graph once — session-owned weight panels, per-thread quire
+// arenas, per-layer precision overrides — and runs allocation-free in steady
+// state; posit_forward() is the thin compile-and-run compatibility wrapper.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -65,48 +68,17 @@ struct EncodedTensor {
 /// Encode (under kEncodeRound) and unpack a whole tensor in one pass.
 EncodedTensor encode_unpack(const tensor::Tensor& t, const posit::PositSpec& spec);
 
-/// Process-wide weight-code cache: parameter tensors encode once per network,
-/// not once per forward. Entries are keyed on (tensor storage, spec) and
-/// carry the Param::version they were built from; any mutation that calls
-/// Param::mark_updated() (optimizer step, checkpoint load) refreshes the
-/// codes on next use. Versions are process-unique, so a recycled allocation
-/// can never alias a stale entry. Entries whose Param was destroyed (or whose
-/// value tensor was reassigned to new storage) cannot be detected
-/// individually, so the cache self-flushes when it exceeds kMaxEntries —
-/// live panels re-encode once and the map stays bounded in long-lived
-/// processes.
-class WeightCodeCache {
- public:
-  static WeightCodeCache& instance();
-
-  /// The encoded panel for p.value under spec (cached or freshly built).
-  std::shared_ptr<const EncodedTensor> get(const nn::Param& p, const posit::PositSpec& spec);
-
-  void clear();
-  std::size_t entries() const;
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-
-  /// Flush threshold: generous for any realistic network (params x specs),
-  /// small enough that leaked entries cannot grow without bound.
-  static constexpr std::size_t kMaxEntries = 1024;
-
- private:
-  struct Entry {
-    std::uint64_t version = 0;
-    std::shared_ptr<const EncodedTensor> panel;
-  };
-
-  mutable std::mutex mu_;
-  std::map<std::pair<const void*, std::pair<int, int>>, Entry> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-};
+/// Encode `count` floats into an existing panel, reusing its storage — the
+/// session's steady-state activation path (no allocation once shapes
+/// settle). Sets out.spec; the caller owns out.shape.
+void encode_unpack_into(const float* src, std::size_t count, const posit::PositSpec& spec,
+                        EncodedTensor& out);
 
 /// Dense posit matrix-vector building block: y = x W^T + b, all posit.
-/// x is [N, in], w is [out, in], bias optional ([out] or empty). Encodes the
-/// weights per call; prefer the EncodedTensor overload (or posit_forward,
-/// which caches) when the weights are reused.
+/// x is [N, in] (N = 0 yields an empty [0, out] result), w is [out, in],
+/// bias optional ([out] or empty). Encodes the weights per call; prefer the
+/// EncodedTensor overload (or a PositSession, which owns the panels) when
+/// the weights are reused.
 tensor::Tensor posit_linear(const tensor::Tensor& x, const tensor::Tensor& w, const tensor::Tensor& bias,
                             const posit::PositSpec& spec, AccumMode mode);
 
@@ -114,9 +86,10 @@ tensor::Tensor posit_linear(const tensor::Tensor& x, const tensor::Tensor& w, co
 tensor::Tensor posit_linear(const tensor::Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
                             AccumMode mode);
 
-/// Posit convolution: input [N,C,H,W], weight [O,I,KH,KW] (rectangular
-/// windows via geom.kernel_w), optional per-output-channel bias ([O] or
-/// empty).
+/// Posit convolution: input [N,C,H,W] (N = 0 yields an empty result), weight
+/// [O,I,KH,KW] (rectangular windows via geom.kernel_w), optional
+/// per-output-channel bias ([O] or empty). Throws std::invalid_argument on
+/// degenerate geometry (see tensor::Conv2dGeom::validate).
 tensor::Tensor posit_conv2d(const tensor::Tensor& x, const tensor::Tensor& w, const tensor::Tensor& bias,
                             const tensor::Conv2dGeom& geom, const posit::PositSpec& spec, AccumMode mode);
 
@@ -124,11 +97,11 @@ tensor::Tensor posit_conv2d(const tensor::Tensor& x, const tensor::Tensor& w, co
 tensor::Tensor posit_conv2d(const tensor::Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
                             const tensor::Conv2dGeom& geom, AccumMode mode);
 
-/// Run a full eval-mode forward pass of a Sequential built from the layer
-/// types in this library (Conv2d, BatchNorm2d, ReLU, pooling, Linear;
-/// ResidualBlock is NOT yet supported) using true posit arithmetic with the
-/// per-layer-class formats of `cfg`. Weight codes come from WeightCodeCache.
-/// Throws std::invalid_argument on unsupported children.
+/// Compatibility wrapper: compile `net` into a PositSession with the
+/// per-layer-class formats of `cfg` (SessionConfig::from_quant) and run one
+/// batch. Bit-identical to the pre-session per-layer engine path; weights
+/// re-encode on every call, so repeated inference should hold a compiled
+/// session instead. Throws std::invalid_argument on unsupported children.
 tensor::Tensor posit_forward(nn::Sequential& net, const tensor::Tensor& x, const QuantConfig& cfg,
                              AccumMode mode);
 

@@ -1,0 +1,566 @@
+#include "quant/posit_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "quant/engine_gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::quant {
+
+using posit::PositSpec;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// SessionConfig
+// ---------------------------------------------------------------------------
+
+SessionConfig SessionConfig::from_quant(const QuantConfig& cfg, AccumMode mode) {
+  SessionConfig c;
+  c.spec = cfg.conv.forward;
+  c.mode = mode;
+  c.by_class[nn::LayerClass::kConv] = {cfg.conv.forward, {}};
+  c.by_class[nn::LayerClass::kBn] = {cfg.bn.forward, {}};
+  c.by_class[nn::LayerClass::kLinear] = {cfg.linear.forward, {}};
+  return c;
+}
+
+PositSpec SessionConfig::spec_for(const std::string& name, nn::LayerClass cls) const {
+  const auto by_n = by_name.find(name);
+  if (by_n != by_name.end() && by_n->second.spec.has_value()) return *by_n->second.spec;
+  const auto by_c = by_class.find(cls);
+  if (by_c != by_class.end() && by_c->second.spec.has_value()) return *by_c->second.spec;
+  return spec;
+}
+
+AccumMode SessionConfig::mode_for(const std::string& name, nn::LayerClass cls) const {
+  const auto by_n = by_name.find(name);
+  if (by_n != by_name.end() && by_n->second.mode.has_value()) return *by_n->second.mode;
+  const auto by_c = by_class.find(cls);
+  if (by_c != by_class.end() && by_c->second.mode.has_value()) return *by_c->second.mode;
+  return mode;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled plan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A parameter tensor bound to a session-owned encoded panel. `version`
+/// mirrors Param::version at encode time; a mismatch at run() re-encodes.
+struct Binding {
+  nn::Param* param = nullptr;
+  std::uint64_t version = 0;
+  EncodedTensor panel;
+};
+
+/// Reshape an owned buffer only when the target shape actually changed —
+/// the steady-state no-allocation path.
+void ensure_shape(Tensor& t, const tensor::Shape& s) {
+  if (t.shape() != s) t = Tensor(s);
+}
+
+struct Step {
+  enum class Kind { kLinear, kConv, kBn, kRelu, kMaxPool, kGap, kResidual };
+
+  Kind kind = Kind::kRelu;
+  std::string name;
+  PositSpec spec{16, 1};
+  AccumMode mode = AccumMode::kQuire;
+  detail::EngineLuts luts;
+  int arena = -1;  ///< per-thread quire pool index (kQuire GEMMs, GAP, joins)
+
+  // linear / conv
+  Binding weight, bias;  // bias.param == nullptr -> no bias (panel stays empty)
+  std::size_t in_c = 0, out_c = 0, kernel = 0, stride = 1, pad = 0, kernel_w = 0;
+
+  // bn: constants derived from (gamma, beta, running stats) at encode time
+  nn::BatchNorm2d* bn = nullptr;
+  std::uint64_t gamma_version = 0, beta_version = 0;
+  std::vector<std::uint32_t> bn_scale, bn_mean, bn_shift;
+
+  // residual branches (skip empty -> identity)
+  std::vector<Step> main_branch, skip_branch;
+
+  // session-owned run-time buffers
+  Tensor out;
+  Tensor cols;       // conv im2col scratch
+  EncodedTensor act; // encoded activation panel
+};
+
+}  // namespace
+
+struct PositSession::Impl {
+  SessionConfig cfg;
+  std::vector<Step> steps;
+
+  struct Arena {
+    PositSpec spec{16, 1};
+    std::vector<posit::Quire> quires;  // one per OpenMP thread
+  };
+  std::vector<Arena> arenas;
+
+  Tensor passthrough;  // output buffer for an empty module graph
+  std::uint64_t encode_count = 0;
+  std::size_t bound_params = 0;
+  bool force_refresh = false;
+
+  int arena_for(const PositSpec& spec) {
+    for (std::size_t i = 0; i < arenas.size(); ++i) {
+      if (arenas[i].spec == spec) return static_cast<int>(i);
+    }
+    arenas.push_back({spec, {}});
+    return static_cast<int>(arenas.size() - 1);
+  }
+
+  void ensure_arena_threads() {
+    const std::size_t threads = static_cast<std::size_t>(detail::engine_threads());
+    for (Arena& a : arenas) {
+      while (a.quires.size() < threads) a.quires.emplace_back(a.spec);
+    }
+  }
+
+  posit::Quire* pool(const Step& s) {
+    return s.arena >= 0 ? arenas[static_cast<std::size_t>(s.arena)].quires.data() : nullptr;
+  }
+
+  void bind(Binding& b, nn::Param& p, const PositSpec& spec) {
+    b.param = &p;
+    b.version = p.version;
+    b.panel = encode_unpack(p.value, spec);
+    ++encode_count;
+    ++bound_params;
+  }
+
+  /// (Re)derive the per-channel BN constants exactly as the per-layer engine
+  /// does: scale = round(gamma) * round(1/sqrt(var+eps)), rounded once.
+  void encode_bn(Step& s) {
+    nn::BatchNorm2d& bn = *s.bn;
+    const std::size_t c = bn.running_mean().size();
+    s.bn_scale.resize(c);
+    s.bn_mean.resize(c);
+    s.bn_shift.resize(c);
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const double inv_std = 1.0 / std::sqrt(static_cast<double>(bn.running_var()[ci]) + bn.eps());
+      const std::uint32_t g = posit::from_double(bn.gamma().value[ci], s.spec, kEncodeRound);
+      s.bn_scale[ci] = posit::mul(g, posit::from_double(inv_std, s.spec, kEncodeRound), s.spec);
+      s.bn_mean[ci] = posit::from_double(bn.running_mean()[ci], s.spec, kEncodeRound);
+      s.bn_shift[ci] = posit::from_double(bn.beta().value[ci], s.spec, kEncodeRound);
+    }
+    s.gamma_version = bn.gamma().version;
+    s.beta_version = bn.beta().version;
+    ++encode_count;
+  }
+
+  void compile_into(nn::Module& m, std::vector<Step>& steps);
+  Step compile_leaf(nn::Module& m);
+
+  void refresh(std::vector<Step>& steps, bool force);
+  const Tensor& exec(Step& s, const Tensor& h);
+
+  void exec_linear(Step& s, const Tensor& h);
+  void exec_conv(Step& s, const Tensor& h);
+  void exec_bn(Step& s, const Tensor& h);
+  void exec_relu(Step& s, const Tensor& h);
+  void exec_maxpool(Step& s, const Tensor& h);
+  void exec_gap(Step& s, const Tensor& h);
+  void exec_residual(Step& s, const Tensor& h);
+
+  static void collect_bytes(const std::vector<Step>& steps, std::size_t& bytes);
+};
+
+// ---------------------------------------------------------------------------
+// compile
+// ---------------------------------------------------------------------------
+
+void PositSession::Impl::compile_into(nn::Module& m, std::vector<Step>& steps) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+    for (nn::Module* child : seq->children()) compile_into(*child, steps);
+    return;
+  }
+  if (auto* rb = dynamic_cast<nn::ResidualBlock*>(&m)) {
+    Step s;
+    s.kind = Step::Kind::kResidual;
+    s.name = rb->name();
+    // The block-level join adopts the conv family format (the post-add
+    // activation is a conv-class tensor in training too).
+    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
+    s.mode = cfg.mode_for(s.name, nn::LayerClass::kConv);
+    s.luts = detail::resolve_luts(s.spec, s.mode);
+    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+    compile_into(rb->conv1(), s.main_branch);
+    compile_into(rb->bn1(), s.main_branch);
+    compile_into(rb->relu1(), s.main_branch);
+    compile_into(rb->conv2(), s.main_branch);
+    compile_into(rb->bn2(), s.main_branch);
+    if (rb->has_downsample()) {
+      compile_into(*rb->down_conv(), s.skip_branch);
+      compile_into(*rb->down_bn(), s.skip_branch);
+    }
+    steps.push_back(std::move(s));
+    return;
+  }
+  steps.push_back(compile_leaf(m));
+}
+
+Step PositSession::Impl::compile_leaf(nn::Module& m) {
+  Step s;
+  s.name = m.name();
+  if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+    s.kind = Step::Kind::kLinear;
+    s.spec = cfg.spec_for(s.name, nn::LayerClass::kLinear);
+    s.mode = cfg.mode_for(s.name, nn::LayerClass::kLinear);
+    s.luts = detail::resolve_luts(s.spec, s.mode);
+    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+    bind(s.weight, fc->weight(), s.spec);
+    bind(s.bias, fc->bias(), s.spec);
+    s.in_c = fc->in_features();
+    s.out_c = fc->out_features();
+    return s;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+    s.kind = Step::Kind::kConv;
+    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
+    s.mode = cfg.mode_for(s.name, nn::LayerClass::kConv);
+    s.luts = detail::resolve_luts(s.spec, s.mode);
+    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+    bind(s.weight, conv->weight(), s.spec);
+    if (conv->has_bias()) {
+      bind(s.bias, conv->bias(), s.spec);
+    } else {
+      s.bias.panel.spec = s.spec;
+    }
+    s.in_c = conv->in_channels();
+    s.out_c = conv->out_channels();
+    s.kernel = conv->kernel();
+    s.kernel_w = conv->kernel_w();
+    s.stride = conv->stride();
+    s.pad = conv->pad();
+    return s;
+  }
+  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+    s.kind = Step::Kind::kBn;
+    s.spec = cfg.spec_for(s.name, nn::LayerClass::kBn);
+    s.mode = cfg.mode_for(s.name, nn::LayerClass::kBn);
+    s.bn = bn;
+    // The per-element transform is one fma: dispatch its table when the BN
+    // format is small enough, whatever the accumulation mode.
+    if (posit::fma_lut_supported(s.spec, posit::RoundMode::kNearestEven)) {
+      s.luts.fma = &posit::fma_lut(s.spec, posit::RoundMode::kNearestEven);
+    }
+    encode_bn(s);
+    return s;
+  }
+  if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+    s.kind = Step::Kind::kRelu;
+    return s;
+  }
+  if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
+    s.kind = Step::Kind::kMaxPool;
+    return s;
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
+    s.kind = Step::Kind::kGap;
+    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
+    s.arena = arena_for(s.spec);  // the plane sum always runs through a quire
+    return s;
+  }
+  throw std::invalid_argument("PositSession: unsupported layer '" + m.name() + "' (" +
+                              typeid(m).name() + ")");
+}
+
+// ---------------------------------------------------------------------------
+// refresh (Param::version-driven re-encode)
+// ---------------------------------------------------------------------------
+
+void PositSession::Impl::refresh(std::vector<Step>& steps, bool force) {
+  for (Step& s : steps) {
+    if (s.weight.param != nullptr && (force || s.weight.param->version != s.weight.version)) {
+      s.weight.version = s.weight.param->version;
+      s.weight.panel = encode_unpack(s.weight.param->value, s.spec);
+      ++encode_count;
+    }
+    if (s.bias.param != nullptr && (force || s.bias.param->version != s.bias.version)) {
+      s.bias.version = s.bias.param->version;
+      s.bias.panel = encode_unpack(s.bias.param->value, s.spec);
+      ++encode_count;
+    }
+    if (s.bn != nullptr &&
+        (force || s.bn->gamma().version != s.gamma_version || s.bn->beta().version != s.beta_version)) {
+      encode_bn(s);
+    }
+    refresh(s.main_branch, force);
+    refresh(s.skip_branch, force);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+const Tensor& PositSession::Impl::exec(Step& s, const Tensor& h) {
+  switch (s.kind) {
+    case Step::Kind::kLinear: exec_linear(s, h); break;
+    case Step::Kind::kConv: exec_conv(s, h); break;
+    case Step::Kind::kBn: exec_bn(s, h); break;
+    case Step::Kind::kRelu: exec_relu(s, h); break;
+    case Step::Kind::kMaxPool: exec_maxpool(s, h); break;
+    case Step::Kind::kGap: exec_gap(s, h); break;
+    case Step::Kind::kResidual: exec_residual(s, h); break;
+  }
+  return s.out;
+}
+
+void PositSession::Impl::exec_linear(Step& s, const Tensor& h) {
+  if (h.shape().rank() != 2 || h.shape()[1] != s.in_c) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
+                                std::to_string(s.in_c) + "], got " + h.shape().to_string());
+  }
+  const std::size_t n = h.shape()[0];
+  s.act.shape = {n, s.in_c};
+  encode_unpack_into(h.data(), h.numel(), s.spec, s.act);
+  ensure_shape(s.out, {n, s.out_c});
+  detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, n, s.in_c, s.out_c, s.mode, s.out.data(),
+                      s.out_c, 1, s.luts, pool(s));
+}
+
+void PositSession::Impl::exec_conv(Step& s, const Tensor& h) {
+  if (h.shape().rank() != 4 || h.shape()[1] != s.in_c) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
+                                std::to_string(s.in_c) + ", H, W], got " + h.shape().to_string());
+  }
+  const tensor::Conv2dGeom geom{s.in_c, h.shape()[2], h.shape()[3], s.out_c,
+                                s.kernel, s.stride,   s.pad,        s.kernel_w};
+  geom.validate();
+  const std::size_t batch = h.shape()[0];
+  const std::size_t oh = geom.out_h(), ow = geom.out_w();
+  const std::size_t pixels = oh * ow;
+  const std::size_t patch = geom.patch();
+  ensure_shape(s.cols, {patch, pixels});
+  ensure_shape(s.out, {batch, s.out_c, oh, ow});
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    tensor::im2col(h.data() + nidx * s.in_c * geom.in_h * geom.in_w, geom, s.cols.data());
+    detail::encode_conv_panel(s.cols.data(), patch, pixels, s.spec, s.act);
+    detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, pixels, patch, s.out_c, s.mode,
+                        s.out.data() + nidx * s.out_c * pixels, 1, pixels, s.luts, pool(s));
+  }
+}
+
+void PositSession::Impl::exec_bn(Step& s, const Tensor& h) {
+  // Eval-mode BN as posit arithmetic: y = scale * (x - mean) + shift with
+  // scale/mean/shift pre-encoded per channel.
+  if (h.shape().rank() != 4 || h.shape()[1] != s.bn_scale.size()) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
+                                std::to_string(s.bn_scale.size()) + ", H, W], got " +
+                                h.shape().to_string());
+  }
+  const std::size_t n = h.shape()[0], c = h.shape()[1];
+  const std::size_t plane = h.shape()[2] * h.shape()[3];
+  ensure_shape(s.out, h.shape());
+  // Channel slices are independent (same parallel shape as the FP32 BN).
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    const std::uint32_t scale = s.bn_scale[ci];
+    const std::uint32_t mean = s.bn_mean[ci];
+    const std::uint32_t shift = s.bn_shift[ci];
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* src = h.data() + (ni * c + ci) * plane;
+      float* dst = s.out.data() + (ni * c + ci) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        const std::uint32_t xv = posit::from_double(src[p], s.spec, kEncodeRound);
+        const std::uint32_t centered = posit::sub(xv, mean, s.spec);
+        const std::uint32_t scaled = s.luts.fma != nullptr
+                                         ? s.luts.fma->at(centered, scale, shift)
+                                         : posit::fma(centered, scale, shift, s.spec);
+        dst[p] = static_cast<float>(posit::to_double(scaled, s.spec));
+      }
+    }
+  }
+}
+
+void PositSession::Impl::exec_relu(Step& s, const Tensor& h) {
+  ensure_shape(s.out, h.shape());
+  const std::size_t numel = h.numel();
+  const float* src = h.data();
+  float* dst = s.out.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+void PositSession::Impl::exec_maxpool(Step& s, const Tensor& h) {
+  // 2x2/stride-2 max pooling, comparisons only (exact on posit values);
+  // the same visit order as tensor::maxpool2x2_forward, without its
+  // per-call argmax/output allocations.
+  if (h.shape().rank() != 4) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' expects rank-4 input");
+  }
+  const std::size_t n = h.shape()[0], c = h.shape()[1], ih = h.shape()[2], iw = h.shape()[3];
+  const std::size_t oh = ih / 2, ow = iw / 2;
+  ensure_shape(s.out, {n, c, oh, ow});
+  const float* src = h.data();
+  float* dst = s.out.data();
+#pragma omp parallel for schedule(static) if (n * c > 1 && n * c * oh * ow > 16384)
+  for (std::size_t plane = 0; plane < n * c; ++plane) {
+    const float* in = src + plane * ih * iw;
+    float* out = dst + plane * oh * ow;
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        // Same comparison semantics as the reference kernel, NaN included:
+        // `v > best` from -inf skips NaN entries (NaR decodes to NaN).
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const float v = in[(2 * y + dy) * iw + 2 * x + dx];
+            if (v > best) best = v;
+          }
+        }
+        out[y * ow + x] = best;
+      }
+    }
+  }
+}
+
+void PositSession::Impl::exec_gap(Step& s, const Tensor& h) {
+  // Average = quire sum then posit division by the (exact) plane count.
+  if (h.shape().rank() != 4) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' expects rank-4 input");
+  }
+  const std::size_t n = h.shape()[0], c = h.shape()[1];
+  const std::size_t plane = h.shape()[2] * h.shape()[3];
+  ensure_shape(s.out, {n, c});
+  const std::uint32_t divisor =
+      posit::from_double(static_cast<double>(plane), s.spec, kEncodeRound);
+  posit::Quire* quires = pool(s);
+  // Each (image, channel) cell owns its reduction; per-thread quires.
+#pragma omp parallel
+  {
+#ifdef _OPENMP
+    posit::Quire& quire = quires[omp_get_thread_num()];
+#else
+    posit::Quire& quire = quires[0];
+#endif
+#pragma omp for schedule(static) collapse(2)
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      for (std::size_t ci = 0; ci < c; ++ci) {
+        quire.clear();
+        const float* src = h.data() + (ni * c + ci) * plane;
+        for (std::size_t p = 0; p < plane; ++p) {
+          quire.add_posit(posit::from_double(src[p], s.spec, kEncodeRound));
+        }
+        const std::uint32_t sum = quire.to_posit();
+        s.out.at(ni, ci) =
+            static_cast<float>(posit::to_double(posit::div(sum, divisor, s.spec), s.spec));
+      }
+    }
+  }
+}
+
+void PositSession::Impl::exec_residual(Step& s, const Tensor& h) {
+  const Tensor* main = &h;
+  for (Step& sub : s.main_branch) main = &exec(sub, *main);
+  const Tensor* skip = &h;
+  for (Step& sub : s.skip_branch) skip = &exec(sub, *skip);
+  if (main->shape() != skip->shape()) {
+    throw std::invalid_argument("PositSession: '" + s.name + "' branch shape mismatch " +
+                                main->shape().to_string() + " vs " + skip->shape().to_string());
+  }
+  ensure_shape(s.out, main->shape());
+  const std::size_t numel = s.out.numel();
+  const float* ma = main->data();
+  const float* sk = skip->data();
+  float* dst = s.out.data();
+  posit::Quire* quires = pool(s);
+  // Join then ReLU, all in the block's format. In kQuire mode both branch
+  // terms accumulate through the session's quire arena (one rounding — the
+  // same value posit::add produces, by the quire's exactness); serial/fma
+  // modes use the rounded add, via its table when available.
+#pragma omp parallel if (numel > 16384)
+  {
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    posit::Quire* quire = quires != nullptr ? &quires[tid] : nullptr;
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < numel; ++i) {
+      const std::uint32_t a = posit::from_double(ma[i], s.spec, kEncodeRound);
+      const std::uint32_t b = posit::from_double(sk[i], s.spec, kEncodeRound);
+      std::uint32_t joined;
+      if (quire != nullptr) {
+        quire->clear();
+        quire->add_posit(a);
+        quire->add_posit(b);
+        joined = quire->to_posit();
+      } else {
+        joined = s.luts.add != nullptr ? s.luts.add->at(a, b) : posit::add(a, b, s.spec);
+      }
+      const float v = static_cast<float>(posit::to_double(joined, s.spec));
+      dst[i] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void PositSession::Impl::collect_bytes(const std::vector<Step>& steps, std::size_t& bytes) {
+  for (const Step& s : steps) {
+    for (const Binding* b : {&s.weight, &s.bias}) {
+      bytes += b->panel.codes.size() * sizeof(std::uint32_t) +
+               b->panel.ops.size() * sizeof(posit::Unpacked);
+    }
+    bytes += (s.bn_scale.size() + s.bn_mean.size() + s.bn_shift.size()) * sizeof(std::uint32_t);
+    collect_bytes(s.main_branch, bytes);
+    collect_bytes(s.skip_branch, bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PositSession
+// ---------------------------------------------------------------------------
+
+PositSession::PositSession() : impl_(std::make_unique<Impl>()) {}
+PositSession::PositSession(PositSession&&) noexcept = default;
+PositSession& PositSession::operator=(PositSession&&) noexcept = default;
+PositSession::~PositSession() = default;
+
+PositSession PositSession::compile(nn::Module& net, const SessionConfig& cfg) {
+  PositSession session;
+  session.impl_->cfg = cfg;
+  session.impl_->compile_into(net, session.impl_->steps);
+  session.impl_->ensure_arena_threads();
+  return session;
+}
+
+const Tensor& PositSession::run(const Tensor& x) {
+  Impl& I = *impl_;
+  I.ensure_arena_threads();  // the caller may have grown the OpenMP team
+  I.refresh(I.steps, I.force_refresh);
+  I.force_refresh = false;
+  const Tensor* h = &x;
+  for (Step& s : I.steps) h = &I.exec(s, *h);
+  if (h == &x) {
+    I.passthrough = x;  // empty graph: identity
+    return I.passthrough;
+  }
+  return *h;
+}
+
+void PositSession::invalidate() { impl_->force_refresh = true; }
+
+const SessionConfig& PositSession::config() const { return impl_->cfg; }
+std::size_t PositSession::steps() const { return impl_->steps.size(); }
+std::size_t PositSession::bound_params() const { return impl_->bound_params; }
+std::uint64_t PositSession::encode_count() const { return impl_->encode_count; }
+
+std::size_t PositSession::panel_bytes() const {
+  std::size_t bytes = 0;
+  Impl::collect_bytes(impl_->steps, bytes);
+  return bytes;
+}
+
+}  // namespace pdnn::quant

@@ -1,0 +1,111 @@
+// posit_session.hpp — compiled whole-network posit inference.
+//
+// Production serving separates *compile* from *run* (cf. marian-dev's
+// compiled expression graphs): walk the model once, bind every weight, plan
+// every buffer — then make the hot loop do nothing but arithmetic.
+// PositSession is that split for the true-posit engine:
+//
+//   * compile() traverses the module graph via nn::Module::children()
+//     (Sequential nesting and ResidualBlock skip-connections included — the
+//     residual join accumulates both branches through the session's quire
+//     path), resolves each layer's (PositSpec, AccumMode) from SessionConfig,
+//     pre-encodes every weight/bias/BN constant into session-owned
+//     EncodedTensor panels, resolves the n <= 8 LUT kernels, and plans
+//     per-thread quire arenas plus per-step scratch (im2col columns,
+//     activation panels, output buffers).
+//   * run() executes the compiled plan. In steady state (shapes repeat, no
+//     weight mutation) it performs no allocation and takes no lock: panels,
+//     arenas, and scratch are reused; Param::version mismatches — an
+//     optimizer step or checkpoint load that called Param::mark_updated() —
+//     re-encode exactly the stale panels first.
+//
+// Outputs are bit-identical to chaining the per-layer engine entry points
+// (and hence to the scalar reference) at every spec, accumulation mode, and
+// thread count. posit_forward() in posit_inference.hpp is the thin
+// compile-and-run compatibility wrapper over this API.
+//
+// BN running statistics are snapshotted when the BN constants are encoded;
+// they refresh whenever gamma/beta versions change. After mutating running
+// stats alone (a training forward with frozen BN params), call invalidate().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "quant/posit_inference.hpp"
+
+namespace pdnn::quant {
+
+/// Per-layer override of the session defaults. Unset fields inherit.
+struct LayerOverride {
+  std::optional<posit::PositSpec> spec;
+  std::optional<AccumMode> mode;
+};
+
+/// Format/accumulation plan for a session: one default (spec, mode) pair
+/// plus overrides keyed by layer class or by exact layer name (name wins
+/// over class, class over default) — genuine per-layer mixed precision.
+/// Pooling layers resolve with LayerClass::kConv, matching the pre-session
+/// posit_forward.
+struct SessionConfig {
+  posit::PositSpec spec{16, 1};
+  AccumMode mode = AccumMode::kQuire;
+  std::map<nn::LayerClass, LayerOverride> by_class;
+  std::map<std::string, LayerOverride> by_name;
+
+  /// The session equivalent of QuantConfig's per-class forward formats
+  /// (conv/bn/linear), under one accumulation mode: what posit_forward uses.
+  static SessionConfig from_quant(const QuantConfig& cfg, AccumMode mode);
+
+  posit::PositSpec spec_for(const std::string& name, nn::LayerClass cls) const;
+  AccumMode mode_for(const std::string& name, nn::LayerClass cls) const;
+};
+
+class PositSession {
+ public:
+  /// Compile `net` (any Module: a Sequential, a ResidualBlock, or a single
+  /// layer) against `cfg`. Throws std::invalid_argument on module types the
+  /// engine cannot execute.
+  ///
+  /// The session binds (but does not own) the network's parameters: `net`
+  /// must outlive every run() — the Param::version checks read through into
+  /// the live module graph.
+  static PositSession compile(nn::Module& net, const SessionConfig& cfg);
+
+  PositSession(PositSession&&) noexcept;
+  PositSession& operator=(PositSession&&) noexcept;
+  ~PositSession();
+
+  /// Eval-mode forward pass in true posit arithmetic. Returns a reference to
+  /// the session-owned output buffer, valid until the next run() or the
+  /// session's destruction; copy it to keep it. Batch size (and conv H/W)
+  /// may vary between calls; steady state means repeated shapes.
+  const tensor::Tensor& run(const tensor::Tensor& x);
+
+  /// Force every panel and BN constant to re-encode on the next run()
+  /// (needed only for mutations that bypass Param::mark_updated(), e.g. BN
+  /// running-stat updates with frozen gamma/beta).
+  void invalidate();
+
+  const SessionConfig& config() const;
+  /// Top-level compiled steps (a ResidualBlock is one step).
+  std::size_t steps() const;
+  /// Parameter tensors bound to session-owned panels.
+  std::size_t bound_params() const;
+  /// Panel/constant encode passes performed, compile included — the
+  /// observable for compile-once/run-many and invalidation tests.
+  std::uint64_t encode_count() const;
+  /// Bytes held by session-owned weight/bias panels.
+  std::size_t panel_bytes() const;
+
+ private:
+  PositSession();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pdnn::quant

@@ -56,6 +56,23 @@ void transpose_into(const float* a, std::size_t m, std::size_t n, float* out) {
     for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
 }
 
+void Conv2dGeom::validate() const {
+  const auto fail = [this](const char* why) {
+    throw std::invalid_argument(std::string("Conv2dGeom: ") + why + " (in " +
+                                std::to_string(in_c) + "x" + std::to_string(in_h) + "x" +
+                                std::to_string(in_w) + ", out_c " + std::to_string(out_c) +
+                                ", kernel " + std::to_string(kh()) + "x" + std::to_string(kw()) +
+                                ", stride " + std::to_string(stride) + ", pad " +
+                                std::to_string(pad) + ")");
+  };
+  if (stride == 0) fail("stride must be >= 1");
+  if (kh() == 0 || kw() == 0) fail("window must be >= 1x1");
+  if (in_c == 0 || out_c == 0) fail("channel counts must be >= 1");
+  if (in_h + 2 * pad < kh() || in_w + 2 * pad < kw()) {
+    fail("window larger than padded input");
+  }
+}
+
 void im2col(const float* img, const Conv2dGeom& g, float* cols) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t plane = g.in_h * g.in_w;
@@ -112,6 +129,7 @@ void col2im(const float* cols, const Conv2dGeom& g, float* img) {
 }
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g) {
+  g.validate();
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t patch = g.patch();
@@ -152,6 +170,7 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeo
 
 Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
                        const Conv2dGeom& g, Tensor& grad_weight) {
+  g.validate();
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t patch = g.patch();

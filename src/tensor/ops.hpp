@@ -38,6 +38,10 @@ struct Conv2dGeom {
   std::size_t patch() const { return in_c * kh() * kw(); }
   std::size_t out_h() const { return (in_h + 2 * pad - kh()) / stride + 1; }
   std::size_t out_w() const { return (in_w + 2 * pad - kw()) / stride + 1; }
+  /// Throws std::invalid_argument on impossible geometry: zero stride/window/
+  /// channels, or a window larger than the padded input (out_h/out_w would
+  /// silently underflow size_t otherwise).
+  void validate() const;
 };
 
 /// Unfold one image [C,H,W] into columns [C*KH*KW, out_h*out_w].

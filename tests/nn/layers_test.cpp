@@ -225,5 +225,47 @@ TEST(MlpBuilder, ForwardShape) {
   EXPECT_EQ(y.shape(), (Shape{5, 3}));
 }
 
+TEST(ModuleGraph, ChildrenExposeStructureAndVisitWalksPreOrder) {
+  Rng rng(15);
+  auto net = mlp(2, 8, 3, 1, rng);  // fc0, relu0, head
+  const auto top = net->children();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0]->name(), "fc0");
+  EXPECT_EQ(top[2]->name(), "head");
+  EXPECT_TRUE(top[1]->children().empty()) << "leaf layers have no children";
+
+  std::vector<std::string> order;
+  net->visit([&order](Module& m) { order.push_back(m.name()); });
+  const std::vector<std::string> want = {"mlp", "fc0", "relu0", "head"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ModuleGraph, ResidualBlockChildrenCoverBothBranches) {
+  Rng rng(16);
+  ResidualBlock plain("p", 4, 4, 1, rng);
+  EXPECT_EQ(plain.children().size(), 5u) << "identity skip: main path only";
+  EXPECT_FALSE(plain.has_downsample());
+
+  ResidualBlock down("d", 4, 8, 2, rng);
+  const auto kids = down.children();
+  ASSERT_EQ(kids.size(), 7u) << "strided block adds the downsample pair";
+  EXPECT_TRUE(down.has_downsample());
+  EXPECT_EQ(kids[5], down.down_conv());
+  EXPECT_EQ(kids[6], down.down_bn());
+
+  // params() aggregates over children() in the order serialization has
+  // always used: conv1.w, bn1.{g,b}, conv2.w, bn2.{g,b}, down.{w,g,b}.
+  const auto ps = down.params();
+  ASSERT_EQ(ps.size(), 9u);
+  EXPECT_EQ(ps[0]->name, "d.conv1.weight");
+  EXPECT_EQ(ps[1]->name, "d.bn1.weight");
+  EXPECT_EQ(ps[3]->name, "d.conv2.weight");
+  EXPECT_EQ(ps[6]->name, "d.down.conv.weight");
+
+  std::size_t visited = 0;
+  down.visit([&visited](Module&) { ++visited; });
+  EXPECT_EQ(visited, 8u) << "block itself plus seven children";
+}
+
 }  // namespace
 }  // namespace pdnn::nn

@@ -1,0 +1,104 @@
+// add_lut_test.cpp — the tabulated add and pair-classed fma tables against
+// the arithmetic routines they tabulate: exhaustive where the space is small,
+// randomized plus targeted special cases at n = 8.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "posit/add_lut.hpp"
+#include "posit/mul_lut.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+TEST(AddLut, SupportPredicateMirrorsMulLut) {
+  EXPECT_TRUE(add_lut_supported({8, 1}, RoundMode::kNearestEven));
+  EXPECT_TRUE(add_lut_supported({5, 1}, RoundMode::kTowardZero));
+  EXPECT_FALSE(add_lut_supported({9, 1}, RoundMode::kNearestEven));
+  EXPECT_FALSE(add_lut_supported({8, 1}, RoundMode::kStochastic));
+  EXPECT_TRUE(fma_lut_supported({8, 2}, RoundMode::kNearestEven));
+  EXPECT_FALSE(fma_lut_supported({16, 1}, RoundMode::kNearestEven));
+  EXPECT_FALSE(fma_lut_supported({8, 0}, RoundMode::kStochastic));
+  EXPECT_THROW(add_lut({16, 1}, RoundMode::kNearestEven), std::invalid_argument);
+  EXPECT_THROW(fma_lut({8, 1}, RoundMode::kStochastic), std::invalid_argument);
+}
+
+TEST(AddLut, ExhaustiveAgainstAddAcrossSpecsAndModes) {
+  for (const PositSpec spec : {PositSpec{5, 1}, PositSpec{6, 2}, PositSpec{8, 0}, PositSpec{8, 1},
+                               PositSpec{8, 2}}) {
+    for (const RoundMode mode : {RoundMode::kNearestEven, RoundMode::kTowardZero}) {
+      const AddLut& lut = add_lut(spec, mode);
+      const std::uint32_t count = 1u << spec.n;
+      for (std::uint32_t a = 0; a < count; ++a) {
+        for (std::uint32_t b = 0; b < count; ++b) {
+          ASSERT_EQ(lut.at(a, b), add(a, b, spec, mode))
+              << spec.to_string() << " mode " << static_cast<int>(mode) << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(FmaLut, ExhaustiveOnSmallSpecs) {
+  for (const PositSpec spec : {PositSpec{5, 1}, PositSpec{6, 2}}) {
+    const FmaLut& lut = fma_lut(spec, RoundMode::kNearestEven);
+    const std::uint32_t count = 1u << spec.n;
+    EXPECT_GT(lut.classes(), 0u);
+    EXPECT_LT(lut.classes(), static_cast<std::size_t>(count) * count)
+        << "pairs must collapse onto product classes";
+    for (std::uint32_t a = 0; a < count; ++a) {
+      for (std::uint32_t b = 0; b < count; ++b) {
+        for (std::uint32_t c = 0; c < count; ++c) {
+          ASSERT_EQ(lut.at(a, b, c), fma(a, b, c, spec, RoundMode::kNearestEven))
+              << spec.to_string() << " a=" << a << " b=" << b << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(FmaLut, RandomizedAndSpecialCasesAtN8) {
+  for (const PositSpec spec : {PositSpec{8, 0}, PositSpec{8, 1}, PositSpec{8, 2}}) {
+    const FmaLut& lut = fma_lut(spec, RoundMode::kNearestEven);
+    const std::uint32_t nar = spec.nar_code();
+    // NaR and zero products collapse onto their own classes.
+    for (std::uint32_t c : {0u, 1u, nar, 0x7Fu, 0x81u}) {
+      EXPECT_EQ(lut.at(nar, 3, c), fma(nar, 3, c, spec));
+      EXPECT_EQ(lut.at(3, nar, c), fma(3, nar, c, spec));
+      EXPECT_EQ(lut.at(0, 77, c), fma(0, 77, c, spec));
+      EXPECT_EQ(lut.at(77, 0, c), fma(77, 0, c, spec));
+    }
+    std::mt19937 gen(0xF3A + spec.es);
+    std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+    for (int i = 0; i < 200000; ++i) {
+      const std::uint32_t a = dist(gen), b = dist(gen), c = dist(gen);
+      ASSERT_EQ(lut.at(a, b, c), fma(a, b, c, spec))
+          << spec.to_string() << " a=" << a << " b=" << b << " c=" << c;
+    }
+  }
+}
+
+TEST(FmaLut, DiffersFromMulThenAddWherePrecisionIsLost) {
+  // The whole point of fma: one rounding, not two. There must exist triples
+  // where MulLut+AddLut (two roundings) disagrees with FmaLut.
+  const PositSpec spec{8, 1};
+  const FmaLut& f = fma_lut(spec, RoundMode::kNearestEven);
+  const MulLut& m = mul_lut(spec, RoundMode::kNearestEven);
+  const AddLut& a = add_lut(spec, RoundMode::kNearestEven);
+  std::size_t differing = 0;
+  for (std::uint32_t x = 0; x < 256 && differing == 0; ++x) {
+    for (std::uint32_t y = 0; y < 256 && differing == 0; ++y) {
+      for (std::uint32_t c = 0; c < 256; ++c) {
+        if (f.at(x, y, c) != a.at(m.at(x, y), c)) {
+          ++differing;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+}  // namespace
+}  // namespace pdnn::posit

@@ -1,7 +1,7 @@
 // posit_engine_test.cpp — the decode-once engine against the retained scalar
 // reference: exact bit-equality over the full spec grid and every
-// accumulation mode, thread-count invariance, and weight-code cache
-// invalidation.
+// accumulation mode, thread-count invariance, and the engine edge cases
+// (empty batches, missing bias, 1x1 windows, degenerate geometry).
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -12,7 +12,6 @@
 #include <omp.h>
 #endif
 
-#include "nn/optimizer.hpp"
 #include "nn/resnet.hpp"
 #include "quant/posit_inference.hpp"
 #include "tensor/ops.hpp"
@@ -159,62 +158,58 @@ TEST(PositEngine, ForwardAppliesConvBiasAndRectangularKernel) {
   EXPECT_FALSE(bit_identical(posit_forward(net, x, cfg, AccumMode::kQuire), got));
 }
 
-TEST(WeightCodeCache, HitsThenRefreshesOnMarkUpdated) {
-  WeightCodeCache& cache = WeightCodeCache::instance();
-  cache.clear();
+TEST(PositEngine, ZeroBatchYieldsWellFormedEmptyOutputs) {
   Rng rng(67);
-  nn::Param p;
-  p.name = "w";
-  p.value = Tensor::randn({4, 8}, rng);
-  const PositSpec spec{16, 1};
+  const Tensor w = Tensor::randn({4, 8}, rng);
+  const Tensor bias = Tensor::randn({4}, rng);
+  const Tensor none;
+  for (const AccumMode mode : mode_grid()) {
+    const Tensor y = posit_linear(Tensor({0, 8}), w, bias, PositSpec{16, 1}, mode);
+    EXPECT_EQ(y.shape(), (tensor::Shape{0, 4}));
+    EXPECT_EQ(y.numel(), 0u);
 
-  const auto first = cache.get(p, spec);
-  const auto second = cache.get(p, spec);
-  EXPECT_EQ(first.get(), second.get()) << "unchanged param must hit";
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 1u);
-
-  // Same tensor under a different spec is a distinct entry.
-  const auto other_spec = cache.get(p, PositSpec{8, 2});
-  EXPECT_NE(other_spec.get(), first.get());
-  EXPECT_EQ(cache.misses(), 2u);
-
-  // Mutate + invalidate: codes refresh and reflect the new value.
-  p.value[0] = 1234.5f;
-  p.mark_updated();
-  const auto refreshed = cache.get(p, spec);
-  EXPECT_NE(refreshed.get(), first.get());
-  EXPECT_EQ(cache.misses(), 3u);
-  EXPECT_EQ(refreshed->codes[0], posit::from_double(1234.5, spec, kEncodeRound));
-  cache.clear();
+    const tensor::Conv2dGeom g{3, 6, 6, 4, 3, 1, 1};
+    const Tensor wc = Tensor::randn({4, 3, 3, 3}, rng);
+    const Tensor yc = posit_conv2d(Tensor({0, 3, 6, 6}), wc, none, g, PositSpec{8, 1}, mode);
+    EXPECT_EQ(yc.shape(), (tensor::Shape{0, 4, 6, 6}));
+  }
+  // Whole-network: an empty batch flows through every layer kind.
+  auto net = nn::plain_cnn(4, 3, rng);
+  const Tensor warm = Tensor::randn({2, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  const Tensor y = posit_forward(*net, Tensor({0, 3, 8, 8}), QuantConfig::imagenet16(),
+                                 AccumMode::kQuire);
+  EXPECT_EQ(y.shape(), (tensor::Shape{0, 3}));
 }
 
-TEST(WeightCodeCache, OptimizerStepInvalidatesNetworkWeights) {
-  WeightCodeCache& cache = WeightCodeCache::instance();
-  cache.clear();
+TEST(PositEngine, OneByOneConvMatchesReference) {
   Rng rng(71);
-  auto net = nn::mlp(4, 8, 2, 1, rng);
-  const Tensor x = Tensor::randn({3, 4}, rng);
-  const QuantConfig cfg = QuantConfig::imagenet16();
+  const tensor::Conv2dGeom g{3, 5, 7, 4, /*kernel=*/1, /*stride=*/1, /*pad=*/0};
+  const Tensor x = Tensor::randn({2, 3, 5, 7}, rng);
+  const Tensor w = Tensor::randn({4, 3, 1, 1}, rng, 0.4f);
+  const Tensor bias = Tensor::randn({4}, rng, 0.2f);
+  for (const PositSpec& spec : {PositSpec{8, 1}, PositSpec{16, 1}}) {
+    for (const AccumMode mode : mode_grid()) {
+      EXPECT_TRUE(bit_identical(posit_conv2d(x, w, bias, g, spec, mode),
+                                posit_conv2d_reference(x, w, bias, g, spec, mode)))
+          << spec.to_string() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
 
-  const Tensor y1 = posit_forward(*net, x, cfg, AccumMode::kQuire);
-  const auto misses_cold = cache.misses();
-  EXPECT_GT(misses_cold, 0u);
-  const Tensor y2 = posit_forward(*net, x, cfg, AccumMode::kQuire);
-  EXPECT_EQ(cache.misses(), misses_cold) << "warm forward must not re-encode";
-  EXPECT_GT(cache.hits(), 0u);
-  EXPECT_TRUE(bit_identical(y1, y2));
-
-  // One SGD step rewrites every weight; the next forward must re-encode and
-  // see the new values.
-  const Tensor out = net->forward(x, true);
-  net->backward(Tensor::full(out.shape(), 0.1f));
-  nn::SgdMomentum opt(net->params(), nn::SgdConfig{0.5f, 0.0f, 0.0f});
-  opt.step();
-  const Tensor y3 = posit_forward(*net, x, cfg, AccumMode::kQuire);
-  EXPECT_GT(cache.misses(), misses_cold) << "mutated params must refresh their codes";
-  EXPECT_FALSE(bit_identical(y1, y3)) << "refreshed codes must reflect the updated weights";
-  cache.clear();
+TEST(PositEngine, DegenerateGeometryThrowsInsteadOfUnderflowing) {
+  Rng rng(73);
+  const Tensor x = Tensor::randn({1, 1, 2, 2}, rng);
+  const Tensor w = Tensor::randn({1, 1, 5, 5}, rng);
+  const Tensor none;
+  // 5x5 window on an unpadded 2x2 input: out_h would underflow size_t.
+  const tensor::Conv2dGeom window{1, 2, 2, 1, 5, 1, 0};
+  EXPECT_THROW(posit_conv2d(x, w, none, window, PositSpec{8, 1}, AccumMode::kQuire),
+               std::invalid_argument);
+  EXPECT_THROW(posit_conv2d_reference(x, w, none, window, PositSpec{8, 1}, AccumMode::kQuire),
+               std::invalid_argument);
+  const tensor::Conv2dGeom stride0{1, 2, 2, 1, 1, 0, 0};
+  EXPECT_THROW(stride0.validate(), std::invalid_argument);
 }
 
 }  // namespace

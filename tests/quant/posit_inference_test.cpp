@@ -131,11 +131,37 @@ TEST(PositForward, MlpAgreementWithSimulatedQuantization) {
 }
 
 TEST(PositForward, UnsupportedLayerThrows) {
+  // ResidualBlock compiles since the session API; a module type the engine
+  // has no lowering for must still fail loudly.
+  class Opaque final : public nn::Module {
+   public:
+    Opaque() : Module("opaque") {}
+    Tensor forward(const Tensor& x, bool) override { return x; }
+    Tensor backward(const Tensor& g) override { return g; }
+  };
+  nn::Sequential net("n");
+  net.add(std::make_unique<Opaque>());
+  const Tensor x({1, 4});
+  EXPECT_THROW(posit_forward(net, x, QuantConfig{}, AccumMode::kQuire), std::invalid_argument);
+}
+
+TEST(PositForward, ResidualBlockRunsEndToEnd) {
+  // The former hard limitation: a skip-connected block must now run in true
+  // posit arithmetic and track the FP32 forward.
   Rng rng(13);
   nn::Sequential net("n");
-  net.add(std::make_unique<nn::ResidualBlock>("rb", 4, 4, 1, rng));
-  const Tensor x({1, 4, 4, 4});
-  EXPECT_THROW(posit_forward(net, x, QuantConfig{}, AccumMode::kQuire), std::invalid_argument);
+  net.add(std::make_unique<nn::ResidualBlock>("rb", 3, 5, 2, rng));
+  const Tensor warm = Tensor::randn({6, 3, 8, 8}, rng);
+  net.forward(warm, true);
+  net.forward(warm, true);
+
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor ref = net.forward(x, false);
+  const Tensor y = posit_forward(net, x, QuantConfig::imagenet16(), AccumMode::kQuire);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], std::fabs(ref[i]) * 0.05 + 0.05) << i;
+  }
 }
 
 TEST(PositForward, PlainCnnRunsEndToEnd) {

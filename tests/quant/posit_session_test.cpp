@@ -1,0 +1,456 @@
+// posit_session_test.cpp — the compiled PositSession against independent
+// oracles: per-layer reference chains on Sequential nets across the full
+// spec x mode grid, a hand-rolled scalar walk of a ResNet (residual joins
+// included), compile-once/run-many weight-mutation invalidation, thread-count
+// invariance, per-layer precision overrides, and the empty/degenerate edge
+// cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "nn/optimizer.hpp"
+#include "nn/resnet.hpp"
+#include "quant/posit_session.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::quant {
+namespace {
+
+using posit::PositSpec;
+using tensor::Rng;
+using tensor::Tensor;
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+const std::vector<AccumMode>& mode_grid() {
+  static const std::vector<AccumMode> modes = {AccumMode::kQuire, AccumMode::kSerial,
+                                               AccumMode::kFma};
+  return modes;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar oracle: an independent walk of the module graph chaining the
+// retained reference kernels and hand-rolled per-element posit loops — no
+// engine panels, no session code.
+// ---------------------------------------------------------------------------
+
+struct OracleFormats {
+  PositSpec conv{16, 1};
+  PositSpec bn{16, 1};
+  PositSpec linear{16, 1};
+  AccumMode mode = AccumMode::kQuire;
+};
+
+Tensor oracle_bn(const Tensor& h, nn::BatchNorm2d& bn, const PositSpec& spec) {
+  Tensor out = h;
+  const std::size_t n = h.shape()[0], c = h.shape()[1];
+  const std::size_t plane = h.shape()[2] * h.shape()[3];
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    const double inv_std = 1.0 / std::sqrt(static_cast<double>(bn.running_var()[ci]) + bn.eps());
+    const std::uint32_t g = posit::from_double(bn.gamma().value[ci], spec, kEncodeRound);
+    const std::uint32_t scale = posit::mul(g, posit::from_double(inv_std, spec, kEncodeRound), spec);
+    const std::uint32_t mean = posit::from_double(bn.running_mean()[ci], spec, kEncodeRound);
+    const std::uint32_t beta = posit::from_double(bn.beta().value[ci], spec, kEncodeRound);
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      float* row = out.data() + (ni * c + ci) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        const std::uint32_t xv = posit::from_double(row[p], spec, kEncodeRound);
+        const std::uint32_t centered = posit::sub(xv, mean, spec);
+        row[p] = static_cast<float>(posit::to_double(posit::fma(centered, scale, beta, spec), spec));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor oracle_gap(const Tensor& h, const PositSpec& spec) {
+  const std::size_t n = h.shape()[0], c = h.shape()[1];
+  const std::size_t plane = h.shape()[2] * h.shape()[3];
+  Tensor out({n, c});
+  posit::Quire quire(spec);
+  const std::uint32_t divisor = posit::from_double(static_cast<double>(plane), spec, kEncodeRound);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      quire.clear();
+      const float* src = h.data() + (ni * c + ci) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        quire.add_posit(posit::from_double(src[p], spec, kEncodeRound));
+      }
+      out.at(ni, ci) = static_cast<float>(
+          posit::to_double(posit::div(quire.to_posit(), divisor, spec), spec));
+    }
+  }
+  return out;
+}
+
+Tensor oracle_conv(const Tensor& h, nn::Conv2d& conv, const OracleFormats& f) {
+  const tensor::Conv2dGeom geom{conv.in_channels(), h.shape()[2],  h.shape()[3],
+                                conv.out_channels(), conv.kernel(), conv.stride(),
+                                conv.pad(),          conv.kernel_w()};
+  const Tensor none;
+  return posit_conv2d_reference(h, conv.weight().value,
+                                conv.has_bias() ? conv.bias().value : none, geom, f.conv, f.mode);
+}
+
+Tensor oracle_forward(nn::Module& m, const Tensor& x, const OracleFormats& f) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+    Tensor h = x;
+    for (nn::Module* child : seq->children()) h = oracle_forward(*child, h, f);
+    return h;
+  }
+  if (auto* rb = dynamic_cast<nn::ResidualBlock*>(&m)) {
+    Tensor main = oracle_conv(x, rb->conv1(), f);
+    main = oracle_bn(main, rb->bn1(), f.bn);
+    main.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    main = oracle_conv(main, rb->conv2(), f);
+    main = oracle_bn(main, rb->bn2(), f.bn);
+    Tensor skip = x;
+    if (rb->has_downsample()) {
+      skip = oracle_conv(x, *rb->down_conv(), f);
+      skip = oracle_bn(skip, *rb->down_bn(), f.bn);
+    }
+    Tensor out = main;
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      const std::uint32_t a = posit::from_double(main[i], f.conv, kEncodeRound);
+      const std::uint32_t b = posit::from_double(skip[i], f.conv, kEncodeRound);
+      const float v = static_cast<float>(posit::to_double(posit::add(a, b, f.conv), f.conv));
+      out[i] = v > 0.0f ? v : 0.0f;
+    }
+    return out;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) return oracle_conv(x, *conv, f);
+  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) return oracle_bn(x, *bn, f.bn);
+  if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+    return posit_linear_reference(x, fc->weight().value, fc->bias().value, f.linear, f.mode);
+  }
+  if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+    Tensor h = x;
+    h.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    return h;
+  }
+  if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
+    std::vector<std::size_t> argmax;
+    return tensor::maxpool2x2_forward(x, argmax);
+  }
+  if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) return oracle_gap(x, f.conv);
+  throw std::invalid_argument("oracle: unsupported module");
+}
+
+SessionConfig config_for(const OracleFormats& f) {
+  SessionConfig cfg;
+  cfg.spec = f.conv;
+  cfg.mode = f.mode;
+  cfg.by_class[nn::LayerClass::kConv] = {f.conv, {}};
+  cfg.by_class[nn::LayerClass::kBn] = {f.bn, {}};
+  cfg.by_class[nn::LayerClass::kLinear] = {f.linear, {}};
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-equality on Sequential graphs
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, MlpBitIdenticalToReferenceChainAcrossSpecGridAndModes) {
+  Rng rng(101);
+  auto net = nn::mlp(6, 10, 3, 1, rng);
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  for (const PositSpec& spec : {PositSpec{8, 0}, PositSpec{8, 1}, PositSpec{8, 2},
+                                PositSpec{16, 0}, PositSpec{16, 1}, PositSpec{16, 2},
+                                PositSpec{32, 0}, PositSpec{32, 1}, PositSpec{32, 2}}) {
+    for (const AccumMode mode : mode_grid()) {
+      OracleFormats f{spec, spec, spec, mode};
+      PositSession session = PositSession::compile(*net, config_for(f));
+      EXPECT_TRUE(bit_identical(session.run(x), oracle_forward(*net, x, f)))
+          << spec.to_string() << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(PositSession, PlainCnnBitIdenticalToPositForwardAndOracle) {
+  Rng rng(103);
+  auto net = nn::plain_cnn(4, 3, rng);
+  const Tensor warm = Tensor::randn({6, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  net->forward(warm, true);
+  const Tensor x = Tensor::randn({3, 3, 8, 8}, rng);
+
+  const QuantConfig cfg = QuantConfig::cifar8();  // mixed: posit8 conv, posit16 bn
+  for (const AccumMode mode : mode_grid()) {
+    PositSession session =
+        PositSession::compile(*net, SessionConfig::from_quant(cfg, mode));
+    const Tensor& got = session.run(x);
+    OracleFormats f{cfg.conv.forward, cfg.bn.forward, cfg.linear.forward, mode};
+    EXPECT_TRUE(bit_identical(got, oracle_forward(*net, x, f))) << static_cast<int>(mode);
+    EXPECT_TRUE(bit_identical(got, posit_forward(*net, x, cfg, mode))) << static_cast<int>(mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ResNet: skip connections compile and run
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, ResNetBitIdenticalToScalarOracle) {
+  Rng rng(107);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 4;
+  rc.classes = 4;
+  auto net = nn::cifar_resnet(rc, rng);
+  const Tensor warm = Tensor::randn({4, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  net->forward(warm, true);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+
+  const std::vector<OracleFormats> cases = {
+      {{16, 1}, {16, 1}, {16, 1}, AccumMode::kQuire},
+      {{8, 1}, {16, 1}, {8, 1}, AccumMode::kSerial},  // LUT-dispatched conv path
+      {{8, 2}, {16, 2}, {8, 2}, AccumMode::kFma},
+  };
+  for (const OracleFormats& f : cases) {
+    PositSession session = PositSession::compile(*net, config_for(f));
+    const Tensor& got = session.run(x);
+    const Tensor want = oracle_forward(*net, x, f);
+    ASSERT_EQ(got.shape(), want.shape());
+    EXPECT_TRUE(bit_identical(got, want))
+        << f.conv.to_string() << " mode " << static_cast<int>(f.mode);
+  }
+}
+
+TEST(PositSession, ResNetTracksFp32Forward) {
+  Rng rng(109);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 8;
+  auto net = nn::cifar_resnet(rc, rng);
+  const Tensor warm = Tensor::randn({4, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  net->forward(warm, true);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor ref = net->forward(x, false);
+  PositSession session =
+      PositSession::compile(*net, SessionConfig::from_quant(QuantConfig::imagenet16(),
+                                                            AccumMode::kQuire));
+  const Tensor& y = session.run(x);
+  ASSERT_EQ(y.shape(), ref.shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], std::fabs(ref[i]) * 0.05 + 0.05) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-once / run-many
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, CompileOnceRunManyReencodesOnlyOnMutation) {
+  Rng rng(113);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  SessionConfig cfg;
+  cfg.spec = {16, 1};
+  PositSession session = PositSession::compile(*net, cfg);
+  EXPECT_EQ(session.bound_params(), 4u);  // 2 layers x (weight + bias)
+  EXPECT_GT(session.panel_bytes(), 0u);
+
+  const Tensor y1 = session.run(x);
+  const std::uint64_t encodes_cold = session.encode_count();
+  const Tensor y2 = session.run(x);
+  EXPECT_EQ(session.encode_count(), encodes_cold) << "steady state must not re-encode weights";
+  EXPECT_TRUE(bit_identical(y1, y2));
+
+  // One SGD step rewrites every weight (Param::mark_updated); the next run
+  // must re-encode exactly the bound panels and see the new values.
+  const Tensor out = net->forward(x, true);
+  net->backward(Tensor::full(out.shape(), 0.1f));
+  nn::SgdMomentum opt(net->params(), nn::SgdConfig{0.5f, 0.0f, 0.0f});
+  opt.step();
+  const Tensor y3 = session.run(x);
+  EXPECT_EQ(session.encode_count(), encodes_cold + 4) << "all four panels were stale";
+  EXPECT_FALSE(bit_identical(y1, y3)) << "refreshed panels must reflect the updated weights";
+
+  // A freshly compiled session agrees with the refreshed one bit for bit.
+  PositSession fresh = PositSession::compile(*net, cfg);
+  EXPECT_TRUE(bit_identical(y3, fresh.run(x)));
+}
+
+TEST(PositSession, InvalidateRefreshesBnRunningStats) {
+  Rng rng(127);
+  auto net = nn::plain_cnn(4, 3, rng);
+  const Tensor warm = Tensor::randn({4, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  SessionConfig cfg;
+  cfg.spec = {16, 1};
+  PositSession session = PositSession::compile(*net, cfg);
+  const Tensor y1 = session.run(x);
+
+  // A training forward moves BN running stats but bumps no Param::version:
+  // the compiled constants go stale until invalidate().
+  net->forward(Tensor::randn({4, 3, 8, 8}, rng), true);
+  const Tensor y_stale = session.run(x);
+  EXPECT_TRUE(bit_identical(y_stale, y1)) << "stats-only mutation is invisible to version checks";
+  session.invalidate();
+  const Tensor y_fresh = session.run(x);
+  PositSession recompiled = PositSession::compile(*net, cfg);
+  EXPECT_TRUE(bit_identical(y_fresh, recompiled.run(x)));
+  EXPECT_FALSE(bit_identical(y_fresh, y1)) << "running stats moved; the output must too";
+}
+
+TEST(PositSession, BatchShapeMayVaryBetweenRuns) {
+  Rng rng(131);
+  auto net = nn::mlp(5, 7, 2, 1, rng);
+  SessionConfig cfg;
+  PositSession session = PositSession::compile(*net, cfg);
+  const OracleFormats f{cfg.spec, cfg.spec, cfg.spec, cfg.mode};
+  for (const std::size_t batch : {2u, 5u, 2u, 0u, 3u}) {
+    const Tensor x = Tensor::randn({batch, 5}, rng);
+    const Tensor& got = session.run(x);
+    EXPECT_TRUE(bit_identical(got, oracle_forward(*net, x, f))) << "batch " << batch;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threading
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, ThreadCountInvariance) {
+#ifdef _OPENMP
+  Rng rng(137);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 4;
+  auto net = nn::cifar_resnet(rc, rng);
+  const Tensor warm = Tensor::randn({4, 3, 8, 8}, rng);
+  net->forward(warm, true);
+  const Tensor x = Tensor::randn({3, 3, 8, 8}, rng);
+  const int restore = omp_get_max_threads();
+  for (const AccumMode mode : mode_grid()) {
+    SessionConfig cfg;
+    cfg.spec = {16, 1};
+    cfg.mode = mode;
+    omp_set_num_threads(1);
+    PositSession session = PositSession::compile(*net, cfg);
+    const Tensor serial = session.run(x);
+    for (const int threads : {2, 4}) {
+      // Growing the team after compile must both work (arenas grow) and
+      // leave every bit unchanged.
+      omp_set_num_threads(threads);
+      EXPECT_TRUE(bit_identical(session.run(x), serial))
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+    }
+    omp_set_num_threads(restore);
+  }
+#else
+  GTEST_SKIP() << "built without OpenMP";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer precision overrides
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, PerLayerNameOverrideMixesPrecision) {
+  Rng rng(139);
+  auto net = nn::mlp(6, 12, 3, 1, rng);  // layers: fc0, relu0, head
+  const Tensor x = Tensor::randn({4, 6}, rng);
+
+  SessionConfig cfg;
+  cfg.spec = {8, 1};
+  cfg.mode = AccumMode::kQuire;
+  cfg.by_name["head"] = {PositSpec{16, 1}, {}};
+  PositSession session = PositSession::compile(*net, cfg);
+  const Tensor& got = session.run(x);
+
+  // Oracle: fc0 in posit(8,1), head in posit(16,1).
+  auto* fc0 = dynamic_cast<nn::Linear*>(&net->child(0));
+  auto* head = dynamic_cast<nn::Linear*>(&net->child(2));
+  ASSERT_NE(fc0, nullptr);
+  ASSERT_NE(head, nullptr);
+  Tensor h = posit_linear_reference(x, fc0->weight().value, fc0->bias().value, {8, 1},
+                                    AccumMode::kQuire);
+  h.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  const Tensor want =
+      posit_linear_reference(h, head->weight().value, head->bias().value, {16, 1},
+                             AccumMode::kQuire);
+  EXPECT_TRUE(bit_identical(got, want));
+
+  // And the mix is genuine: the uniform-8 session differs on the head.
+  SessionConfig uniform;
+  uniform.spec = {8, 1};
+  PositSession u = PositSession::compile(*net, uniform);
+  EXPECT_FALSE(bit_identical(u.run(x), got));
+}
+
+TEST(PositSession, PerClassModeOverride) {
+  Rng rng(149);
+  auto net = nn::mlp(16, 24, 3, 1, rng);
+  const Tensor x = Tensor::randn({3, 16}, rng);
+  SessionConfig cfg;
+  cfg.spec = {8, 1};
+  cfg.mode = AccumMode::kQuire;
+  cfg.by_class[nn::LayerClass::kLinear] = {{}, AccumMode::kSerial};
+  PositSession session = PositSession::compile(*net, cfg);
+  const OracleFormats serial8{{8, 1}, {8, 1}, {8, 1}, AccumMode::kSerial};
+  EXPECT_TRUE(bit_identical(session.run(x), oracle_forward(*net, x, serial8)));
+}
+
+TEST(PositSession, MaxPoolMatchesReferenceKernelOnNanAndInf) {
+  // NaR decodes to NaN; the session's pooling must keep the reference
+  // kernel's comparison semantics (NaN entries skipped, all-NaN window
+  // yields -inf) so posit_forward stays bit-identical to the pre-session
+  // path on non-finite activations.
+  nn::Sequential net("n");
+  net.add(std::make_unique<nn::MaxPool2x2>("pool"));
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  x.at(0, 0, 0, 0) = nan;   // NaN leads its window
+  x.at(0, 0, 0, 2) = inf;   // +inf wins its window
+  x.at(0, 0, 2, 0) = nan;   // all-NaN window
+  x.at(0, 0, 2, 1) = nan;
+  x.at(0, 0, 3, 0) = nan;
+  x.at(0, 0, 3, 1) = nan;
+  PositSession session = PositSession::compile(net, SessionConfig{});
+  const Tensor& got = session.run(x);
+  std::vector<std::size_t> argmax;
+  const Tensor want = tensor::maxpool2x2_forward(x, argmax);
+  EXPECT_TRUE(bit_identical(got, want));
+  EXPECT_EQ(got.at(0, 0, 1, 0), -inf) << "all-NaN window keeps the -inf seed";
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+TEST(PositSession, UnknownModuleTypeThrowsAtCompile) {
+  class Opaque final : public nn::Module {
+   public:
+    Opaque() : Module("opaque") {}
+    Tensor forward(const Tensor& x, bool) override { return x; }
+    Tensor backward(const Tensor& g) override { return g; }
+  };
+  nn::Sequential net("n");
+  net.add(std::make_unique<Opaque>());
+  EXPECT_THROW(PositSession::compile(net, SessionConfig{}), std::invalid_argument);
+}
+
+TEST(PositSession, WrongInputRankThrowsAtRun) {
+  Rng rng(151);
+  auto net = nn::mlp(4, 6, 2, 1, rng);
+  PositSession session = PositSession::compile(*net, SessionConfig{});
+  EXPECT_THROW(session.run(Tensor({2, 3, 4, 4})), std::invalid_argument);
+  EXPECT_THROW(session.run(Tensor({2, 5})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdnn::quant
