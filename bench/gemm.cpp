@@ -4,10 +4,16 @@
 // naive oracle and threaded to serial, and writes BENCH_gemm.json including
 // the blocking parameters so later PRs can diff GFLOP/s.
 //
+// Also tracks the float *forward* path: eager nn::Module::forward (fresh
+// temporaries every call) against the compiled exec::FloatBackend
+// (compile-once/run-many over the ExecPlan arena) on an MLP and a CNN,
+// recording steady-state samples/s and arena bytes.
+//
 // Usage:
 //   bench_gemm [out.json]
 //   bench_gemm --check-regression <baseline.json> [out.json]
-//     also compares blocked serial GFLOP/s against the committed baseline.
+//     also compares blocked serial GFLOP/s (and compiled-forward serial
+//     samples/s) against the committed baseline.
 //
 // Exit codes: 0 ok; 1 correctness mismatch (bit-identity broken — always a
 // real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
@@ -22,6 +28,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/float_backend.hpp"
+#include "nn/resnet.hpp"
 #include "tensor/gemm_kernel.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -82,11 +90,30 @@ double time_best(Fn&& fn, Tensor& c, int reps) {
   return best;
 }
 
+/// One forward-path measurement: eager module walk vs compiled plan.
+struct ForwardResult {
+  std::string net;   // "mlp" | "cnn"
+  std::string kind;  // "forward_eager" | "forward_plan"
+  int threads = 1;
+  std::size_t batch = 0;
+  double seconds = 0.0;        // per forward pass
+  double samples_per_s = 0.0;
+  std::size_t arena_bytes = 0;  // 0 for the eager path
+  bool bit_identical = true;    // plan vs eager on identical inputs
+};
+
 struct BaselineEntry {
   GemmShape shape;
   std::string kind;
   int threads = 0;
   double gflops = 0.0;
+};
+
+struct ForwardBaselineEntry {
+  std::string net;
+  std::string kind;
+  int threads = 0;
+  double samples_per_s = 0.0;
 };
 
 std::vector<BaselineEntry> parse_baseline(const std::string& path) {
@@ -129,6 +156,75 @@ double baseline_serial_gflops(const std::vector<BaselineEntry>& entries, const G
     best = std::max(best, e.gflops);
   }
   return best;
+}
+
+std::vector<ForwardBaselineEntry> parse_forward_baseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<ForwardBaselineEntry> entries;
+  if (!in.good()) return entries;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  auto pos = text.find("\"results\"");
+  if (pos == std::string::npos) return entries;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    double threads = 0, sps = 0;
+    const std::string net = scan_string(obj, "net");
+    if (!net.empty() && scan_number(obj, "threads", &threads) &&
+        scan_number(obj, "samples_per_s", &sps)) {
+      entries.push_back({net, scan_string(obj, "kind"), static_cast<int>(threads), sps});
+    }
+    pos = end + 1;
+  }
+  return entries;
+}
+
+double baseline_forward_sps(const std::vector<ForwardBaselineEntry>& entries,
+                            const std::string& net) {
+  double best = 0.0;
+  for (const auto& e : entries) {
+    if (e.net == net && e.kind == "forward_plan" && e.threads == 1) {
+      best = std::max(best, e.samples_per_s);
+    }
+  }
+  return best;
+}
+
+/// Steady-state forward throughput: eager module walk vs compiled plan, one
+/// serial and one full-team row each, plan bit-checked against eager.
+void bench_forward(const std::string& net_name, pdnn::nn::Sequential& net, const Tensor& x,
+                   int hw_threads, std::vector<ForwardResult>& out) {
+  namespace exec = pdnn::exec;
+  const std::size_t batch = x.shape()[0];
+  const int reps = 20;
+  pdnn::exec::FloatBackend backend = exec::FloatBackend::compile(net);
+  backend.run(x);  // settle arena + scratch before timing
+  const Tensor want = net.forward(x, false);
+  const bool match =
+      want.shape() == backend.run(x).shape() &&
+      std::memcmp(want.data(), backend.run(x).data(), want.numel() * sizeof(float)) == 0;
+
+  for (const int threads : {1, hw_threads}) {
+    set_threads(threads);
+    const double t_eager =
+        pdnn::benchutil::time_best([&] { net.forward(x, false); }, reps);
+    const double t_plan = pdnn::benchutil::time_best([&] { backend.run(x); }, reps);
+    out.push_back({net_name, "forward_eager", threads, batch, t_eager,
+                   static_cast<double>(batch) / t_eager, 0, match});
+    out.push_back({net_name, "forward_plan", threads, batch, t_plan,
+                   static_cast<double>(batch) / t_plan, backend.arena_bytes(), match});
+    if (threads == 1) {
+      std::printf("%-3s forward b%-3zu  eager %8.1f samples/s  plan %8.1f samples/s (x%.2f)  "
+                  "arena %zu B  %s\n",
+                  net_name.c_str(), batch, batch / t_eager, batch / t_plan, t_eager / t_plan,
+                  backend.arena_bytes(), match ? "bit-identical" : "MISMATCH");
+    }
+    if (hw_threads == 1) break;
+  }
+  set_threads(hw_threads);
 }
 
 }  // namespace
@@ -203,6 +299,20 @@ int main(int argc, char** argv) {
         oracle_match && thread_match ? "bit-identical" : "MISMATCH");
   }
 
+  // ---- compiled float forward: eager module walk vs ExecPlan backend ------
+  std::vector<ForwardResult> fwd;
+  {
+    pdnn::tensor::Rng frng(23);
+    auto mlp = pdnn::nn::mlp(256, 512, 10, 2, frng);
+    const Tensor mx = Tensor::randn({64, 256}, frng);
+    bench_forward("mlp", *mlp, mx, hw_threads, fwd);
+
+    auto cnn = pdnn::nn::plain_cnn(8, 10, frng);
+    const Tensor cx = Tensor::randn({8, 3, 16, 16}, frng);
+    cnn->forward(cx, /*training=*/true);  // settle BN running stats
+    bench_forward("cnn", *cnn, cx, hw_threads, fwd);
+  }
+
   std::ofstream out(out_path);
   if (!out.good()) {
     std::cerr << "FAIL: cannot open " << out_path << " for writing\n";
@@ -220,7 +330,16 @@ int main(int argc, char** argv) {
         << ", \"kind\": \"" << r.kind << "\", \"threads\": " << r.threads
         << ", \"seconds\": " << r.seconds << ", \"gflops\": " << r.gflops
         << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << (i + 1 < results.size() || !fwd.empty() ? "," : "") << "\n";
+  }
+  for (std::size_t i = 0; i < fwd.size(); ++i) {
+    const auto& r = fwd[i];
+    out << "    {\"net\": \"" << r.net << "\", \"kind\": \"" << r.kind
+        << "\", \"threads\": " << r.threads << ", \"batch\": " << r.batch
+        << ", \"seconds\": " << r.seconds << ", \"samples_per_s\": " << r.samples_per_s
+        << ", \"arena_bytes\": " << r.arena_bytes
+        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < fwd.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
@@ -230,6 +349,13 @@ int main(int argc, char** argv) {
     if (!r.bit_identical) {
       std::cerr << "FAIL: " << r.kind << " matmul (" << r.threads
                 << " threads) diverged from its reference\n";
+      mismatch = true;
+    }
+  }
+  for (const auto& r : fwd) {
+    if (!r.bit_identical) {
+      std::cerr << "FAIL: compiled " << r.net
+                << " forward diverged from eager nn::Module::forward\n";
       mismatch = true;
     }
   }
@@ -254,8 +380,19 @@ int main(int argc, char** argv) {
                   ratio < 0.8 ? "  REGRESSION" : "");
       if (ratio < 0.8) regressed = true;
     }
+    const std::vector<ForwardBaselineEntry> fwd_baseline = parse_forward_baseline(baseline_path);
+    for (const auto& r : fwd) {
+      if (r.kind != "forward_plan" || r.threads != 1) continue;
+      const double base = baseline_forward_sps(fwd_baseline, r.net);
+      if (base <= 0.0) continue;  // net not in baseline; nothing to compare
+      const double ratio = r.samples_per_s / base;
+      std::printf("regression check %-3s forward plan: %8.1f samples/s vs baseline %8.1f (x%.2f)%s\n",
+                  r.net.c_str(), r.samples_per_s, base, ratio, ratio < 0.8 ? "  REGRESSION" : "");
+      if (ratio < 0.8) regressed = true;
+    }
     if (regressed)
-      std::cerr << "FAIL: serial GFLOP/s dropped >20% vs " << baseline_path << "\n";
+      std::cerr << "FAIL: serial GFLOP/s (or compiled-forward samples/s) dropped >20% vs "
+                << baseline_path << "\n";
   }
   if (mismatch) return 1;
   return regressed ? 3 : 0;

@@ -5,6 +5,7 @@
 //               ./build/examples/quickstart
 #include <cstdio>
 
+#include "exec/float_backend.hpp"
 #include "nn/resnet.hpp"
 #include "posit/math.hpp"
 #include "posit/posit.hpp"
@@ -58,10 +59,12 @@ int main() {
               static_cast<double>(w[0]),
               static_cast<double>(quant::posit_transform_scaled(w[0], p81, shift)));
 
-  // --- 6. compiled inference: PositSession ---------------------------------
-  // Compile once (weights pre-encoded into session-owned panels, buffers
-  // planned), then run() is the allocation-free hot loop — true posit
-  // arithmetic through the whole network, residual blocks included.
+  // --- 6. compiled inference: one ExecPlan, pluggable backends -------------
+  // exec::GraphBuilder lowers the module graph once into a linearized plan,
+  // the ArenaPlanner folds every intermediate tensor onto a few reusable
+  // buffers, and each backend executes that same plan allocation-free:
+  // PositSession in true posit arithmetic, FloatBackend on the blocked FP32
+  // GEMM path.
   auto net = nn::cifar_resnet({/*blocks_per_stage=*/1, /*base_channels=*/4}, rng);
   net->forward(tensor::Tensor::randn({2, 3, 8, 8}, rng), /*training=*/true);  // settle BN stats
   quant::SessionConfig scfg;
@@ -69,9 +72,19 @@ int main() {
   scfg.mode = quant::AccumMode::kQuire;     // exact dots, one rounding each
   scfg.by_name["fc"] = {posit::PositSpec{16, 2}, {}};  // per-layer override
   quant::PositSession session = quant::PositSession::compile(*net, scfg);
-  const tensor::Tensor& logits = session.run(tensor::Tensor::randn({2, 3, 8, 8}, rng));
+  const tensor::Tensor xin = tensor::Tensor::randn({2, 3, 8, 8}, rng);
+  const tensor::Tensor& logits = session.run(xin);
   std::printf("\nPositSession over ResNet-8: %zu steps, %zu bound params, logits %s, l[0,0] = %g\n",
               session.steps(), session.bound_params(), logits.shape().to_string().c_str(),
               static_cast<double>(logits.at(0, 0)));
+  std::printf("%s", session.plan().dump(session.arena_bytes()).c_str());
+
+  // The float backend compiles the identical graph — compile once, run many,
+  // zero steady-state allocations, bit-identical to nn::Module::forward.
+  exec::FloatBackend fp32 = exec::FloatBackend::compile(*net);
+  const tensor::Tensor& flogits = fp32.run(xin);
+  std::printf("FloatBackend over the same plan: logits %s, l[0,0] = %g, arena %zu bytes\n",
+              flogits.shape().to_string().c_str(), static_cast<double>(flogits.at(0, 0)),
+              fp32.arena_bytes());
   return 0;
 }

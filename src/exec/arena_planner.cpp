@@ -1,0 +1,63 @@
+#include "exec/arena_planner.hpp"
+
+#include <vector>
+
+namespace pdnn::exec {
+
+void ArenaPlanner::plan(ExecPlan& p) {
+  const int n = static_cast<int>(p.steps.size());
+
+  // --- lifetimes: last_use = index of the last step reading each slot ------
+  for (Slot& s : p.slots) s.last_use = s.def_step;  // unread slots die at birth
+  for (int i = 0; i < n; ++i) {
+    const Step& s = p.steps[static_cast<std::size_t>(i)];
+    if (s.in0 >= 0) p.slots[static_cast<std::size_t>(s.in0)].last_use = i;
+    if (s.in1 >= 0) p.slots[static_cast<std::size_t>(s.in1)].last_use = i;
+  }
+  // The caller reads the plan output after the run: it outlives every step.
+  p.slots[static_cast<std::size_t>(p.output_slot)].last_use = n;
+
+  // --- in-place marking ----------------------------------------------------
+  // ReLU and eval-mode BN read and write the same element index, so they may
+  // execute into their input's buffer — but only when that input dies here
+  // (no later reader) and is not the caller-owned plan input.
+  for (int i = 0; i < n; ++i) {
+    Step& s = p.steps[static_cast<std::size_t>(i)];
+    if (s.op != OpKind::kRelu && s.op != OpKind::kBatchNorm) continue;
+    if (s.in0 == p.input_slot) continue;
+    if (p.slots[static_cast<std::size_t>(s.in0)].last_use != i) continue;
+    s.in_place = true;
+  }
+
+  // --- linear-scan buffer assignment ---------------------------------------
+  // expire[b] = last_use of the slot currently occupying buffer b. A buffer
+  // frees once its occupant's last reader has run; a step's own inputs have
+  // expire >= i and therefore never collide with its output.
+  std::vector<int> expire;
+  std::vector<int> free_list;
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < static_cast<int>(expire.size()); ++b) {
+      if (expire[static_cast<std::size_t>(b)] < i) {
+        expire[static_cast<std::size_t>(b)] = n + 1;  // parked until reassigned
+        free_list.push_back(b);
+      }
+    }
+    Step& s = p.steps[static_cast<std::size_t>(i)];
+    Slot& out = p.slots[static_cast<std::size_t>(s.out)];
+    int b;
+    if (s.in_place) {
+      b = p.slots[static_cast<std::size_t>(s.in0)].buffer;
+    } else if (!free_list.empty()) {
+      b = free_list.back();
+      free_list.pop_back();
+    } else {
+      b = static_cast<int>(expire.size());
+      expire.push_back(0);
+    }
+    out.buffer = b;
+    expire[static_cast<std::size_t>(b)] = out.last_use;
+  }
+  p.num_buffers = expire.size();
+}
+
+}  // namespace pdnn::exec

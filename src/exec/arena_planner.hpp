@@ -1,0 +1,22 @@
+// arena_planner.hpp — buffer-lifetime planning over an ExecPlan.
+//
+// Computes every slot's lifetime (first-def step / last-use step), marks
+// elementwise steps (ReLU, eval-mode BatchNorm) in-place when their input
+// dies at that step, and folds the slots onto a minimal set of arena buffers
+// by linear scan: a buffer is reused as soon as its occupant's last reader
+// has run. Backends then execute the whole plan against
+// tensor::TensorArena with no per-run allocation once shapes settle.
+#pragma once
+
+#include "exec/plan.hpp"
+
+namespace pdnn::exec {
+
+class ArenaPlanner {
+ public:
+  /// Fill slot lifetimes and buffer assignments on `plan` in place. Called by
+  /// GraphBuilder::lower(); exposed separately for tests and custom lowerings.
+  static void plan(ExecPlan& plan);
+};
+
+}  // namespace pdnn::exec

@@ -1,0 +1,36 @@
+// backend.hpp — what it means to execute an ExecPlan.
+//
+// A Backend owns everything numeric about a compiled network — weight panels
+// in its own operand format, scratch, arenas — and runs the shared plan's
+// dataflow. exec::FloatBackend is the FP32 implementation on the blocked
+// GEMM path; quant::PositSession is the true-posit implementation. Both obey
+// the same contract:
+//
+//   * compile binds the plan's leaf modules (the module graph must outlive
+//     the backend) and pre-computes every weight-derived panel;
+//   * run() executes the plan into a slot arena and returns a reference to
+//     the output buffer, valid until the next run(); steady state (repeated
+//     shapes, no weight mutation) performs no heap allocation.
+#pragma once
+
+#include <cstddef>
+
+#include "exec/plan.hpp"
+
+namespace pdnn::exec {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Eval-mode forward pass; see the contract above.
+  virtual const tensor::Tensor& run(const tensor::Tensor& x) = 0;
+
+  /// The shared plan this backend executes.
+  virtual const ExecPlan& plan() const = 0;
+
+  /// Bytes held by the slot arena (peak shapes seen so far).
+  virtual std::size_t arena_bytes() const = 0;
+};
+
+}  // namespace pdnn::exec

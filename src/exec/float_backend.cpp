@@ -1,0 +1,237 @@
+#include "exec/float_backend.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "exec/graph_builder.hpp"
+#include "exec/kernels.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::exec {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+// Bit-exactness contract: every kernel below evaluates the same floating-
+// point expressions in the same per-element order as the corresponding
+// nn::Module::forward(x, /*training=*/false) — the GEMMs are the same
+// gemm_blocked calls matmul/matmul_acc make, the bias adds and BN/ReLU
+// expressions are copied verbatim. Parallel axes are independent output
+// slices, so thread count never changes a bit (same policy as src/nn).
+
+FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy) {
+  FloatBackend b;
+  b.plan_ = GraphBuilder::lower(net);
+  b.policy_ = policy;
+  b.state_.resize(b.plan_.steps.size());
+  b.arena_.configure(b.plan_.num_buffers);
+  b.refresh();
+  return b;
+}
+
+void FloatBackend::refresh() {
+  const bool quant = quantizing();
+  // An activate()/deactivate() flip between runs invalidates every cached
+  // panel regardless of Param::version.
+  const bool flip = quant != panels_quantized_;
+  panels_quantized_ = quant;
+  for (std::size_t i = 0; i < plan_.steps.size(); ++i) {
+    const Step& s = plan_.steps[i];
+    StepState& st = state_[i];
+    switch (s.op) {
+      case OpKind::kLinear: {
+        nn::Param& w = s.linear->weight();
+        if (flip || !st.bound || w.version != st.version) {
+          const Tensor qw =
+              quant ? policy_->quantize_weight(w.value, s.name, nn::LayerClass::kLinear) : w.value;
+          st.panel = tensor::transpose(qw);
+          st.version = w.version;
+          st.bound = true;
+        }
+        break;
+      }
+      case OpKind::kConv2d: {
+        nn::Param& w = s.conv->weight();
+        if (quant) {
+          if (flip || !st.bound || w.version != st.version) {
+            st.panel = policy_->quantize_weight(w.value, s.name, nn::LayerClass::kConv);
+            st.version = w.version;
+            st.bound = true;
+          }
+        } else if (flip || !st.bound) {
+          st.panel = Tensor();  // read the live weight directly
+          st.version = w.version;
+          st.bound = true;
+        }
+        break;
+      }
+      case OpKind::kBatchNorm: {
+        nn::Param& g = s.bn->gamma();
+        if (quant) {
+          if (flip || !st.bound || g.version != st.gamma_version) {
+            st.qgamma = policy_->quantize_weight(g.value, s.name, nn::LayerClass::kBn);
+            st.gamma_version = g.version;
+            st.bound = true;
+          }
+        } else if (flip || !st.bound) {
+          st.qgamma = Tensor();
+          st.gamma_version = g.version;
+          st.bound = true;
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+}
+
+const Tensor& FloatBackend::slot_tensor(int slot, const Tensor& x) const {
+  if (slot == plan_.input_slot) return x;
+  return arena_.at(static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(slot)].buffer));
+}
+
+const Tensor& FloatBackend::run(const Tensor& x) {
+  refresh();
+  if (plan_.steps.empty()) {
+    passthrough_ = x;  // empty graph: identity
+    return passthrough_;
+  }
+  const bool quant = quantizing();
+  for (std::size_t i = 0; i < plan_.steps.size(); ++i) {
+    const Step& s = plan_.steps[i];
+    StepState& st = state_[i];
+    const Tensor& in = slot_tensor(s.in0, x);
+    const Tensor* skip = s.in1 >= 0 ? &slot_tensor(s.in1, x) : nullptr;
+    const Shape skip_shape = skip != nullptr ? skip->shape() : Shape{};
+    const Shape out_shape =
+        infer_out_shape(s, in.shape(), skip != nullptr ? &skip_shape : nullptr, "FloatBackend");
+    Tensor& out = arena_.bind(
+        static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(s.out)].buffer), out_shape);
+    switch (s.op) {
+      case OpKind::kLinear: exec_linear(s, st, in, out); break;
+      case OpKind::kConv2d: exec_conv(s, st, in, out); break;
+      case OpKind::kBatchNorm: exec_bn(s, st, in, out); break;
+      case OpKind::kRelu: relu_kernel(in, out); break;
+      case OpKind::kMaxPool2x2: maxpool2x2_kernel(in, out); break;
+      case OpKind::kGlobalAvgPool: exec_gap(in, out); break;
+      case OpKind::kResidualJoin: exec_join(in, *skip, out); break;
+    }
+    if (quant) {
+      // The eager forward's A_p = P(A) hook sites: conv/linear/bn outputs and
+      // the post-join activation; ReLU and pooling apply no hook.
+      switch (s.op) {
+        case OpKind::kLinear: policy_->quantize_activation(out, s.name, nn::LayerClass::kLinear); break;
+        case OpKind::kConv2d: policy_->quantize_activation(out, s.name, nn::LayerClass::kConv); break;
+        case OpKind::kBatchNorm: policy_->quantize_activation(out, s.name, nn::LayerClass::kBn); break;
+        case OpKind::kResidualJoin:
+          policy_->quantize_activation(out, s.name, nn::LayerClass::kConv);
+          break;
+        default: break;
+      }
+    }
+  }
+  return arena_.at(static_cast<std::size_t>(
+      plan_.slots[static_cast<std::size_t>(plan_.output_slot)].buffer));
+}
+
+void FloatBackend::exec_linear(const Step& s, StepState& st, const Tensor& in, Tensor& out) {
+  // Same computation as nn::Linear::forward: out = x W^T (blocked GEMM on a
+  // zeroed target) then the row-parallel bias add — W^T is the panel cached
+  // at refresh() instead of a per-call transpose.
+  const std::size_t n = in.shape()[0];
+  out.fill(0.0f);
+  tensor::gemm_blocked(n, s.out_c, s.in_c, in.data(), s.in_c, st.panel.data(), s.out_c, out.data(),
+                       s.out_c);
+  const Tensor& bias = s.linear->bias().value;
+#pragma omp parallel for schedule(static) if (n > 1 && n * s.out_c > 16384)
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < s.out_c; ++j) out.at(i, j) += bias[j];
+}
+
+void FloatBackend::exec_conv(const Step& s, StepState& st, const Tensor& in, Tensor& out) {
+  // Same computation as tensor::conv2d_forward: per-sample im2col + blocked
+  // GEMM — but into persistent cols scratch and straight into the output
+  // slice (conv2d_forward computes the identical GEMM into a temporary and
+  // memcpys it out).
+  const tensor::Conv2dGeom geom{s.in_c,   in.shape()[2], in.shape()[3], s.out_c,
+                                s.kernel, s.stride,      s.pad,         s.kernel_w};
+  const std::size_t batch = in.shape()[0];
+  const std::size_t pixels = geom.out_h() * geom.out_w();
+  const std::size_t patch = geom.patch();
+  st.cols.resize({patch, pixels});
+  const float* w2d = quantizing() ? st.panel.data() : s.conv->weight().value.data();
+  const std::size_t in_stride = s.in_c * geom.in_h * geom.in_w;
+  const std::size_t out_stride = s.out_c * pixels;
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    tensor::im2col(in.data() + nidx * in_stride, geom, st.cols.data());
+    float* oslice = out.data() + nidx * out_stride;
+    std::memset(oslice, 0, out_stride * sizeof(float));
+    tensor::gemm_blocked(s.out_c, pixels, patch, w2d, patch, st.cols.data(), pixels, oslice,
+                         pixels);
+  }
+  if (s.conv->has_bias()) {
+    const Tensor& bias = s.conv->bias().value;
+#pragma omp parallel for schedule(static) if (s.out_c > 1 && batch* s.out_c* pixels > 16384)
+    for (std::size_t ci = 0; ci < s.out_c; ++ci) {
+      const float b = bias[ci];
+      for (std::size_t ni = 0; ni < batch; ++ni) {
+        float* dst = out.data() + (ni * s.out_c + ci) * pixels;
+        for (std::size_t i = 0; i < pixels; ++i) dst[i] += b;
+      }
+    }
+  }
+}
+
+void FloatBackend::exec_bn(const Step& s, const StepState& st, const Tensor& in, Tensor& out) {
+  // nn::BatchNorm2d::forward with training=false, expression for expression;
+  // running statistics and beta are read live from the module.
+  nn::BatchNorm2d& bn = *s.bn;
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t plane = in.shape()[2] * in.shape()[3];
+  const float* gamma = quantizing() ? st.qgamma.data() : bn.gamma().value.data();
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    const float mean = bn.running_mean()[ci];
+    const float var = bn.running_var()[ci];
+    const float inv_std = 1.0f / std::sqrt(var + bn.eps());
+    const float g = gamma[ci], b = bn.beta().value[ci];
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* src = in.data() + (ni * c + ci) * plane;
+      float* dst = out.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xhat = (src[i] - mean) * inv_std;
+        dst[i] = g * xhat + b;
+      }
+    }
+  }
+}
+
+void FloatBackend::exec_gap(const Tensor& in, Tensor& out) {
+  // tensor::global_avgpool_forward's serial per-cell reduction.
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t plane = in.shape()[2] * in.shape()[3];
+#pragma omp parallel for schedule(static) if (n * c > 1 && n * c * plane > 16384)
+  for (std::size_t cell = 0; cell < n * c; ++cell) {
+    const float* src = in.data() + cell * plane;
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < plane; ++i) acc += src[i];
+    out[cell] = acc / static_cast<float>(plane);
+  }
+}
+
+void FloatBackend::exec_join(const Tensor& main, const Tensor& skip, Tensor& out) {
+  // ResidualBlock's h += skip then ReLU, fused: t = m + s; max(t, 0).
+  const std::size_t numel = out.numel();
+  const float* ma = main.data();
+  const float* sk = skip.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    const float t = ma[i] + sk[i];
+    dst[i] = t > 0.0f ? t : 0.0f;
+  }
+}
+
+}  // namespace pdnn::exec

@@ -1,0 +1,79 @@
+// float_backend.hpp — compile-once/run-many FP32 inference over an ExecPlan.
+//
+// The float twin of quant::PositSession: GraphBuilder lowers the module tree
+// once, ArenaPlanner folds every intermediate onto reusable arena buffers,
+// and run() executes the plan on the blocked-GEMM path with persistent
+// im2col scratch and pre-transposed linear weight panels. Steady state
+// (repeated shapes, no weight mutation) performs zero heap allocations,
+// and outputs are bit-identical to chaining nn::Module::forward in eval
+// mode — the eager path computes exactly the same GEMM calls, bias loops,
+// and elementwise expressions, just with fresh temporaries each time.
+//
+// An optional PrecisionPolicy mirrors the eager forward's Fig. 3 hooks
+// (W_p = P(W) cached per Param::version, A_p = P(A) applied in place on the
+// slot buffer), so a trainer's eval loop under posit-simulated quantization
+// can run through the compiled plan too. With no policy (or an inactive
+// one), the backend is the plain FP32 reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "nn/precision.hpp"
+#include "tensor/arena.hpp"
+
+namespace pdnn::exec {
+
+class FloatBackend final : public Backend {
+ public:
+  /// Compile `net` (any Module tree GraphBuilder can lower). The module
+  /// graph must outlive the backend: weights, BN statistics, and biases are
+  /// read through the live modules, with Param::version re-deriving cached
+  /// panels exactly when a parameter mutates.
+  static FloatBackend compile(nn::Module& net, nn::PrecisionPolicy* policy = nullptr);
+
+  FloatBackend(FloatBackend&&) noexcept = default;
+  FloatBackend& operator=(FloatBackend&&) noexcept = default;
+
+  /// Eval-mode forward pass; returns a reference into the slot arena, valid
+  /// until the next run(). Batch size (and conv H/W) may vary between calls.
+  const tensor::Tensor& run(const tensor::Tensor& x) override;
+
+  const ExecPlan& plan() const override { return plan_; }
+  std::size_t arena_bytes() const override { return arena_.bytes(); }
+  std::size_t arena_buffers() const { return arena_.buffers(); }
+
+ private:
+  FloatBackend() = default;
+
+  /// Per-step backend state: weight-derived panels and conv scratch.
+  struct StepState {
+    tensor::Tensor panel;   ///< linear: W^T [in,out]; conv under policy: P(W)
+    std::uint64_t version = 0;
+    bool bound = false;
+    tensor::Tensor qgamma;  ///< bn under policy: P(gamma)
+    std::uint64_t gamma_version = 0;
+    tensor::Tensor cols;    ///< conv im2col scratch, persistent across runs
+  };
+
+  bool quantizing() const { return policy_ != nullptr && policy_->active(); }
+  void refresh();
+  const tensor::Tensor& slot_tensor(int slot, const tensor::Tensor& x) const;
+
+  void exec_linear(const Step& s, StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
+  void exec_conv(const Step& s, StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
+  void exec_bn(const Step& s, const StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
+  static void exec_gap(const tensor::Tensor& in, tensor::Tensor& out);
+  static void exec_join(const tensor::Tensor& main, const tensor::Tensor& skip,
+                        tensor::Tensor& out);
+
+  ExecPlan plan_;
+  std::vector<StepState> state_;
+  tensor::TensorArena arena_;
+  nn::PrecisionPolicy* policy_ = nullptr;  // not owned
+  bool panels_quantized_ = false;
+  tensor::Tensor passthrough_;  // output buffer for an empty module graph
+};
+
+}  // namespace pdnn::exec

@@ -1,0 +1,122 @@
+#include "exec/graph_builder.hpp"
+
+#include <stdexcept>
+#include <typeinfo>
+#include <utility>
+
+#include "exec/arena_planner.hpp"
+
+namespace pdnn::exec {
+
+namespace {
+
+struct Lowering {
+  ExecPlan plan;
+
+  int new_slot(int def_step) {
+    plan.slots.push_back({def_step, -1, -1});
+    return static_cast<int>(plan.slots.size()) - 1;
+  }
+
+  int push_step(Step s, int in0, int depth) {
+    const int idx = static_cast<int>(plan.steps.size());
+    s.in0 = in0;
+    s.out = new_slot(idx);
+    s.depth = depth;
+    plan.steps.push_back(std::move(s));
+    return plan.steps.back().out;
+  }
+
+  /// Lower `m` with input slot `cur`; returns the output slot.
+  int lower_into(nn::Module& m, int cur, int depth) {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+      for (nn::Module* child : seq->children()) cur = lower_into(*child, cur, depth);
+      return cur;
+    }
+    if (auto* rb = dynamic_cast<nn::ResidualBlock*>(&m)) {
+      if (depth == 0) ++plan.top_level_steps;
+      int main = cur;
+      main = lower_into(rb->conv1(), main, depth + 1);
+      main = lower_into(rb->bn1(), main, depth + 1);
+      main = lower_into(rb->relu1(), main, depth + 1);
+      main = lower_into(rb->conv2(), main, depth + 1);
+      main = lower_into(rb->bn2(), main, depth + 1);
+      int skip = cur;
+      if (rb->has_downsample()) {
+        skip = lower_into(*rb->down_conv(), skip, depth + 1);
+        skip = lower_into(*rb->down_bn(), skip, depth + 1);
+      }
+      Step join;
+      join.op = OpKind::kResidualJoin;
+      join.name = rb->name();
+      // The join adopts the conv family format (the post-add activation is a
+      // conv-class tensor in training too).
+      join.cls = nn::LayerClass::kConv;
+      join.in1 = skip;
+      return push_step(std::move(join), main, depth);
+    }
+    if (depth == 0) ++plan.top_level_steps;
+    return push_step(lower_leaf(m), cur, depth);
+  }
+
+  static Step lower_leaf(nn::Module& m) {
+    Step s;
+    s.name = m.name();
+    if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
+      s.op = OpKind::kLinear;
+      s.cls = nn::LayerClass::kLinear;
+      s.linear = fc;
+      s.in_c = fc->in_features();
+      s.out_c = fc->out_features();
+      return s;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+      s.op = OpKind::kConv2d;
+      s.cls = nn::LayerClass::kConv;
+      s.conv = conv;
+      s.in_c = conv->in_channels();
+      s.out_c = conv->out_channels();
+      s.kernel = conv->kernel();
+      s.kernel_w = conv->kernel_w();
+      s.stride = conv->stride();
+      s.pad = conv->pad();
+      return s;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+      s.op = OpKind::kBatchNorm;
+      s.cls = nn::LayerClass::kBn;
+      s.bn = bn;
+      s.out_c = bn->gamma().value.numel();
+      return s;
+    }
+    if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+      s.op = OpKind::kRelu;
+      return s;
+    }
+    if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
+      s.op = OpKind::kMaxPool2x2;
+      return s;
+    }
+    if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
+      s.op = OpKind::kGlobalAvgPool;
+      // Pooling resolves with the conv family, matching the pre-plan session.
+      s.cls = nn::LayerClass::kConv;
+      return s;
+    }
+    throw std::invalid_argument("GraphBuilder: unsupported layer '" + m.name() + "' (" +
+                                typeid(m).name() + ")");
+  }
+};
+
+}  // namespace
+
+ExecPlan GraphBuilder::lower(nn::Module& net) {
+  Lowering l;
+  l.plan.slots.push_back({-1, -1, -1});  // slot 0: the caller-owned input
+  l.plan.input_slot = 0;
+  l.plan.output_slot = l.lower_into(net, 0, 0);
+  ArenaPlanner::plan(l.plan);
+  return std::move(l.plan);
+}
+
+}  // namespace pdnn::exec

@@ -1,0 +1,28 @@
+// graph_builder.hpp — lower an nn::Module tree into an ExecPlan.
+//
+// The single graph→plan compiler every backend shares. Sequential containers
+// (arbitrarily nested) flatten into the step list via children();
+// ResidualBlock lowers to main-branch steps, skip-branch steps, and one
+// kResidualJoin reading both branch outputs (the skip operand is the block
+// input itself when there is no downsample). Leaf layers become one step
+// each; module types no backend can execute throw std::invalid_argument at
+// lowering time.
+//
+// lower() also runs the ArenaPlanner, so the returned plan is ready for a
+// backend to compile against: slot lifetimes computed, elementwise steps
+// marked in-place, and every slot folded onto its arena buffer.
+#pragma once
+
+#include "exec/plan.hpp"
+
+namespace pdnn::exec {
+
+class GraphBuilder {
+ public:
+  /// Lower `net` (a Sequential, a ResidualBlock, or a single layer) into a
+  /// planned ExecPlan. The module graph must outlive the plan — steps bind
+  /// leaf modules by pointer.
+  static ExecPlan lower(nn::Module& net);
+};
+
+}  // namespace pdnn::exec

@@ -1,0 +1,52 @@
+// kernels.hpp — the plan steps whose arithmetic is numeric-format-free,
+// shared by every backend. ReLU is a sign test and max pooling is
+// comparisons only, so posit and float execution are the same float kernel;
+// keeping one copy here is what guarantees the backends can never diverge
+// on these steps.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "tensor/tensor.hpp"
+
+namespace pdnn::exec {
+
+/// out = max(x, 0) elementwise; out may alias in (in-place plan steps write
+/// the same index they read).
+inline void relu_kernel(const tensor::Tensor& in, tensor::Tensor& out) {
+  const std::size_t numel = in.numel();
+  const float* src = in.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+}
+
+/// 2x2/stride-2 max pooling: tensor::maxpool2x2_forward's comparison
+/// semantics (NaN entries skipped via `v > best` from -inf — NaR decodes to
+/// NaN on the posit path) without its per-call argmax/output allocations.
+inline void maxpool2x2_kernel(const tensor::Tensor& in, tensor::Tensor& out) {
+  const std::size_t n = in.shape()[0], c = in.shape()[1], ih = in.shape()[2], iw = in.shape()[3];
+  const std::size_t oh = ih / 2, ow = iw / 2;
+  const float* src = in.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (n * c > 1 && n * c * oh * ow > 16384)
+  for (std::size_t plane = 0; plane < n * c; ++plane) {
+    const float* ip = src + plane * ih * iw;
+    float* op = dst + plane * oh * ow;
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const float v = ip[(2 * y + dy) * iw + 2 * x + dx];
+            if (v > best) best = v;
+          }
+        }
+        op[y * ow + x] = best;
+      }
+    }
+  }
+}
+
+}  // namespace pdnn::exec

@@ -1,0 +1,120 @@
+#include "exec/plan.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace pdnn::exec {
+
+using tensor::Shape;
+
+const char* to_string(OpKind op) {
+  switch (op) {
+    case OpKind::kLinear: return "linear";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kBatchNorm: return "batchnorm";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kMaxPool2x2: return "maxpool2x2";
+    case OpKind::kGlobalAvgPool: return "globalavgpool";
+    case OpKind::kResidualJoin: return "residual-join";
+  }
+  return "?";
+}
+
+std::size_t ExecPlan::in_place_steps() const {
+  std::size_t n = 0;
+  for (const Step& s : steps) n += s.in_place ? 1 : 0;
+  return n;
+}
+
+std::size_t ExecPlan::reused_slots() const {
+  std::size_t arena_slots = 0;
+  for (const Slot& s : slots) arena_slots += s.buffer >= 0 ? 1 : 0;
+  return arena_slots - num_buffers;
+}
+
+std::string ExecPlan::dump(std::size_t arena_bytes) const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "ExecPlan: %zu steps (%zu top-level), %zu slots, %zu buffers, %zu reused slots, "
+                "%zu in-place steps",
+                steps.size(), top_level_steps, slots.size(), num_buffers, reused_slots(),
+                in_place_steps());
+  out += line;
+  if (arena_bytes > 0) {
+    std::snprintf(line, sizeof(line), ", arena %zu bytes\n", arena_bytes);
+  } else {
+    std::snprintf(line, sizeof(line), ", arena unsized\n");
+  }
+  out += line;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const Step& s = steps[i];
+    char wiring[64];
+    if (s.op == OpKind::kResidualJoin) {
+      std::snprintf(wiring, sizeof(wiring), "s%d + s%d -> s%d", s.in0, s.in1, s.out);
+    } else {
+      std::snprintf(wiring, sizeof(wiring), "s%d -> s%d", s.in0, s.out);
+    }
+    std::string name = s.name;
+    for (int d = 0; d < s.depth; ++d) name.insert(0, "  ");
+    std::snprintf(line, sizeof(line), "  [%3zu] %-14s %-24s %-16s b%d%s\n", i, to_string(s.op),
+                  name.c_str(), wiring, slots[static_cast<std::size_t>(s.out)].buffer,
+                  s.in_place ? " (in-place)" : "");
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void shape_error(const char* who, const Step& step, const std::string& expect,
+                              const Shape& got) {
+  throw std::invalid_argument(std::string(who) + ": '" + step.name + "' expects " + expect +
+                              ", got " + got.to_string());
+}
+
+}  // namespace
+
+Shape infer_out_shape(const Step& step, const Shape& in, const Shape* skip, const char* who) {
+  switch (step.op) {
+    case OpKind::kLinear:
+      if (in.rank() != 2 || in[1] != step.in_c) {
+        shape_error(who, step, "[N, " + std::to_string(step.in_c) + "]", in);
+      }
+      return {in[0], step.out_c};
+    case OpKind::kConv2d: {
+      if (in.rank() != 4 || in[1] != step.in_c) {
+        shape_error(who, step, "[N, " + std::to_string(step.in_c) + ", H, W]", in);
+      }
+      const tensor::Conv2dGeom geom{step.in_c, in[2],      in[3],    step.out_c,
+                                    step.kernel, step.stride, step.pad, step.kernel_w};
+      geom.validate();
+      return {in[0], step.out_c, geom.out_h(), geom.out_w()};
+    }
+    case OpKind::kBatchNorm:
+      if (in.rank() != 4 || in[1] != step.out_c) {
+        shape_error(who, step, "[N, " + std::to_string(step.out_c) + ", H, W]", in);
+      }
+      return in;
+    case OpKind::kRelu:
+      return in;
+    case OpKind::kMaxPool2x2:
+      if (in.rank() != 4) shape_error(who, step, "rank-4 input", in);
+      return {in[0], in[1], in[2] / 2, in[3] / 2};
+    case OpKind::kGlobalAvgPool:
+      if (in.rank() != 4) shape_error(who, step, "rank-4 input", in);
+      return {in[0], in[1]};
+    case OpKind::kResidualJoin:
+      if (skip == nullptr || *skip != in) {
+        throw std::invalid_argument(std::string(who) + ": '" + step.name +
+                                    "' branch shape mismatch " + in.to_string() + " vs " +
+                                    (skip != nullptr ? skip->to_string() : "<none>"));
+      }
+      return in;
+  }
+  throw std::invalid_argument(std::string(who) + ": unhandled op kind");
+}
+
+}  // namespace pdnn::exec

@@ -1,0 +1,101 @@
+// plan.hpp — the backend-neutral compiled execution plan.
+//
+// One lowering for every inference backend (cf. marian-dev's expression
+// graphs): exec::GraphBuilder walks an nn::Module tree once and linearizes it
+// into an ExecPlan — typed steps wired through explicit tensor slots — and
+// exec::ArenaPlanner folds the slots onto a small set of reusable arena
+// buffers from their first-def/last-use lifetimes. Backends (exec::FloatBackend,
+// quant::PositSession) attach their own per-step state (weight panels, LUTs,
+// quire pools) to the same plan and execute the identical dataflow, so the
+// whole serving stack shares one execution architecture.
+//
+// Dataflow model: every step consumes slot `in0` (joins also `in1`) and
+// defines slot `out`. Slot 0 is the plan input (caller-owned, never written);
+// all other slots live in a TensorArena. A ResidualBlock lowers to its main
+// branch steps, its skip branch steps, and one kResidualJoin (the rounded
+// add + trailing ReLU the block performs), so nothing in the runtime is
+// shaped like a tree anymore.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::exec {
+
+enum class OpKind {
+  kLinear,
+  kConv2d,
+  kBatchNorm,
+  kRelu,
+  kMaxPool2x2,
+  kGlobalAvgPool,
+  kResidualJoin,  ///< elementwise add of main+skip, then ReLU (block semantics)
+};
+
+const char* to_string(OpKind op);
+
+struct Step {
+  OpKind op = OpKind::kRelu;
+  std::string name;                          ///< layer (or residual block) name
+  nn::LayerClass cls = nn::LayerClass::kConv;  ///< format family for backends
+  int depth = 0;                             ///< 0 top-level, 1 inside a residual branch
+
+  // The bound leaf module for parameterized ops (exactly one non-null). The
+  // module graph must outlive the plan; backends read weights/stats through
+  // these pointers.
+  nn::Linear* linear = nullptr;
+  nn::Conv2d* conv = nullptr;
+  nn::BatchNorm2d* bn = nullptr;
+
+  // Geometry snapshot: kLinear uses in_c/out_c as feature counts, kConv2d the
+  // full window, kBatchNorm out_c as the channel count.
+  std::size_t in_c = 0, out_c = 0;
+  std::size_t kernel = 0, kernel_w = 0, stride = 1, pad = 0;
+
+  // Slot wiring.
+  int in0 = -1;
+  int in1 = -1;  ///< kResidualJoin only: the skip operand
+  int out = -1;
+  bool in_place = false;  ///< planner: out shares in0's buffer (elementwise ops)
+};
+
+/// One tensor defined during a run. Lifetimes and buffer assignment are
+/// filled by ArenaPlanner.
+struct Slot {
+  int def_step = -1;  ///< step defining this slot; -1 for the plan input
+  int last_use = -1;  ///< last step reading it; the output slot never dies
+  int buffer = -1;    ///< arena buffer id; -1 for the caller-owned plan input
+};
+
+struct ExecPlan {
+  std::vector<Step> steps;
+  std::vector<Slot> slots;  ///< slot 0 is always the plan input
+  int input_slot = 0;
+  int output_slot = 0;
+  std::size_t num_buffers = 0;      ///< arena buffers after lifetime folding
+  std::size_t top_level_steps = 0;  ///< a residual region counts as one
+
+  std::size_t in_place_steps() const;
+  /// Arena slots that reuse a buffer another slot already occupied — the
+  /// savings the lifetime planner bought over one-buffer-per-slot.
+  std::size_t reused_slots() const;
+
+  /// Human-readable plan: the step table (slot wiring, buffers, in-place
+  /// marks) plus the summary line. `arena_bytes` is backend state (buffer
+  /// sizes depend on the shapes actually run), so callers pass it in —
+  /// 0 prints "unsized".
+  std::string dump(std::size_t arena_bytes = 0) const;
+};
+
+/// Validate a step's input shape(s) and return its output shape — the shape
+/// semantics every backend shares. `skip` is required for kResidualJoin.
+/// Throws std::invalid_argument (prefixed with `who`) on rank/dimension
+/// mismatches, with the offending dimensions in the message.
+tensor::Shape infer_out_shape(const Step& step, const tensor::Shape& in,
+                              const tensor::Shape* skip, const char* who);
+
+}  // namespace pdnn::exec

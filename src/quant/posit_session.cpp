@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <typeinfo>
 #include <utility>
 #include <vector>
 
+#include "exec/backend.hpp"
+#include "exec/graph_builder.hpp"
+#include "exec/kernels.hpp"
 #include "quant/engine_gemm.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 
 namespace pdnn::quant {
@@ -47,7 +50,7 @@ AccumMode SessionConfig::mode_for(const std::string& name, nn::LayerClass cls) c
 }
 
 // ---------------------------------------------------------------------------
-// Compiled plan
+// Per-step backend state over the shared ExecPlan
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -60,45 +63,33 @@ struct Binding {
   EncodedTensor panel;
 };
 
-/// Reshape an owned buffer only when the target shape actually changed —
-/// the steady-state no-allocation path.
-void ensure_shape(Tensor& t, const tensor::Shape& s) {
-  if (t.shape() != s) t = Tensor(s);
-}
-
-struct Step {
-  enum class Kind { kLinear, kConv, kBn, kRelu, kMaxPool, kGap, kResidual };
-
-  Kind kind = Kind::kRelu;
-  std::string name;
+/// The posit-side state attached to one plan step: resolved format and
+/// accumulation mode, LUT kernels, quire-arena index, encoded weight panels,
+/// BN constants, and the per-step scratch the hot loop reuses.
+struct StepState {
   PositSpec spec{16, 1};
   AccumMode mode = AccumMode::kQuire;
   detail::EngineLuts luts;
   int arena = -1;  ///< per-thread quire pool index (kQuire GEMMs, GAP, joins)
 
-  // linear / conv
   Binding weight, bias;  // bias.param == nullptr -> no bias (panel stays empty)
-  std::size_t in_c = 0, out_c = 0, kernel = 0, stride = 1, pad = 0, kernel_w = 0;
 
   // bn: constants derived from (gamma, beta, running stats) at encode time
-  nn::BatchNorm2d* bn = nullptr;
   std::uint64_t gamma_version = 0, beta_version = 0;
   std::vector<std::uint32_t> bn_scale, bn_mean, bn_shift;
 
-  // residual branches (skip empty -> identity)
-  std::vector<Step> main_branch, skip_branch;
-
-  // session-owned run-time buffers
-  Tensor out;
-  Tensor cols;       // conv im2col scratch
-  EncodedTensor act; // encoded activation panel
+  // steady-state scratch (grow-only)
+  Tensor cols;        // conv im2col columns
+  EncodedTensor act;  // encoded activation panel
 };
 
 }  // namespace
 
-struct PositSession::Impl {
+struct PositSession::Impl final : exec::Backend {
   SessionConfig cfg;
-  std::vector<Step> steps;
+  exec::ExecPlan eplan;
+  std::vector<StepState> state;  // parallel to eplan.steps
+  tensor::TensorArena slots;
 
   struct Arena {
     PositSpec spec{16, 1};
@@ -107,9 +98,12 @@ struct PositSession::Impl {
   std::vector<Arena> arenas;
 
   Tensor passthrough;  // output buffer for an empty module graph
-  std::uint64_t encode_count = 0;
-  std::size_t bound_params = 0;
+  std::uint64_t encodes = 0;
+  std::size_t bound = 0;
   bool force_refresh = false;
+
+  const exec::ExecPlan& plan() const override { return eplan; }
+  std::size_t arena_bytes() const override { return slots.bytes(); }
 
   int arena_for(const PositSpec& spec) {
     for (std::size_t i = 0; i < arenas.size(); ++i) {
@@ -126,7 +120,7 @@ struct PositSession::Impl {
     }
   }
 
-  posit::Quire* pool(const Step& s) {
+  posit::Quire* pool(const StepState& s) {
     return s.arena >= 0 ? arenas[static_cast<std::size_t>(s.arena)].quires.data() : nullptr;
   }
 
@@ -134,14 +128,14 @@ struct PositSession::Impl {
     b.param = &p;
     b.version = p.version;
     b.panel = encode_unpack(p.value, spec);
-    ++encode_count;
-    ++bound_params;
+    ++encodes;
+    ++bound;
   }
 
   /// (Re)derive the per-channel BN constants exactly as the per-layer engine
   /// does: scale = round(gamma) * round(1/sqrt(var+eps)), rounded once.
-  void encode_bn(Step& s) {
-    nn::BatchNorm2d& bn = *s.bn;
+  void encode_bn(const exec::Step& step, StepState& s) {
+    nn::BatchNorm2d& bn = *step.bn;
     const std::size_t c = bn.running_mean().size();
     s.bn_scale.resize(c);
     s.bn_mean.resize(c);
@@ -155,148 +149,103 @@ struct PositSession::Impl {
     }
     s.gamma_version = bn.gamma().version;
     s.beta_version = bn.beta().version;
-    ++encode_count;
+    ++encodes;
   }
 
-  void compile_into(nn::Module& m, std::vector<Step>& steps);
-  Step compile_leaf(nn::Module& m);
+  void compile_step(const exec::Step& step, StepState& s);
+  void refresh(bool force);
 
-  void refresh(std::vector<Step>& steps, bool force);
-  const Tensor& exec(Step& s, const Tensor& h);
+  const Tensor& slot_tensor(int slot, const Tensor& x) const {
+    if (slot == eplan.input_slot) return x;
+    return slots.at(
+        static_cast<std::size_t>(eplan.slots[static_cast<std::size_t>(slot)].buffer));
+  }
 
-  void exec_linear(Step& s, const Tensor& h);
-  void exec_conv(Step& s, const Tensor& h);
-  void exec_bn(Step& s, const Tensor& h);
-  void exec_relu(Step& s, const Tensor& h);
-  void exec_maxpool(Step& s, const Tensor& h);
-  void exec_gap(Step& s, const Tensor& h);
-  void exec_residual(Step& s, const Tensor& h);
+  const Tensor& run(const Tensor& x) override;
 
-  static void collect_bytes(const std::vector<Step>& steps, std::size_t& bytes);
+  void exec_linear(const exec::Step& step, StepState& s, const Tensor& in, Tensor& out);
+  void exec_conv(const exec::Step& step, StepState& s, const Tensor& in, Tensor& out);
+  void exec_bn(const exec::Step& step, StepState& s, const Tensor& in, Tensor& out);
+  void exec_gap(StepState& s, const Tensor& in, Tensor& out);
+  void exec_join(StepState& s, const Tensor& main, const Tensor& skip, Tensor& out);
 };
 
 // ---------------------------------------------------------------------------
 // compile
 // ---------------------------------------------------------------------------
 
-void PositSession::Impl::compile_into(nn::Module& m, std::vector<Step>& steps) {
-  if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
-    for (nn::Module* child : seq->children()) compile_into(*child, steps);
-    return;
+void PositSession::Impl::compile_step(const exec::Step& step, StepState& s) {
+  switch (step.op) {
+    case exec::OpKind::kLinear:
+      s.spec = cfg.spec_for(step.name, step.cls);
+      s.mode = cfg.mode_for(step.name, step.cls);
+      s.luts = detail::resolve_luts(s.spec, s.mode);
+      if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+      bind(s.weight, step.linear->weight(), s.spec);
+      bind(s.bias, step.linear->bias(), s.spec);
+      break;
+    case exec::OpKind::kConv2d:
+      s.spec = cfg.spec_for(step.name, step.cls);
+      s.mode = cfg.mode_for(step.name, step.cls);
+      s.luts = detail::resolve_luts(s.spec, s.mode);
+      if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+      bind(s.weight, step.conv->weight(), s.spec);
+      if (step.conv->has_bias()) {
+        bind(s.bias, step.conv->bias(), s.spec);
+      } else {
+        s.bias.panel.spec = s.spec;
+      }
+      break;
+    case exec::OpKind::kBatchNorm:
+      s.spec = cfg.spec_for(step.name, step.cls);
+      s.mode = cfg.mode_for(step.name, step.cls);
+      // The per-element transform is one fma: dispatch its table when the BN
+      // format is small enough, whatever the accumulation mode.
+      if (posit::fma_lut_supported(s.spec, posit::RoundMode::kNearestEven)) {
+        s.luts.fma = &posit::fma_lut(s.spec, posit::RoundMode::kNearestEven);
+      }
+      encode_bn(step, s);
+      break;
+    case exec::OpKind::kGlobalAvgPool:
+      s.spec = cfg.spec_for(step.name, step.cls);  // pooling: conv family (see lowering)
+      s.arena = arena_for(s.spec);  // the plane sum always runs through a quire
+      break;
+    case exec::OpKind::kResidualJoin:
+      // step.cls is the conv family (the post-add activation is a conv-class
+      // tensor in training too; see the lowering).
+      s.spec = cfg.spec_for(step.name, step.cls);
+      s.mode = cfg.mode_for(step.name, step.cls);
+      s.luts = detail::resolve_luts(s.spec, s.mode);
+      if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
+      break;
+    case exec::OpKind::kRelu:
+    case exec::OpKind::kMaxPool2x2:
+      break;
   }
-  if (auto* rb = dynamic_cast<nn::ResidualBlock*>(&m)) {
-    Step s;
-    s.kind = Step::Kind::kResidual;
-    s.name = rb->name();
-    // The block-level join adopts the conv family format (the post-add
-    // activation is a conv-class tensor in training too).
-    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
-    s.mode = cfg.mode_for(s.name, nn::LayerClass::kConv);
-    s.luts = detail::resolve_luts(s.spec, s.mode);
-    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
-    compile_into(rb->conv1(), s.main_branch);
-    compile_into(rb->bn1(), s.main_branch);
-    compile_into(rb->relu1(), s.main_branch);
-    compile_into(rb->conv2(), s.main_branch);
-    compile_into(rb->bn2(), s.main_branch);
-    if (rb->has_downsample()) {
-      compile_into(*rb->down_conv(), s.skip_branch);
-      compile_into(*rb->down_bn(), s.skip_branch);
-    }
-    steps.push_back(std::move(s));
-    return;
-  }
-  steps.push_back(compile_leaf(m));
-}
-
-Step PositSession::Impl::compile_leaf(nn::Module& m) {
-  Step s;
-  s.name = m.name();
-  if (auto* fc = dynamic_cast<nn::Linear*>(&m)) {
-    s.kind = Step::Kind::kLinear;
-    s.spec = cfg.spec_for(s.name, nn::LayerClass::kLinear);
-    s.mode = cfg.mode_for(s.name, nn::LayerClass::kLinear);
-    s.luts = detail::resolve_luts(s.spec, s.mode);
-    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
-    bind(s.weight, fc->weight(), s.spec);
-    bind(s.bias, fc->bias(), s.spec);
-    s.in_c = fc->in_features();
-    s.out_c = fc->out_features();
-    return s;
-  }
-  if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
-    s.kind = Step::Kind::kConv;
-    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
-    s.mode = cfg.mode_for(s.name, nn::LayerClass::kConv);
-    s.luts = detail::resolve_luts(s.spec, s.mode);
-    if (s.mode == AccumMode::kQuire) s.arena = arena_for(s.spec);
-    bind(s.weight, conv->weight(), s.spec);
-    if (conv->has_bias()) {
-      bind(s.bias, conv->bias(), s.spec);
-    } else {
-      s.bias.panel.spec = s.spec;
-    }
-    s.in_c = conv->in_channels();
-    s.out_c = conv->out_channels();
-    s.kernel = conv->kernel();
-    s.kernel_w = conv->kernel_w();
-    s.stride = conv->stride();
-    s.pad = conv->pad();
-    return s;
-  }
-  if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
-    s.kind = Step::Kind::kBn;
-    s.spec = cfg.spec_for(s.name, nn::LayerClass::kBn);
-    s.mode = cfg.mode_for(s.name, nn::LayerClass::kBn);
-    s.bn = bn;
-    // The per-element transform is one fma: dispatch its table when the BN
-    // format is small enough, whatever the accumulation mode.
-    if (posit::fma_lut_supported(s.spec, posit::RoundMode::kNearestEven)) {
-      s.luts.fma = &posit::fma_lut(s.spec, posit::RoundMode::kNearestEven);
-    }
-    encode_bn(s);
-    return s;
-  }
-  if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
-    s.kind = Step::Kind::kRelu;
-    return s;
-  }
-  if (dynamic_cast<nn::MaxPool2x2*>(&m) != nullptr) {
-    s.kind = Step::Kind::kMaxPool;
-    return s;
-  }
-  if (dynamic_cast<nn::GlobalAvgPool*>(&m) != nullptr) {
-    s.kind = Step::Kind::kGap;
-    s.spec = cfg.spec_for(s.name, nn::LayerClass::kConv);
-    s.arena = arena_for(s.spec);  // the plane sum always runs through a quire
-    return s;
-  }
-  throw std::invalid_argument("PositSession: unsupported layer '" + m.name() + "' (" +
-                              typeid(m).name() + ")");
 }
 
 // ---------------------------------------------------------------------------
 // refresh (Param::version-driven re-encode)
 // ---------------------------------------------------------------------------
 
-void PositSession::Impl::refresh(std::vector<Step>& steps, bool force) {
-  for (Step& s : steps) {
+void PositSession::Impl::refresh(bool force) {
+  for (std::size_t i = 0; i < eplan.steps.size(); ++i) {
+    const exec::Step& step = eplan.steps[i];
+    StepState& s = state[i];
     if (s.weight.param != nullptr && (force || s.weight.param->version != s.weight.version)) {
       s.weight.version = s.weight.param->version;
       s.weight.panel = encode_unpack(s.weight.param->value, s.spec);
-      ++encode_count;
+      ++encodes;
     }
     if (s.bias.param != nullptr && (force || s.bias.param->version != s.bias.version)) {
       s.bias.version = s.bias.param->version;
       s.bias.panel = encode_unpack(s.bias.param->value, s.spec);
-      ++encode_count;
+      ++encodes;
     }
-    if (s.bn != nullptr &&
-        (force || s.bn->gamma().version != s.gamma_version || s.bn->beta().version != s.beta_version)) {
-      encode_bn(s);
+    if (step.bn != nullptr && (force || step.bn->gamma().version != s.gamma_version ||
+                               step.bn->beta().version != s.beta_version)) {
+      encode_bn(step, s);
     }
-    refresh(s.main_branch, force);
-    refresh(s.skip_branch, force);
   }
 }
 
@@ -304,74 +253,81 @@ void PositSession::Impl::refresh(std::vector<Step>& steps, bool force) {
 // run
 // ---------------------------------------------------------------------------
 
-const Tensor& PositSession::Impl::exec(Step& s, const Tensor& h) {
-  switch (s.kind) {
-    case Step::Kind::kLinear: exec_linear(s, h); break;
-    case Step::Kind::kConv: exec_conv(s, h); break;
-    case Step::Kind::kBn: exec_bn(s, h); break;
-    case Step::Kind::kRelu: exec_relu(s, h); break;
-    case Step::Kind::kMaxPool: exec_maxpool(s, h); break;
-    case Step::Kind::kGap: exec_gap(s, h); break;
-    case Step::Kind::kResidual: exec_residual(s, h); break;
+const Tensor& PositSession::Impl::run(const Tensor& x) {
+  ensure_arena_threads();  // the caller may have grown the OpenMP team
+  refresh(force_refresh);
+  force_refresh = false;
+  if (eplan.steps.empty()) {
+    passthrough = x;  // empty graph: identity
+    return passthrough;
   }
-  return s.out;
+  for (std::size_t i = 0; i < eplan.steps.size(); ++i) {
+    const exec::Step& step = eplan.steps[i];
+    StepState& s = state[i];
+    const Tensor& in = slot_tensor(step.in0, x);
+    const Tensor* skip = step.in1 >= 0 ? &slot_tensor(step.in1, x) : nullptr;
+    const tensor::Shape skip_shape = skip != nullptr ? skip->shape() : tensor::Shape{};
+    const tensor::Shape out_shape = exec::infer_out_shape(
+        step, in.shape(), skip != nullptr ? &skip_shape : nullptr, "PositSession");
+    Tensor& out = slots.bind(
+        static_cast<std::size_t>(eplan.slots[static_cast<std::size_t>(step.out)].buffer),
+        out_shape);
+    switch (step.op) {
+      case exec::OpKind::kLinear: exec_linear(step, s, in, out); break;
+      case exec::OpKind::kConv2d: exec_conv(step, s, in, out); break;
+      case exec::OpKind::kBatchNorm: exec_bn(step, s, in, out); break;
+      case exec::OpKind::kRelu: exec::relu_kernel(in, out); break;
+      case exec::OpKind::kMaxPool2x2: exec::maxpool2x2_kernel(in, out); break;
+      case exec::OpKind::kGlobalAvgPool: exec_gap(s, in, out); break;
+      case exec::OpKind::kResidualJoin: exec_join(s, in, *skip, out); break;
+    }
+  }
+  return slots.at(static_cast<std::size_t>(
+      eplan.slots[static_cast<std::size_t>(eplan.output_slot)].buffer));
 }
 
-void PositSession::Impl::exec_linear(Step& s, const Tensor& h) {
-  if (h.shape().rank() != 2 || h.shape()[1] != s.in_c) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
-                                std::to_string(s.in_c) + "], got " + h.shape().to_string());
-  }
-  const std::size_t n = h.shape()[0];
-  s.act.shape = {n, s.in_c};
-  encode_unpack_into(h.data(), h.numel(), s.spec, s.act);
-  ensure_shape(s.out, {n, s.out_c});
-  detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, n, s.in_c, s.out_c, s.mode, s.out.data(),
-                      s.out_c, 1, s.luts, pool(s));
+void PositSession::Impl::exec_linear(const exec::Step& step, StepState& s, const Tensor& in,
+                                     Tensor& out) {
+  const std::size_t n = in.shape()[0];
+  s.act.shape = {n, step.in_c};
+  encode_unpack_into(in.data(), in.numel(), s.spec, s.act);
+  detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, n, step.in_c, step.out_c, s.mode,
+                      out.data(), step.out_c, 1, s.luts, pool(s));
 }
 
-void PositSession::Impl::exec_conv(Step& s, const Tensor& h) {
-  if (h.shape().rank() != 4 || h.shape()[1] != s.in_c) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
-                                std::to_string(s.in_c) + ", H, W], got " + h.shape().to_string());
-  }
-  const tensor::Conv2dGeom geom{s.in_c, h.shape()[2], h.shape()[3], s.out_c,
-                                s.kernel, s.stride,   s.pad,        s.kernel_w};
-  geom.validate();
-  const std::size_t batch = h.shape()[0];
-  const std::size_t oh = geom.out_h(), ow = geom.out_w();
-  const std::size_t pixels = oh * ow;
+void PositSession::Impl::exec_conv(const exec::Step& step, StepState& s, const Tensor& in,
+                                   Tensor& out) {
+  const tensor::Conv2dGeom geom{step.in_c,   in.shape()[2], in.shape()[3], step.out_c,
+                                step.kernel, step.stride,   step.pad,      step.kernel_w};
+  const std::size_t batch = in.shape()[0];
+  const std::size_t pixels = geom.out_h() * geom.out_w();
   const std::size_t patch = geom.patch();
-  ensure_shape(s.cols, {patch, pixels});
-  ensure_shape(s.out, {batch, s.out_c, oh, ow});
+  s.cols.resize({patch, pixels});
   for (std::size_t nidx = 0; nidx < batch; ++nidx) {
-    tensor::im2col(h.data() + nidx * s.in_c * geom.in_h * geom.in_w, geom, s.cols.data());
+    tensor::im2col(in.data() + nidx * step.in_c * geom.in_h * geom.in_w, geom, s.cols.data());
     detail::encode_conv_panel(s.cols.data(), patch, pixels, s.spec, s.act);
-    detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, pixels, patch, s.out_c, s.mode,
-                        s.out.data() + nidx * s.out_c * pixels, 1, pixels, s.luts, pool(s));
+    detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, pixels, patch, step.out_c, s.mode,
+                        out.data() + nidx * step.out_c * pixels, 1, pixels, s.luts, pool(s));
   }
 }
 
-void PositSession::Impl::exec_bn(Step& s, const Tensor& h) {
+void PositSession::Impl::exec_bn(const exec::Step& step, StepState& s, const Tensor& in,
+                                 Tensor& out) {
   // Eval-mode BN as posit arithmetic: y = scale * (x - mean) + shift with
   // scale/mean/shift pre-encoded per channel.
-  if (h.shape().rank() != 4 || h.shape()[1] != s.bn_scale.size()) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' expects [N, " +
-                                std::to_string(s.bn_scale.size()) + ", H, W], got " +
-                                h.shape().to_string());
-  }
-  const std::size_t n = h.shape()[0], c = h.shape()[1];
-  const std::size_t plane = h.shape()[2] * h.shape()[3];
-  ensure_shape(s.out, h.shape());
-  // Channel slices are independent (same parallel shape as the FP32 BN).
+  (void)step;
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t plane = in.shape()[2] * in.shape()[3];
+  // Channel slices are independent (same parallel shape as the FP32 BN);
+  // out may alias in (in-place step): reads and writes share the index.
 #pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
   for (std::size_t ci = 0; ci < c; ++ci) {
     const std::uint32_t scale = s.bn_scale[ci];
     const std::uint32_t mean = s.bn_mean[ci];
     const std::uint32_t shift = s.bn_shift[ci];
     for (std::size_t ni = 0; ni < n; ++ni) {
-      const float* src = h.data() + (ni * c + ci) * plane;
-      float* dst = s.out.data() + (ni * c + ci) * plane;
+      const float* src = in.data() + (ni * c + ci) * plane;
+      float* dst = out.data() + (ni * c + ci) * plane;
       for (std::size_t p = 0; p < plane; ++p) {
         const std::uint32_t xv = posit::from_double(src[p], s.spec, kEncodeRound);
         const std::uint32_t centered = posit::sub(xv, mean, s.spec);
@@ -384,56 +340,10 @@ void PositSession::Impl::exec_bn(Step& s, const Tensor& h) {
   }
 }
 
-void PositSession::Impl::exec_relu(Step& s, const Tensor& h) {
-  ensure_shape(s.out, h.shape());
-  const std::size_t numel = h.numel();
-  const float* src = h.data();
-  float* dst = s.out.data();
-#pragma omp parallel for schedule(static) if (numel > 16384)
-  for (std::size_t i = 0; i < numel; ++i) dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
-}
-
-void PositSession::Impl::exec_maxpool(Step& s, const Tensor& h) {
-  // 2x2/stride-2 max pooling, comparisons only (exact on posit values);
-  // the same visit order as tensor::maxpool2x2_forward, without its
-  // per-call argmax/output allocations.
-  if (h.shape().rank() != 4) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' expects rank-4 input");
-  }
-  const std::size_t n = h.shape()[0], c = h.shape()[1], ih = h.shape()[2], iw = h.shape()[3];
-  const std::size_t oh = ih / 2, ow = iw / 2;
-  ensure_shape(s.out, {n, c, oh, ow});
-  const float* src = h.data();
-  float* dst = s.out.data();
-#pragma omp parallel for schedule(static) if (n * c > 1 && n * c * oh * ow > 16384)
-  for (std::size_t plane = 0; plane < n * c; ++plane) {
-    const float* in = src + plane * ih * iw;
-    float* out = dst + plane * oh * ow;
-    for (std::size_t y = 0; y < oh; ++y) {
-      for (std::size_t x = 0; x < ow; ++x) {
-        // Same comparison semantics as the reference kernel, NaN included:
-        // `v > best` from -inf skips NaN entries (NaR decodes to NaN).
-        float best = -std::numeric_limits<float>::infinity();
-        for (std::size_t dy = 0; dy < 2; ++dy) {
-          for (std::size_t dx = 0; dx < 2; ++dx) {
-            const float v = in[(2 * y + dy) * iw + 2 * x + dx];
-            if (v > best) best = v;
-          }
-        }
-        out[y * ow + x] = best;
-      }
-    }
-  }
-}
-
-void PositSession::Impl::exec_gap(Step& s, const Tensor& h) {
+void PositSession::Impl::exec_gap(StepState& s, const Tensor& in, Tensor& out) {
   // Average = quire sum then posit division by the (exact) plane count.
-  if (h.shape().rank() != 4) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' expects rank-4 input");
-  }
-  const std::size_t n = h.shape()[0], c = h.shape()[1];
-  const std::size_t plane = h.shape()[2] * h.shape()[3];
-  ensure_shape(s.out, {n, c});
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t plane = in.shape()[2] * in.shape()[3];
   const std::uint32_t divisor =
       posit::from_double(static_cast<double>(plane), s.spec, kEncodeRound);
   posit::Quire* quires = pool(s);
@@ -449,32 +359,24 @@ void PositSession::Impl::exec_gap(Step& s, const Tensor& h) {
     for (std::size_t ni = 0; ni < n; ++ni) {
       for (std::size_t ci = 0; ci < c; ++ci) {
         quire.clear();
-        const float* src = h.data() + (ni * c + ci) * plane;
+        const float* src = in.data() + (ni * c + ci) * plane;
         for (std::size_t p = 0; p < plane; ++p) {
           quire.add_posit(posit::from_double(src[p], s.spec, kEncodeRound));
         }
         const std::uint32_t sum = quire.to_posit();
-        s.out.at(ni, ci) =
+        out.at(ni, ci) =
             static_cast<float>(posit::to_double(posit::div(sum, divisor, s.spec), s.spec));
       }
     }
   }
 }
 
-void PositSession::Impl::exec_residual(Step& s, const Tensor& h) {
-  const Tensor* main = &h;
-  for (Step& sub : s.main_branch) main = &exec(sub, *main);
-  const Tensor* skip = &h;
-  for (Step& sub : s.skip_branch) skip = &exec(sub, *skip);
-  if (main->shape() != skip->shape()) {
-    throw std::invalid_argument("PositSession: '" + s.name + "' branch shape mismatch " +
-                                main->shape().to_string() + " vs " + skip->shape().to_string());
-  }
-  ensure_shape(s.out, main->shape());
-  const std::size_t numel = s.out.numel();
-  const float* ma = main->data();
-  const float* sk = skip->data();
-  float* dst = s.out.data();
+void PositSession::Impl::exec_join(StepState& s, const Tensor& main, const Tensor& skip,
+                                   Tensor& out) {
+  const std::size_t numel = out.numel();
+  const float* ma = main.data();
+  const float* sk = skip.data();
+  float* dst = out.data();
   posit::Quire* quires = pool(s);
   // Join then ReLU, all in the block's format. In kQuire mode both branch
   // terms accumulate through the session's quire arena (one rounding — the
@@ -507,18 +409,6 @@ void PositSession::Impl::exec_residual(Step& s, const Tensor& h) {
   }
 }
 
-void PositSession::Impl::collect_bytes(const std::vector<Step>& steps, std::size_t& bytes) {
-  for (const Step& s : steps) {
-    for (const Binding* b : {&s.weight, &s.bias}) {
-      bytes += b->panel.codes.size() * sizeof(std::uint32_t) +
-               b->panel.ops.size() * sizeof(posit::Unpacked);
-    }
-    bytes += (s.bn_scale.size() + s.bn_mean.size() + s.bn_shift.size()) * sizeof(std::uint32_t);
-    collect_bytes(s.main_branch, bytes);
-    collect_bytes(s.skip_branch, bytes);
-  }
-}
-
 // ---------------------------------------------------------------------------
 // PositSession
 // ---------------------------------------------------------------------------
@@ -530,36 +420,38 @@ PositSession::~PositSession() = default;
 
 PositSession PositSession::compile(nn::Module& net, const SessionConfig& cfg) {
   PositSession session;
-  session.impl_->cfg = cfg;
-  session.impl_->compile_into(net, session.impl_->steps);
-  session.impl_->ensure_arena_threads();
+  Impl& I = *session.impl_;
+  I.cfg = cfg;
+  I.eplan = exec::GraphBuilder::lower(net);
+  I.slots.configure(I.eplan.num_buffers);
+  I.state.resize(I.eplan.steps.size());
+  for (std::size_t i = 0; i < I.eplan.steps.size(); ++i) {
+    I.compile_step(I.eplan.steps[i], I.state[i]);
+  }
+  I.ensure_arena_threads();
   return session;
 }
 
-const Tensor& PositSession::run(const Tensor& x) {
-  Impl& I = *impl_;
-  I.ensure_arena_threads();  // the caller may have grown the OpenMP team
-  I.refresh(I.steps, I.force_refresh);
-  I.force_refresh = false;
-  const Tensor* h = &x;
-  for (Step& s : I.steps) h = &I.exec(s, *h);
-  if (h == &x) {
-    I.passthrough = x;  // empty graph: identity
-    return I.passthrough;
-  }
-  return *h;
-}
+const Tensor& PositSession::run(const Tensor& x) { return impl_->run(x); }
 
 void PositSession::invalidate() { impl_->force_refresh = true; }
 
 const SessionConfig& PositSession::config() const { return impl_->cfg; }
-std::size_t PositSession::steps() const { return impl_->steps.size(); }
-std::size_t PositSession::bound_params() const { return impl_->bound_params; }
-std::uint64_t PositSession::encode_count() const { return impl_->encode_count; }
+const exec::ExecPlan& PositSession::plan() const { return impl_->eplan; }
+std::size_t PositSession::arena_bytes() const { return impl_->arena_bytes(); }
+std::size_t PositSession::steps() const { return impl_->eplan.top_level_steps; }
+std::size_t PositSession::bound_params() const { return impl_->bound; }
+std::uint64_t PositSession::encode_count() const { return impl_->encodes; }
 
 std::size_t PositSession::panel_bytes() const {
   std::size_t bytes = 0;
-  Impl::collect_bytes(impl_->steps, bytes);
+  for (const StepState& s : impl_->state) {
+    for (const Binding* b : {&s.weight, &s.bias}) {
+      bytes += b->panel.codes.size() * sizeof(std::uint32_t) +
+               b->panel.ops.size() * sizeof(posit::Unpacked);
+    }
+    bytes += (s.bn_scale.size() + s.bn_mean.size() + s.bn_shift.size()) * sizeof(std::uint32_t);
+  }
   return bytes;
 }
 

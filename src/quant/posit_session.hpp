@@ -3,21 +3,26 @@
 // Production serving separates *compile* from *run* (cf. marian-dev's
 // compiled expression graphs): walk the model once, bind every weight, plan
 // every buffer — then make the hot loop do nothing but arithmetic.
-// PositSession is that split for the true-posit engine:
+// PositSession is the true-posit Backend over the shared exec layer:
 //
-//   * compile() traverses the module graph via nn::Module::children()
-//     (Sequential nesting and ResidualBlock skip-connections included — the
-//     residual join accumulates both branches through the session's quire
-//     path), resolves each layer's (PositSpec, AccumMode) from SessionConfig,
+//   * compile() lowers the module graph through exec::GraphBuilder into the
+//     backend-neutral ExecPlan (Sequential nesting and ResidualBlock
+//     skip-connections included — the residual join accumulates both
+//     branches through the session's quire path), lets exec::ArenaPlanner
+//     fold every intermediate tensor onto lifetime-shared arena buffers,
+//     then resolves each step's (PositSpec, AccumMode) from SessionConfig,
 //     pre-encodes every weight/bias/BN constant into session-owned
 //     EncodedTensor panels, resolves the n <= 8 LUT kernels, and plans
 //     per-thread quire arenas plus per-step scratch (im2col columns,
-//     activation panels, output buffers).
+//     activation panels).
 //   * run() executes the compiled plan. In steady state (shapes repeat, no
 //     weight mutation) it performs no allocation and takes no lock: panels,
 //     arenas, and scratch are reused; Param::version mismatches — an
 //     optimizer step or checkpoint load that called Param::mark_updated() —
 //     re-encode exactly the stale panels first.
+//
+// exec::FloatBackend executes the identical plan in FP32 — the session is
+// one of two pluggable backends over one lowering, not a parallel stack.
 //
 // Outputs are bit-identical to chaining the per-layer engine entry points
 // (and hence to the scalar reference) at every spec, accumulation mode, and
@@ -35,6 +40,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/plan.hpp"
 #include "nn/layers.hpp"
 #include "quant/posit_inference.hpp"
 
@@ -92,6 +98,11 @@ class PositSession {
   void invalidate();
 
   const SessionConfig& config() const;
+  /// The backend-neutral lowering this session executes (step table, slot
+  /// wiring, arena buffers) — ExecPlan::dump() pretty-prints it.
+  const exec::ExecPlan& plan() const;
+  /// Bytes held by the slot arena (peak run shapes seen so far).
+  std::size_t arena_bytes() const;
   /// Top-level compiled steps (a ResidualBlock is one step).
   std::size_t steps() const;
   /// Parameter tensors bound to session-owned panels.

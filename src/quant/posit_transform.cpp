@@ -51,14 +51,17 @@ inline bool transform_bits_fast(float x, const PositSpec& spec, int shift, float
     return true;
   }
   const int k = exp_eff >> spec.es;
-  const int e = exp_eff - (k << spec.es);
+  // k * 2^es, not k << es: the regime can be negative and a negative left
+  // shift is UB (same fix as the codec/unpacked paths).
+  const int k_scaled = k * (1 << spec.es);
+  const int e = exp_eff - k_scaled;
   const int rb = k >= 0 ? k + 2 : -k + 1;
   const int eb = std::max(std::min(spec.n - 1 - rb, spec.es), 0);
   const int fb = std::max(spec.n - 1 - rb - eb, 0);
   const int pe = (e >> (spec.es - eb)) << (spec.es - eb);
   const std::uint32_t frac_mask = fb >= 23 ? 0x007FFFFFu : (0x007FFFFFu & ~((1u << (23 - fb)) - 1u));
   const std::uint32_t out_bits = (bits & 0x80000000u) |
-                                 (static_cast<std::uint32_t>((k << spec.es) + pe + shift + 127) << 23) |
+                                 (static_cast<std::uint32_t>(k_scaled + pe + shift + 127) << 23) |
                                  (bits & frac_mask);
   std::memcpy(out, &out_bits, sizeof(*out));
   return true;
@@ -86,7 +89,7 @@ inline float transform_bits(float x, const PositSpec& spec) {
   }
 
   const int k = exp >> spec.es;  // floor division by 2^es
-  const int e = exp - (k << spec.es);
+  const int e = exp - k * (1 << spec.es);  // k can be negative: no left shift
 
   const int rb = k >= 0 ? k + 2 : -k + 1;
   const int eb = std::max(std::min(spec.n - 1 - rb, spec.es), 0);
@@ -104,7 +107,7 @@ inline float transform_bits(float x, const PositSpec& spec) {
     const float scaled = std::ldexp(2.0f * m - 1.0f, fb);
     pf = std::ldexp(std::floor(scaled), -fb);
   }
-  return std::copysign(std::ldexp(1.0f + pf, (k << spec.es) + pe), x);
+  return std::copysign(std::ldexp(1.0f + pf, k * (1 << spec.es) + pe), x);
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// arena.hpp — a grow-only pool of reusable tensor buffers.
+//
+// The exec layer's ArenaPlanner maps every plan slot (a tensor defined by one
+// step and read by later ones) onto a small set of buffers whose lifetimes
+// never overlap. TensorArena is the runtime side of that mapping: each buffer
+// is a Tensor whose storage only ever grows, so binding a slot's shape is a
+// reshape that stops touching the heap once the run shapes have settled —
+// steady-state inference allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pdnn::tensor {
+
+class TensorArena {
+ public:
+  /// Size the pool (buffer count comes from the plan; contents persist when
+  /// the count is unchanged).
+  void configure(std::size_t buffers) { buffers_.resize(buffers); }
+
+  /// View buffer `b` as `shape`, reusing its storage (grow-only). When a
+  /// plan step executes in place, the binding is a no-op reshape and the
+  /// previous step's values are preserved.
+  Tensor& bind(std::size_t b, const Shape& shape) {
+    Tensor& t = buffers_[b];
+    t.resize(shape);
+    return t;
+  }
+
+  Tensor& at(std::size_t b) { return buffers_[b]; }
+  const Tensor& at(std::size_t b) const { return buffers_[b]; }
+  std::size_t buffers() const { return buffers_.size(); }
+
+  /// Bytes of float storage held across all buffers (capacity, not the
+  /// currently bound shapes) — the figure ExecPlan::dump() reports.
+  std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const Tensor& t : buffers_) total += t.capacity() * sizeof(float);
+    return total;
+  }
+
+ private:
+  std::vector<Tensor> buffers_;
+};
+
+}  // namespace pdnn::tensor

@@ -32,9 +32,16 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
                                 " x " + b.shape().to_string() + " -> " + c.shape().to_string());
   }
   const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
-  if (b.shape()[0] != k || c.shape()[0] != m || c.shape()[1] != n) {
-    throw std::invalid_argument("matmul: shape mismatch " + a.shape().to_string() + " x " +
-                                b.shape().to_string() + " -> " + c.shape().to_string());
+  if (b.shape()[0] != k) {
+    throw std::invalid_argument("matmul: inner dimensions differ: A is " + a.shape().to_string() +
+                                " (k = " + std::to_string(k) + ") but B is " +
+                                b.shape().to_string() + " (k = " + std::to_string(b.shape()[0]) +
+                                ")");
+  }
+  if (c.shape()[0] != m || c.shape()[1] != n) {
+    throw std::invalid_argument("matmul: output must be [" + std::to_string(m) + "," +
+                                std::to_string(n) + "] for " + a.shape().to_string() + " x " +
+                                b.shape().to_string() + ", got " + c.shape().to_string());
   }
   // Cache-blocked packed GEMM (gemm_kernel.cpp): rows of C stay the parallel
   // axis and every element accumulates in ascending-k i-k-j order, so results
@@ -128,8 +135,33 @@ void col2im(const float* cols, const Conv2dGeom& g, float* img) {
   }
 }
 
+namespace {
+
+/// The im2col-lowered entry points take NCHW activations whose trailing dims
+/// must match the geometry, and OIHW weights of exactly [out_c, in_c, kh, kw]
+/// elements; failures name the offending dimensions.
+void check_conv_operands(const char* who, const Tensor& input, const Tensor& weight,
+                         const Conv2dGeom& g) {
+  const Shape& s = input.shape();
+  if (s.rank() != 4 || s[1] != g.in_c || s[2] != g.in_h || s[3] != g.in_w) {
+    throw std::invalid_argument(std::string(who) + ": input " + s.to_string() +
+                                " does not match geometry [N," + std::to_string(g.in_c) + "," +
+                                std::to_string(g.in_h) + "," + std::to_string(g.in_w) + "]");
+  }
+  if (weight.numel() != g.out_c * g.patch()) {
+    throw std::invalid_argument(std::string(who) + ": weight " + weight.shape().to_string() +
+                                " (" + std::to_string(weight.numel()) +
+                                " elements) does not match geometry [" + std::to_string(g.out_c) +
+                                "," + std::to_string(g.in_c) + "," + std::to_string(g.kh()) + "," +
+                                std::to_string(g.kw()) + "]");
+  }
+}
+
+}  // namespace
+
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeom& g) {
   g.validate();
+  check_conv_operands("conv2d_forward", input, weight, g);
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t patch = g.patch();
@@ -171,8 +203,16 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Conv2dGeo
 Tensor conv2d_backward(const Tensor& input, const Tensor& weight, const Tensor& grad_out,
                        const Conv2dGeom& g, Tensor& grad_weight) {
   g.validate();
+  check_conv_operands("conv2d_backward", input, weight, g);
   const std::size_t batch = input.shape()[0];
   const std::size_t oh = g.out_h(), ow = g.out_w();
+  const Shape& gs = grad_out.shape();
+  if (gs.rank() != 4 || gs[0] != batch || gs[1] != g.out_c || gs[2] != oh || gs[3] != ow) {
+    throw std::invalid_argument("conv2d_backward: grad_out " + gs.to_string() +
+                                " does not match forward output [" + std::to_string(batch) + "," +
+                                std::to_string(g.out_c) + "," + std::to_string(oh) + "," +
+                                std::to_string(ow) + "]");
+  }
   const std::size_t patch = g.patch();
   const Tensor w2d = weight.reshaped({g.out_c, patch});
   const Tensor w2d_t = transpose(w2d);  // [patch, out_c]

@@ -110,6 +110,18 @@ class Tensor {
     return t;
   }
 
+  /// Rebind to a new shape in place, reusing the existing storage. Capacity
+  /// only ever grows, so once a buffer has seen its peak shape, later
+  /// resizes never touch the heap — the arena/slot steady-state contract.
+  /// Element values are unspecified after a resize that changes numel().
+  void resize(const Shape& s) {
+    shape_ = s;
+    data_.resize(s.numel());
+  }
+
+  /// Elements of backing storage actually held (>= numel()).
+  std::size_t capacity() const { return data_.capacity(); }
+
   Tensor& operator+=(const Tensor& o) { return zip(o, [](float a, float b) { return a + b; }); }
   Tensor& operator-=(const Tensor& o) { return zip(o, [](float a, float b) { return a - b; }); }
   Tensor& operator*=(float s) {

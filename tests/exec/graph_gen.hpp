@@ -1,0 +1,78 @@
+// graph_gen.hpp — randomized module graphs for exec-layer tests: nested
+// Sequential containers, ResidualBlock with and without downsample, conv/BN/
+// ReLU/pool interleavings, and a pooled classifier head. The generator
+// tracks shapes so every sampled graph is runnable, and warms BN running
+// statistics with a training forward so eval-mode outputs are nontrivial.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/layers.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::exec_test {
+
+struct RandomNet {
+  std::unique_ptr<nn::Sequential> net;
+  tensor::Shape input_shape;  // per-sample shape with batch dim N at [0]
+};
+
+/// A random CNN: stem conv, then a mix of conv/bn/relu/maxpool/residual
+/// blocks (some inside nested Sequentials), then GAP + linear head.
+inline RandomNet random_cnn(tensor::Rng& rng, std::size_t batch) {
+  auto net = std::make_unique<nn::Sequential>("net");
+  std::size_t c = 1 + rng.uniform_int(3);   // input channels 1..3
+  std::size_t hw = 8;                        // spatial size tracks pooling
+  const std::size_t in_c = c;
+  int layer = 0;
+  const auto name = [&](const char* base) { return std::string(base) + std::to_string(layer++); };
+
+  const std::size_t blocks = 2 + rng.uniform_int(4);  // 2..5 feature blocks
+  nn::Sequential* dst = net.get();
+  std::unique_ptr<nn::Sequential> nested;
+  for (std::size_t bi = 0; bi < blocks; ++bi) {
+    // Occasionally open a nested Sequential to exercise container flattening.
+    if (nested == nullptr && rng.uniform_int(3) == 0) {
+      nested = std::make_unique<nn::Sequential>(name("group"));
+      dst = nested.get();
+    }
+    const std::size_t pick = rng.uniform_int(4);
+    if (pick == 0) {
+      const std::size_t oc = 2 + rng.uniform_int(6);
+      const std::size_t stride = rng.uniform_int(2) == 0 && hw >= 4 ? 2 : 1;
+      dst->add(std::make_unique<nn::ResidualBlock>(name("res"), c, oc, stride, rng));
+      c = oc;
+      if (stride == 2) hw = (hw - 1) / 2 + 1;
+    } else if (pick == 1) {
+      const std::size_t oc = 2 + rng.uniform_int(6);
+      const bool bias = rng.uniform_int(2) == 0;
+      dst->add(std::make_unique<nn::Conv2d>(name("conv"), c, oc, 3, 1, 1, rng, bias));
+      c = oc;
+      if (rng.uniform_int(2) == 0) dst->add(std::make_unique<nn::BatchNorm2d>(name("bn"), c));
+      dst->add(std::make_unique<nn::ReLU>(name("relu")));
+    } else if (pick == 2 && hw >= 4 && hw % 2 == 0) {
+      dst->add(std::make_unique<nn::MaxPool2x2>(name("pool")));
+      hw /= 2;
+    } else {
+      dst->add(std::make_unique<nn::BatchNorm2d>(name("bn"), c));
+      dst->add(std::make_unique<nn::ReLU>(name("relu")));
+    }
+    if (nested != nullptr && rng.uniform_int(2) == 0) {
+      net->add(std::move(nested));
+      dst = net.get();
+    }
+  }
+  if (nested != nullptr) net->add(std::move(nested));
+  net->add(std::make_unique<nn::GlobalAvgPool>("gap"));
+  net->add(std::make_unique<nn::Linear>("head", c, 2 + rng.uniform_int(6), rng));
+
+  // Warm BN running statistics so eval mode has nontrivial constants.
+  const tensor::Tensor warm = tensor::Tensor::randn({4, in_c, 8, 8}, rng);
+  net->forward(warm, /*training=*/true);
+  net->forward(warm, /*training=*/true);
+  return {std::move(net), tensor::Shape{batch, in_c, 8, 8}};
+}
+
+}  // namespace pdnn::exec_test

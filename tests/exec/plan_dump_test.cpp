@@ -1,0 +1,70 @@
+// plan_dump_test.cpp — golden-file test for the human-readable plan printer.
+// Set PDNN_UPDATE_GOLDEN=1 to regenerate tests/exec/golden/*.txt after an
+// intentional format or lowering change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/float_backend.hpp"
+#include "exec/graph_builder.hpp"
+#include "nn/resnet.hpp"
+
+namespace pdnn::exec {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(PDNN_EXEC_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& text, const std::string& name) {
+  const char* update = std::getenv("PDNN_UPDATE_GOLDEN");
+  if (update != nullptr && update[0] == '1') {
+    std::ofstream out(golden_path(name));
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+    out << text;
+    return;
+  }
+  std::ifstream in(golden_path(name));
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " (run with PDNN_UPDATE_GOLDEN=1 to create)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(text, ss.str()) << "plan dump drifted from " << name
+                            << "; run with PDNN_UPDATE_GOLDEN=1 if intentional";
+}
+
+TEST(PlanDump, ResNet8MatchesGolden) {
+  tensor::Rng rng(7);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 4;
+  rc.classes = 4;
+  auto net = nn::cifar_resnet(rc, rng);
+  const ExecPlan plan = GraphBuilder::lower(*net);
+  // Buffer sizes depend on run shapes, so the golden dump is unsized.
+  expect_matches_golden(plan.dump(), "resnet8_plan.txt");
+}
+
+TEST(PlanDump, MlpMatchesGolden) {
+  tensor::Rng rng(7);
+  auto net = nn::mlp(6, 10, 3, 2, rng);
+  const ExecPlan plan = GraphBuilder::lower(*net);
+  expect_matches_golden(plan.dump(), "mlp_plan.txt");
+}
+
+TEST(PlanDump, ArenaBytesAppearAfterARun) {
+  tensor::Rng rng(7);
+  auto net = nn::mlp(6, 10, 3, 2, rng);
+  FloatBackend backend = FloatBackend::compile(*net);
+  backend.run(tensor::Tensor::randn({4, 6}, rng));
+  const std::string text = backend.plan().dump(backend.arena_bytes());
+  EXPECT_NE(text.find("arena "), std::string::npos);
+  EXPECT_EQ(text.find("arena unsized"), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(backend.arena_bytes()) + " bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdnn::exec

@@ -72,8 +72,10 @@ struct CodeTable {
   /// universal.) Exact in the table's fixed point.
   i128 boundary_after(std::uint32_t lo_code) const {
     const PositSpec ext{spec.n + 1, spec.es};
+    // * 2, not << 1: the sign-extended code can be negative and a negative
+    // left shift is UB.
     const std::uint32_t lo_ext =
-        static_cast<std::uint32_t>(sign_extend(lo_code, spec) << 1) & ext.mask();
+        static_cast<std::uint32_t>(sign_extend(lo_code, spec) * 2) & ext.mask();
     const std::uint32_t mid_code = (lo_ext + 1u) & ext.mask();
     // Values of (n+1, es) need one more frac bit than (n, es); frac_bits was
     // sized for that (see oracle_frac_bits).
