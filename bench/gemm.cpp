@@ -299,6 +299,12 @@ int main(int argc, char** argv) {
         oracle_match && thread_match ? "bit-identical" : "MISMATCH");
   }
 
+  // Calling thread's packing-scratch footprint at the sweep's peak (the
+  // 1024-wide shapes hold bp at its KC*NC cap) — the observable for the
+  // bounded thread_local pack buffers.
+  const std::size_t pack_bytes = pdnn::tensor::gemm_pack_bytes();
+  std::printf("pack scratch after sweep: %zu B\n", pack_bytes);
+
   // ---- compiled float forward: eager module walk vs ExecPlan backend ------
   std::vector<ForwardResult> fwd;
   {
@@ -323,7 +329,8 @@ int main(int argc, char** argv) {
       << (pdnn::tensor::gemm_kernel_vectorized() ? "true" : "false")
       << ",\n  \"blocking\": {\"MR\": " << GemmBlocking::MR << ", \"NR\": " << GemmBlocking::NR
       << ", \"MC\": " << GemmBlocking::MC << ", \"KC\": " << GemmBlocking::KC
-      << ", \"NC\": " << GemmBlocking::NC << "},\n  \"results\": [\n";
+      << ", \"NC\": " << GemmBlocking::NC << "},\n  \"pack_scratch_bytes\": " << pack_bytes
+      << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     out << "    {\"m\": " << r.shape.m << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n

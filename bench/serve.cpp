@@ -1,0 +1,396 @@
+// serve — serving-layer perf tracking. Drives serve::Engine (dynamic batching
+// over cloned exec backends) with closed-loop clients (each waits for its
+// answer before sending the next request) and an open-loop arrival process
+// (requests paced at an offered QPS regardless of completions), recording
+// p50/p99/p999 latency, achieved QPS, and the dispatched batch-size histogram
+// per row, then writes BENCH_serve.json.
+//
+// Every closed-loop float row also bit-checks each batched answer against the
+// solo single-sample reference — the Engine's core correctness claim.
+//
+// Usage:
+//   bench_serve [out.json]
+//   bench_serve --check-regression <baseline.json> [out.json]
+//     also compares closed-loop achieved QPS against the committed baseline.
+//
+// Exit codes: 0 ok; 1 correctness mismatch (batched answer diverged from the
+// solo run — always a real failure); 2 usage / unreadable baseline /
+// unwritable output; 3 only a perf regression (>20% below baseline — CI
+// treats this one as non-blocking).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exec/float_backend.hpp"
+#include "nn/resnet.hpp"
+#include "quant/posit_session.hpp"
+#include "serve/engine.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using pdnn::exec::Backend;
+using pdnn::serve::Engine;
+using pdnn::serve::EngineConfig;
+using pdnn::serve::EngineStats;
+using pdnn::tensor::Rng;
+using pdnn::tensor::Tensor;
+using clock_type = std::chrono::steady_clock;
+
+using pdnn::benchutil::scan_number;
+using pdnn::benchutil::scan_string;
+
+struct LatencyStats {
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+};
+
+LatencyStats percentiles(std::vector<double>& lat_us) {
+  LatencyStats s;
+  if (lat_us.empty()) return s;
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto at = [&](double q) {
+    const std::size_t i = static_cast<std::size_t>(q * static_cast<double>(lat_us.size()));
+    return lat_us[std::min(i, lat_us.size() - 1)];
+  };
+  s.p50_us = at(0.50);
+  s.p99_us = at(0.99);
+  s.p999_us = at(0.999);
+  return s;
+}
+
+struct Row {
+  std::string scenario;  // "closed" | "open"
+  std::string backend;   // "float" | "posit"
+  std::size_t workers = 1;
+  std::size_t clients = 0;      // closed loop only
+  double offered_qps = 0.0;     // open loop only
+  std::size_t requests = 0;
+  double achieved_qps = 0.0;
+  LatencyStats lat;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;
+  std::string hist;  // "s:count|s:count|..." over dispatched batch sizes
+  bool bit_identical = true;
+};
+
+std::string render_hist(const EngineStats& stats) {
+  std::string h;
+  for (std::size_t s = 1; s < stats.batch_hist.size(); ++s) {
+    if (stats.batch_hist[s] == 0) continue;
+    if (!h.empty()) h += '|';
+    h += std::to_string(s) + ":" + std::to_string(stats.batch_hist[s]);
+  }
+  return h.empty() ? "0" : h;
+}
+
+/// Solo reference: the sample alone, a batch of one, through `backend`.
+Tensor solo_run(Backend& backend, const Tensor& sample) {
+  const Tensor* one = &sample;
+  Tensor batch;
+  pdnn::tensor::stack_samples(&one, 1, batch);
+  Tensor row;
+  pdnn::tensor::extract_sample(backend.run(batch), 0, row);
+  return row;
+}
+
+/// Closed loop: `clients` threads each send `per_client` requests
+/// back-to-back, waiting for each answer before the next send. When `want` is
+/// non-empty, every answer is bit-checked against want[sample index].
+Row closed_loop(const std::string& backend_name, Backend& proto, const EngineConfig& cfg,
+                const std::vector<Tensor>& samples, const std::vector<Tensor>& want,
+                std::size_t clients, std::size_t per_client) {
+  Engine engine(proto, cfg);
+  std::vector<std::vector<double>> lat(clients);
+  std::atomic<bool> identical{true};
+
+  const auto t0 = clock_type::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t s = (c + i) % samples.size();
+        const auto sent = clock_type::now();
+        Tensor y = engine.submit(samples[s]).get();
+        lat[c].push_back(
+            std::chrono::duration<double, std::micro>(clock_type::now() - sent).count());
+        if (!want.empty() &&
+            (y.shape() != want[s].shape() ||
+             std::memcmp(y.data(), want[s].data(), y.numel() * sizeof(float)) != 0)) {
+          identical = false;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = std::chrono::duration<double>(clock_type::now() - t0).count();
+  engine.shutdown();
+
+  Row row;
+  row.scenario = "closed";
+  row.backend = backend_name;
+  row.workers = cfg.workers;
+  row.clients = clients;
+  row.requests = clients * per_client;
+  row.achieved_qps = static_cast<double>(row.requests) / wall;
+  std::vector<double> all;
+  for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  row.lat = percentiles(all);
+  const EngineStats stats = engine.stats();
+  row.batches = stats.batches;
+  row.mean_batch =
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.completed) / static_cast<double>(stats.batches);
+  row.hist = render_hist(stats);
+  row.bit_identical = identical.load();
+  return row;
+}
+
+/// Open loop: one pacer submits at `offered_qps` on a fixed schedule (no
+/// back-pressure from completions); latency is completion minus the
+/// *intended* send time, so pacing slip counts against the engine
+/// (coordinated-omission corrected). Futures are harvested in submission
+/// order — FIFO batching keeps completions nearly ordered, so the harvest
+/// skew is bounded by one in-flight batch per worker.
+Row open_loop(const std::string& backend_name, Backend& proto, const EngineConfig& cfg,
+              const std::vector<Tensor>& samples, double offered_qps, std::size_t requests) {
+  Engine engine(proto, cfg);
+  const auto period =
+      std::chrono::duration_cast<clock_type::duration>(std::chrono::duration<double>(1.0 / offered_qps));
+
+  std::vector<std::future<Tensor>> futures;
+  std::vector<clock_type::time_point> intended(requests);
+  std::vector<double> lat_us(requests);
+  futures.reserve(requests);  // no reallocation: harvester holds references
+  std::atomic<std::size_t> published{0};
+
+  const auto t0 = clock_type::now();
+  std::thread harvester([&] {
+    for (std::size_t i = 0; i < requests; ++i) {
+      while (published.load(std::memory_order_acquire) <= i) std::this_thread::yield();
+      futures[i].get();
+      lat_us[i] =
+          std::chrono::duration<double, std::micro>(clock_type::now() - intended[i]).count();
+    }
+  });
+  for (std::size_t i = 0; i < requests; ++i) {
+    intended[i] = t0 + period * static_cast<std::int64_t>(i);
+    std::this_thread::sleep_until(intended[i]);
+    futures.push_back(engine.submit(samples[i % samples.size()]));
+    published.store(i + 1, std::memory_order_release);
+  }
+  harvester.join();
+  const double wall = std::chrono::duration<double>(clock_type::now() - t0).count();
+  engine.shutdown();
+
+  Row row;
+  row.scenario = "open";
+  row.backend = backend_name;
+  row.workers = cfg.workers;
+  row.offered_qps = offered_qps;
+  row.requests = requests;
+  row.achieved_qps = static_cast<double>(requests) / wall;
+  row.lat = percentiles(lat_us);
+  const EngineStats stats = engine.stats();
+  row.batches = stats.batches;
+  row.mean_batch =
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.completed) / static_cast<double>(stats.batches);
+  row.hist = render_hist(stats);
+  return row;
+}
+
+struct BaselineEntry {
+  std::string scenario, backend;
+  std::size_t workers = 0, clients = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+};
+
+std::vector<BaselineEntry> parse_baseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<BaselineEntry> entries;
+  if (!in.good()) return entries;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  auto pos = text.find("\"results\"");
+  if (pos == std::string::npos) return entries;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    double workers = 0, clients = 0, offered = 0, achieved = 0;
+    const std::string scenario = scan_string(obj, "scenario");
+    if (!scenario.empty() && scan_number(obj, "workers", &workers) &&
+        scan_number(obj, "achieved_qps", &achieved)) {
+      scan_number(obj, "clients", &clients);
+      scan_number(obj, "offered_qps", &offered);
+      entries.push_back({scenario, scan_string(obj, "backend"),
+                         static_cast<std::size_t>(workers), static_cast<std::size_t>(clients),
+                         offered, achieved});
+    }
+    pos = end + 1;
+  }
+  return entries;
+}
+
+double baseline_closed_qps(const std::vector<BaselineEntry>& entries, const Row& r) {
+  for (const auto& e : entries) {
+    if (e.scenario == "closed" && e.backend == r.backend && e.workers == r.workers &&
+        e.clients == r.clients) {
+      return e.achieved_qps;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-regression") {
+      if (i + 1 >= argc) {
+        std::cerr << "FAIL: --check-regression needs a baseline path\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else {
+      out_path = arg;
+    }
+  }
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    baseline = parse_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::cerr << "FAIL: no parsable results in baseline " << baseline_path << "\n";
+      return 2;
+    }
+  }
+
+  // A small MLP keeps per-batch work in the tens of microseconds, so the
+  // numbers measure the serving layer (queueing, coalescing, scatter), not
+  // the GEMM.
+  Rng rng(97);
+  auto net = pdnn::nn::mlp(16, 32, 4, 1, rng);
+  pdnn::exec::FloatBackend fproto = pdnn::exec::FloatBackend::compile(*net);
+  pdnn::quant::SessionConfig scfg;
+  scfg.spec = {8, 1};
+  scfg.mode = pdnn::quant::AccumMode::kSerial;
+  auto pproto = pdnn::quant::PositSession::compile_backend(*net, scfg);
+
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 16; ++i) samples.push_back(Tensor::randn({16}, rng));
+  std::vector<Tensor> fwant, pwant;
+  for (const Tensor& s : samples) {
+    fwant.push_back(solo_run(fproto, s));
+    pwant.push_back(solo_run(*pproto, s));
+  }
+
+  EngineConfig cfg;
+  cfg.max_batch = 8;
+  cfg.batch_timeout = std::chrono::microseconds(100);
+
+  std::vector<Row> rows;
+  // Closed loop: worker sweep at a fixed client count (structural scaling on
+  // a 1-core container: workers overlap batch assembly with execution), then
+  // a client sweep at the worker count CI regresses on.
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    cfg.workers = workers;
+    rows.push_back(closed_loop("float", fproto, cfg, samples, fwant, /*clients=*/4,
+                               /*per_client=*/400));
+  }
+  cfg.workers = 2;
+  for (const std::size_t clients : {1u, 2u, 8u}) {
+    rows.push_back(closed_loop("float", fproto, cfg, samples, fwant, clients, 400));
+  }
+  rows.push_back(closed_loop("posit", *pproto, cfg, samples, pwant, /*clients=*/4,
+                             /*per_client=*/100));
+
+  // Open loop: offered-QPS sweep through saturation; the top rate is far past
+  // what one core sustains, so the tail shows queueing, not a hang.
+  for (const double qps : {2000.0, 8000.0, 20000.0}) {
+    cfg.workers = 2;
+    rows.push_back(open_loop("float", fproto, cfg, samples, qps,
+                             static_cast<std::size_t>(qps * 0.25)));
+  }
+
+  for (const Row& r : rows) {
+    if (r.scenario == "closed") {
+      std::printf("closed %-5s w%zu c%zu  %8.0f req/s  p50 %7.1fus  p99 %7.1fus  p999 %7.1fus  "
+                  "mean batch %.2f  %s\n",
+                  r.backend.c_str(), r.workers, r.clients, r.achieved_qps, r.lat.p50_us,
+                  r.lat.p99_us, r.lat.p999_us, r.mean_batch,
+                  r.bit_identical ? "bit-identical" : "MISMATCH");
+    } else {
+      std::printf("open   %-5s w%zu offered %7.0f  achieved %7.0f req/s  p50 %7.1fus  "
+                  "p99 %8.1fus  p999 %8.1fus  mean batch %.2f\n",
+                  r.backend.c_str(), r.workers, r.offered_qps, r.achieved_qps, r.lat.p50_us,
+                  r.lat.p99_us, r.lat.p999_us, r.mean_batch);
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out.good()) {
+    std::cerr << "FAIL: cannot open " << out_path << " for writing\n";
+    return 2;
+  }
+  out << "{\n  \"bench\": \"serve\",\n  \"net\": \"mlp16x32x4\",\n  \"max_batch\": "
+      << cfg.max_batch << ",\n  \"batch_timeout_us\": 100,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"scenario\": \"" << r.scenario << "\", \"backend\": \"" << r.backend
+        << "\", \"workers\": " << r.workers << ", \"clients\": " << r.clients
+        << ", \"offered_qps\": " << r.offered_qps << ", \"requests\": " << r.requests
+        << ", \"achieved_qps\": " << r.achieved_qps << ", \"p50_us\": " << r.lat.p50_us
+        << ", \"p99_us\": " << r.lat.p99_us << ", \"p999_us\": " << r.lat.p999_us
+        << ", \"batches\": " << r.batches << ", \"mean_batch\": " << r.mean_batch
+        << ", \"hist\": \"" << r.hist << "\", \"bit_identical\": "
+        << (r.bit_identical ? "true" : "false") << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  bool mismatch = false;
+  for (const Row& r : rows) {
+    if (!r.bit_identical) {
+      std::cerr << "FAIL: " << r.backend << " batched answer (workers=" << r.workers
+                << ") diverged from the solo reference\n";
+      mismatch = true;
+    }
+  }
+
+  bool regressed = false;
+  if (!baseline_path.empty()) {
+    for (const Row& r : rows) {
+      if (r.scenario != "closed") continue;
+      const double base = baseline_closed_qps(baseline, r);
+      if (base <= 0.0) continue;  // row not in baseline; nothing to compare
+      const double ratio = r.achieved_qps / base;
+      std::printf("regression check closed %-5s w%zu c%zu: %8.0f req/s vs baseline %8.0f (x%.2f)%s\n",
+                  r.backend.c_str(), r.workers, r.clients, r.achieved_qps, base, ratio,
+                  ratio < 0.8 ? "  REGRESSION" : "");
+      if (ratio < 0.8) regressed = true;
+    }
+    if (regressed)
+      std::cerr << "FAIL: closed-loop achieved QPS dropped >20% vs " << baseline_path << "\n";
+  }
+  if (mismatch) return 1;
+  return regressed ? 3 : 0;
+}

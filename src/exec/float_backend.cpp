@@ -24,11 +24,16 @@ using tensor::Tensor;
 FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy) {
   FloatBackend b;
   b.plan_ = GraphBuilder::lower(net);
+  b.net_ = &net;
   b.policy_ = policy;
   b.state_.resize(b.plan_.steps.size());
   b.arena_.configure(b.plan_.num_buffers);
   b.refresh();
   return b;
+}
+
+std::unique_ptr<Backend> FloatBackend::clone() const {
+  return std::make_unique<FloatBackend>(compile(*net_, policy_));
 }
 
 void FloatBackend::refresh() {
@@ -92,7 +97,7 @@ const Tensor& FloatBackend::slot_tensor(int slot, const Tensor& x) const {
   return arena_.at(static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(slot)].buffer));
 }
 
-const Tensor& FloatBackend::run(const Tensor& x) {
+const Tensor& FloatBackend::run_impl(const Tensor& x) {
   refresh();
   if (plan_.steps.empty()) {
     passthrough_ = x;  // empty graph: identity

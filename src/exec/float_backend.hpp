@@ -36,13 +36,19 @@ class FloatBackend final : public Backend {
   FloatBackend(FloatBackend&&) noexcept = default;
   FloatBackend& operator=(FloatBackend&&) noexcept = default;
 
-  /// Eval-mode forward pass; returns a reference into the slot arena, valid
-  /// until the next run(). Batch size (and conv H/W) may vary between calls.
-  const tensor::Tensor& run(const tensor::Tensor& x) override;
+  /// A fresh backend compiled over the same module graph and policy, with
+  /// its own panels, scratch, and arena — see Backend::clone().
+  std::unique_ptr<Backend> clone() const override;
 
   const ExecPlan& plan() const override { return plan_; }
   std::size_t arena_bytes() const override { return arena_.bytes(); }
   std::size_t arena_buffers() const { return arena_.buffers(); }
+
+ protected:
+  /// Eval-mode forward pass behind Backend::run(); returns a reference into
+  /// the slot arena, valid until the next run() (see the contract in
+  /// backend.hpp). Batch size (and conv H/W) may vary between calls.
+  const tensor::Tensor& run_impl(const tensor::Tensor& x) override;
 
  private:
   FloatBackend() = default;
@@ -71,6 +77,7 @@ class FloatBackend final : public Backend {
   ExecPlan plan_;
   std::vector<StepState> state_;
   tensor::TensorArena arena_;
+  nn::Module* net_ = nullptr;              // not owned; clone() recompiles from it
   nn::PrecisionPolicy* policy_ = nullptr;  // not owned
   bool panels_quantized_ = false;
   tensor::Tensor passthrough_;  // output buffer for an empty module graph

@@ -1,10 +1,12 @@
 #include "posit/add_lut.hpp"
 
 #include <map>
-#include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <tuple>
+#include <utility>
+#include <vector>
+
+#include "posit/lut_cache.hpp"
 
 namespace pdnn::posit {
 
@@ -81,29 +83,17 @@ bool fma_lut_supported(const PositSpec& spec, RoundMode mode) {
   return spec.n <= 8 && mode != RoundMode::kStochastic;
 }
 
-namespace {
-
-template <typename Lut>
-const Lut& cached_lut(const PositSpec& spec, RoundMode mode) {
-  static std::mutex mu;
-  static std::map<std::tuple<int, int, int>, std::unique_ptr<Lut>> cache;
-  const auto key = std::make_tuple(spec.n, spec.es, static_cast<int>(mode));
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, std::make_unique<Lut>(spec, mode)).first;
-  }
-  return *it->second;
-}
-
-}  // namespace
+// Lock-free once constructed; see lut_cache.hpp. Steady-state run() should
+// still resolve at compile time and never come back here.
 
 const AddLut& add_lut(const PositSpec& spec, RoundMode mode) {
-  return cached_lut<AddLut>(spec, mode);
+  static detail::LutCache<AddLut> cache;
+  return cache.get(spec, mode);
 }
 
 const FmaLut& fma_lut(const PositSpec& spec, RoundMode mode) {
-  return cached_lut<FmaLut>(spec, mode);
+  static detail::LutCache<FmaLut> cache;
+  return cache.get(spec, mode);
 }
 
 }  // namespace pdnn::posit

@@ -1,10 +1,8 @@
 #include "posit/mul_lut.hpp"
 
-#include <map>
-#include <memory>
-#include <mutex>
 #include <stdexcept>
-#include <tuple>
+
+#include "posit/lut_cache.hpp"
 
 namespace pdnn::posit {
 
@@ -27,15 +25,10 @@ bool mul_lut_supported(const PositSpec& spec, RoundMode mode) {
 }
 
 const MulLut& mul_lut(const PositSpec& spec, RoundMode mode) {
-  static std::mutex mu;
-  static std::map<std::tuple<int, int, int>, std::unique_ptr<MulLut>> cache;
-  const auto key = std::make_tuple(spec.n, spec.es, static_cast<int>(mode));
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, std::make_unique<MulLut>(spec, mode)).first;
-  }
-  return *it->second;
+  // Lock-free once constructed; see lut_cache.hpp. Steady-state run() should
+  // still resolve at compile time and never come back here.
+  static detail::LutCache<MulLut> cache;
+  return cache.get(spec, mode);
 }
 
 }  // namespace pdnn::posit

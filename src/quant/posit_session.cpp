@@ -87,6 +87,7 @@ struct StepState {
 
 struct PositSession::Impl final : exec::Backend {
   SessionConfig cfg;
+  nn::Module* net = nullptr;  // not owned; clone() recompiles from it
   exec::ExecPlan eplan;
   std::vector<StepState> state;  // parallel to eplan.steps
   tensor::TensorArena slots;
@@ -104,6 +105,9 @@ struct PositSession::Impl final : exec::Backend {
 
   const exec::ExecPlan& plan() const override { return eplan; }
   std::size_t arena_bytes() const override { return slots.bytes(); }
+  std::unique_ptr<exec::Backend> clone() const override {
+    return PositSession::compile_backend(*net, cfg);
+  }
 
   int arena_for(const PositSpec& spec) {
     for (std::size_t i = 0; i < arenas.size(); ++i) {
@@ -161,7 +165,7 @@ struct PositSession::Impl final : exec::Backend {
         static_cast<std::size_t>(eplan.slots[static_cast<std::size_t>(slot)].buffer));
   }
 
-  const Tensor& run(const Tensor& x) override;
+  const Tensor& run_impl(const Tensor& x) override;
 
   void exec_linear(const exec::Step& step, StepState& s, const Tensor& in, Tensor& out);
   void exec_conv(const exec::Step& step, StepState& s, const Tensor& in, Tensor& out);
@@ -253,7 +257,7 @@ void PositSession::Impl::refresh(bool force) {
 // run
 // ---------------------------------------------------------------------------
 
-const Tensor& PositSession::Impl::run(const Tensor& x) {
+const Tensor& PositSession::Impl::run_impl(const Tensor& x) {
   ensure_arena_threads();  // the caller may have grown the OpenMP team
   refresh(force_refresh);
   force_refresh = false;
@@ -422,6 +426,7 @@ PositSession PositSession::compile(nn::Module& net, const SessionConfig& cfg) {
   PositSession session;
   Impl& I = *session.impl_;
   I.cfg = cfg;
+  I.net = &net;
   I.eplan = exec::GraphBuilder::lower(net);
   I.slots.configure(I.eplan.num_buffers);
   I.state.resize(I.eplan.steps.size());
@@ -430,6 +435,12 @@ PositSession PositSession::compile(nn::Module& net, const SessionConfig& cfg) {
   }
   I.ensure_arena_threads();
   return session;
+}
+
+std::unique_ptr<exec::Backend> PositSession::compile_backend(nn::Module& net,
+                                                            const SessionConfig& cfg) {
+  PositSession session = compile(net, cfg);
+  return std::move(session.impl_);
 }
 
 const Tensor& PositSession::run(const Tensor& x) { return impl_->run(x); }

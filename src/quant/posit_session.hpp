@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/backend.hpp"
 #include "exec/plan.hpp"
 #include "nn/layers.hpp"
 #include "quant/posit_inference.hpp"
@@ -81,6 +82,13 @@ class PositSession {
   /// must outlive every run() — the Param::version checks read through into
   /// the live module graph.
   static PositSession compile(nn::Module& net, const SessionConfig& cfg);
+
+  /// Compile as an owning exec::Backend — the polymorphic form a
+  /// serve::Engine worker pool consumes (each worker clone()s an
+  /// independent set of panels, quire arenas, and scratch over the same
+  /// module graph). Same contract as compile().
+  static std::unique_ptr<exec::Backend> compile_backend(nn::Module& net,
+                                                        const SessionConfig& cfg);
 
   PositSession(PositSession&&) noexcept;
   PositSession& operator=(PositSession&&) noexcept;

@@ -1,0 +1,148 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace pdnn::serve {
+
+using tensor::Tensor;
+
+Engine::Engine(const BackendFactory& factory, const EngineConfig& cfg) : cfg_(cfg) {
+  if (cfg_.workers == 0) throw std::invalid_argument("serve::Engine: workers must be >= 1");
+  if (cfg_.max_batch == 0) throw std::invalid_argument("serve::Engine: max_batch must be >= 1");
+  stats_.batch_hist.assign(cfg_.max_batch + 1, 0);
+  backends_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) backends_.push_back(factory());
+  threads_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Engine::Engine(const exec::Backend& prototype, const EngineConfig& cfg)
+    : Engine([&prototype] { return prototype.clone(); }, cfg) {}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<Tensor> Engine::submit(Tensor sample) {
+  const std::size_t rank = sample.shape().rank();
+  if (rank == 0 || rank > 3 || sample.numel() == 0) {
+    throw std::invalid_argument("serve::Engine::submit: sample must be rank 1..3 and non-empty, "
+                                "got " + sample.shape().to_string());
+  }
+  Request req;
+  req.sample = std::move(sample);
+  req.arrival = std::chrono::steady_clock::now();
+  std::future<Tensor> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) throw std::runtime_error("serve::Engine::submit: engine is shut down");
+    queue_.push_back(std::move(req));
+    ++stats_.submitted;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::size_t Engine::batchable_prefix() const {
+  const tensor::Shape& shape = queue_.front().sample.shape();
+  std::size_t count = 0;
+  for (const Request& r : queue_) {
+    if (r.sample.shape() != shape) break;
+    if (++count == cfg_.max_batch) break;
+  }
+  return count;
+}
+
+void Engine::worker_loop(std::size_t worker) {
+  exec::Backend& backend = *backends_[worker];
+  // Steady-state serving reuses these across batches (grow-only storage).
+  Tensor batch;
+  std::vector<Request> taken;
+  std::vector<const Tensor*> gather;
+  taken.reserve(cfg_.max_batch);
+  gather.reserve(cfg_.max_batch);
+
+  for (;;) {
+    taken.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (queue_.empty()) {
+          if (stopping_) return;
+          cv_.wait(lock);
+          continue;
+        }
+        // The head request anchors this batch: its shape selects the
+        // batchable prefix, its arrival time the dispatch deadline. Another
+        // worker may steal the head while we wait, so every wake recomputes
+        // from scratch.
+        const std::size_t n = batchable_prefix();
+        const auto deadline = queue_.front().arrival + cfg_.batch_timeout;
+        if (n >= cfg_.max_batch || stopping_ ||
+            std::chrono::steady_clock::now() >= deadline) {
+          break;  // size watermark, drain, or time watermark: take the batch
+        }
+        cv_.wait_until(lock, deadline);
+      }
+      const std::size_t n = batchable_prefix();
+      for (std::size_t i = 0; i < n; ++i) {
+        taken.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      ++stats_.batch_hist[taken.size()];
+    }
+    cv_.notify_all();  // more queued work (or drain progress) may be waiting
+
+    gather.clear();
+    for (const Request& r : taken) gather.push_back(&r.sample);
+    try {
+      tensor::stack_samples(gather.data(), gather.size(), batch);
+      const Tensor& out = backend.run(batch);
+      // Copy each row out of the backend-owned buffer before this worker's
+      // next run() (the Backend output contract).
+      for (std::size_t i = 0; i < taken.size(); ++i) {
+        Tensor row;
+        tensor::extract_sample(out, i, row);
+        taken[i].promise.set_value(std::move(row));
+      }
+    } catch (...) {
+      // A failed batch fails all of its requests; the engine keeps serving.
+      const std::exception_ptr err = std::current_exception();
+      for (Request& r : taken) {
+        try {
+          r.promise.set_exception(err);
+        } catch (const std::future_error&) {
+          // set_value already succeeded for this request; nothing to fail.
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.completed += taken.size();
+    }
+  }
+}
+
+void Engine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pdnn::serve

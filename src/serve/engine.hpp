@@ -1,0 +1,129 @@
+// engine.hpp — the async serving front-end: many callers, one compiled plan.
+//
+// serve::Engine turns the single-caller exec::Backend contract into a
+// many-caller service (cf. marian's background batch assembly and pisa's
+// phased async queues). It owns a pool of worker threads, each with its own
+// clone() of a prototype backend — independent weight panels, arenas, and
+// scratch over the same read-only module graph — and a shared FIFO of
+// single-sample requests:
+//
+//   * submit(sample) enqueues one sample (the plan's input shape without the
+//     batch axis) and returns a std::future for its output row;
+//   * workers coalesce requests into batches under two watermarks — dispatch
+//     as soon as `max_batch` same-shape requests are queued, or when the
+//     oldest pending request has waited `batch_timeout`, whichever first;
+//   * a batch is gathered with tensor::stack_samples, run through the
+//     worker's own backend, and scattered back with tensor::extract_sample —
+//     each row is COPIED into its future before the worker's next run(), per
+//     the Backend output contract;
+//   * shutdown() (and the destructor) stops accepting, drains every pending
+//     request to completion, and joins the workers — no lost futures.
+//
+// Correctness bar: because both backends compute every output row in a
+// per-sample deterministic order (GEMM rows, conv per-image loops, and
+// elementwise ops never mix batch rows), a batched answer is bit-identical
+// to running the same sample alone through the same backend — whatever
+// batch its neighbors landed in. serve.engine locks this in.
+//
+// Batching only coalesces requests whose sample shapes match (the contiguous
+// same-shape prefix of the FIFO, so mixed-shape traffic keeps its arrival
+// order and can never starve).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::serve {
+
+struct EngineConfig {
+  /// Worker threads == backend clones. Each worker runs whole batches, so
+  /// workers scale throughput across cores; on a single core they overlap
+  /// batch assembly with execution.
+  std::size_t workers = 1;
+  /// Size watermark: dispatch immediately once this many same-shape requests
+  /// are pending (also the gather buffer's steady-state capacity).
+  std::size_t max_batch = 8;
+  /// Time watermark: dispatch a partial batch once its oldest request has
+  /// waited this long. 0 disables coalescing delay (greedy dispatch).
+  std::chrono::microseconds batch_timeout{200};
+};
+
+/// Counters for observability and the bench's batch-size histogram. A
+/// consistent snapshot under the engine lock.
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< futures fulfilled (exceptions included)
+  std::uint64_t batches = 0;
+  /// batch_hist[s] = batches dispatched with exactly s samples
+  /// (index 0 unused; size max_batch + 1).
+  std::vector<std::uint64_t> batch_hist;
+};
+
+class Engine {
+ public:
+  using BackendFactory = std::function<std::unique_ptr<exec::Backend>()>;
+
+  /// Pool built by calling `factory` once per worker.
+  Engine(const BackendFactory& factory, const EngineConfig& cfg);
+  /// Pool built by clone()ing `prototype` once per worker.
+  Engine(const exec::Backend& prototype, const EngineConfig& cfg);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Drains pending requests (shutdown()) before destruction.
+  ~Engine();
+
+  /// Enqueue one sample — the plan input without its batch axis (rank 1..3,
+  /// non-empty) — and return the future for its output row. Thread-safe.
+  /// Throws std::invalid_argument on a degenerate sample and
+  /// std::runtime_error after shutdown(). The future resolves to the output
+  /// copied out of the worker backend, or to the exception the backend threw
+  /// for its batch (e.g. a shape mismatch with the plan).
+  std::future<tensor::Tensor> submit(tensor::Tensor sample);
+
+  /// Stop accepting, drain every pending request to completion, join the
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  EngineStats stats() const;
+  std::size_t workers() const { return backends_.size(); }
+  const EngineConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    tensor::Tensor sample;
+    std::promise<tensor::Tensor> promise;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void worker_loop(std::size_t worker);
+  /// Length of the contiguous same-shape prefix of the queue, capped at
+  /// max_batch. Caller holds mu_.
+  std::size_t batchable_prefix() const;
+
+  EngineConfig cfg_;
+  std::vector<std::unique_ptr<exec::Backend>> backends_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  EngineStats stats_;
+};
+
+}  // namespace pdnn::serve

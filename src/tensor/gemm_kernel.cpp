@@ -143,22 +143,40 @@ void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc, const float* a
   }
 }
 
-/// Pack scratch grows once per thread and is reused across calls; conv's
-/// per-sample GEMMs would otherwise malloc on every invocation.
+/// Per-thread pack scratch, reused across calls; conv's per-sample GEMMs
+/// would otherwise malloc on every invocation. File-scope so
+/// gemm_pack_bytes() can report the calling thread's footprint.
+thread_local std::vector<float> tl_bp_buf;
+thread_local std::vector<float> tl_ap_buf;
+
+/// Shrink threshold: a long-lived worker that once saw a huge GEMM must not
+/// hold that peak forever, so when the retained capacity is both over the
+/// floor and several times the current need, the buffer is reallocated at
+/// the current need before reuse. Packing panels are fully (re)written on
+/// every use, so resizing never changes a computed bit.
+constexpr std::size_t kPackShrinkFactor = 4;
+constexpr std::size_t kPackShrinkFloor = 1u << 14;  // 16 Ki floats = 64 KiB
+
 float* scratch(std::vector<float>& buf, std::size_t need) {
+  if (buf.capacity() > kPackShrinkFloor && buf.capacity() / kPackShrinkFactor > need) {
+    std::vector<float>(need).swap(buf);
+  }
   if (buf.size() < need) buf.resize(need);
   return buf.data();
 }
 
 }  // namespace
 
+std::size_t gemm_pack_bytes() {
+  return (tl_bp_buf.capacity() + tl_ap_buf.capacity()) * sizeof(float);
+}
+
 bool gemm_kernel_vectorized() { return micro_kernel() != micro_8x8_scalar; }
 
 void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
                   const float* b, std::size_t ldb, float* c, std::size_t ldc) {
   if (m == 0 || n == 0 || k == 0) return;
-  thread_local std::vector<float> bp_buf;
-  float* bp = scratch(bp_buf, KC * std::min(((n + NR - 1) / NR) * NR, NC));
+  float* bp = scratch(tl_bp_buf, KC * std::min(((n + NR - 1) / NR) * NR, NC));
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
     for (std::size_t pc = 0; pc < k; pc += KC) {
@@ -182,8 +200,7 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, s
         ir0 = std::min(tid * per * MR, m);
         ir1 = std::min(ir0 + per * MR, m);
 #endif
-        thread_local std::vector<float> ap_buf;
-        float* ap = scratch(ap_buf, MC * KC);
+        float* ap = scratch(tl_ap_buf, MC * KC);
         for (std::size_t ic = ir0; ic < ir1; ic += MC) {
           const std::size_t mc = std::min(MC, ir1 - ic);
           pack_a(a + ic * lda + pc, lda, mc, kc, ap);

@@ -36,4 +36,11 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, s
 /// portable scalar micro-kernel — same results, lower throughput).
 bool gemm_kernel_vectorized();
 
+/// Bytes of packing scratch (A and B panels) currently retained by the
+/// calling thread. The scratch is thread_local and bounded: it grows to the
+/// need of the running GEMM and shrinks back on the next call whose need is
+/// several times smaller (see gemm_kernel.cpp), so a long-lived serving
+/// worker never holds a historical peak forever.
+std::size_t gemm_pack_bytes();
+
 }  // namespace pdnn::tensor

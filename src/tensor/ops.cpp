@@ -63,6 +63,49 @@ void transpose_into(const float* a, std::size_t m, std::size_t n, float* out) {
     for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
 }
 
+void stack_samples(const Tensor* const* samples, std::size_t count, Tensor& out) {
+  if (count == 0) throw std::invalid_argument("stack_samples: empty batch");
+  const Shape& s = samples[0]->shape();
+  if (s.rank() == 0 || s.rank() > 3) {
+    throw std::invalid_argument("stack_samples: sample rank must be 1..3, got " +
+                                std::to_string(s.rank()));
+  }
+  const std::size_t stride = s.numel();
+  if (stride == 0) throw std::invalid_argument("stack_samples: empty sample");
+  Shape batched;
+  switch (s.rank()) {
+    case 1: batched = {count, s[0]}; break;
+    case 2: batched = {count, s[0], s[1]}; break;
+    default: batched = {count, s[0], s[1], s[2]}; break;
+  }
+  out.resize(batched);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (samples[i]->shape() != s) {
+      throw std::invalid_argument("stack_samples: sample " + std::to_string(i) + " shape " +
+                                  samples[i]->shape().to_string() + " != " + s.to_string());
+    }
+    std::memcpy(out.data() + i * stride, samples[i]->data(), stride * sizeof(float));
+  }
+}
+
+void extract_sample(const Tensor& batch, std::size_t i, Tensor& out) {
+  const Shape& s = batch.shape();
+  if (s.rank() == 0 || i >= s[0]) {
+    throw std::invalid_argument("extract_sample: index " + std::to_string(i) +
+                                " out of range for batch " + s.to_string());
+  }
+  Shape sample;
+  switch (s.rank()) {
+    case 1: sample = {1}; break;  // rank-1 batch: a sample is one scalar slot
+    case 2: sample = {s[1]}; break;
+    case 3: sample = {s[1], s[2]}; break;
+    default: sample = {s[1], s[2], s[3]}; break;
+  }
+  const std::size_t stride = s.rank() == 1 ? 1 : sample.numel();
+  out.resize(sample);
+  std::memcpy(out.data(), batch.data() + i * stride, stride * sizeof(float));
+}
+
 void Conv2dGeom::validate() const {
   const auto fail = [this](const char* why) {
     throw std::invalid_argument(std::string("Conv2dGeom: ") + why + " (in " +

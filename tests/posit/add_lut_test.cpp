@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <random>
+#include <thread>
+#include <vector>
 
 #include "posit/add_lut.hpp"
 #include "posit/mul_lut.hpp"
@@ -98,6 +100,33 @@ TEST(FmaLut, DiffersFromMulThenAddWherePrecisionIsLost) {
     }
   }
   EXPECT_GT(differing, 0u);
+}
+
+TEST(LutCache, ConcurrentFirstTouchYieldsOnePublishedTable) {
+  // The caches serve steady-state lookups lock-free (an atomic fast-path
+  // table); construction is mutex-guarded and published exactly once. Race
+  // many threads at specs the suite leaves cold: every thread must observe
+  // the same table address, whichever thread built it. (The TSan CI job
+  // watches this test for ordering bugs in the publication.)
+  const PositSpec spec{7, 2};
+  const RoundMode mode = RoundMode::kTowardZero;
+  constexpr int kThreads = 8;
+  std::vector<const MulLut*> mul_seen(kThreads, nullptr);
+  std::vector<const AddLut*> add_seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      mul_seen[t] = &mul_lut(spec, mode);
+      add_seen[t] = &add_lut(spec, mode);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(mul_seen[t], mul_seen[0]);
+    EXPECT_EQ(add_seen[t], add_seen[0]);
+  }
+  // And the published table is the real one: spot-check against arithmetic.
+  EXPECT_EQ(mul_seen[0]->at(0, 0), 0u);
 }
 
 }  // namespace

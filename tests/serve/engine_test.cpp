@@ -1,0 +1,296 @@
+// engine_test.cpp — serve::Engine concurrency and correctness: batched
+// answers bit-identical to solo runs (float and posit backends, 1/2/4
+// workers, many client threads), batch assembly under the size/timeout
+// watermarks, drain-on-shutdown with pending requests, N = 0 teardown,
+// failed-batch exception routing, and the Backend output contract
+// (stale-read guard, clone independence).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/float_backend.hpp"
+#include "nn/resnet.hpp"
+#include "quant/posit_session.hpp"
+#include "serve/engine.hpp"
+#include "tensor/ops.hpp"
+
+namespace pdnn::serve {
+namespace {
+
+using exec::Backend;
+using exec::FloatBackend;
+using tensor::Rng;
+using tensor::Tensor;
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         (a.numel() == 0 || std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0);
+}
+
+/// The solo reference: the same sample alone (batch of one) through a fresh
+/// backend of the same configuration.
+Tensor solo_run(Backend& backend, const Tensor& sample) {
+  const Tensor* one = &sample;
+  Tensor batch;
+  tensor::stack_samples(&one, 1, batch);
+  Tensor row;
+  tensor::extract_sample(backend.run(batch), 0, row);
+  return row;
+}
+
+/// N client threads push `per_client` samples each through `engine`; every
+/// future must come back bit-identical to the solo reference.
+void stress_bit_identity(Engine& engine, Backend& reference, const std::vector<Tensor>& samples,
+                         std::size_t clients) {
+  std::vector<Tensor> want(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) want[i] = solo_run(reference, samples[i]);
+
+  std::vector<std::vector<std::future<Tensor>>> futures(clients);
+  std::vector<std::thread> threads;
+  const std::size_t per_client = samples.size();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      futures[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) futures[c].push_back(engine.submit(samples[i]));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (std::size_t i = 0; i < per_client; ++i) {
+      EXPECT_TRUE(bit_identical(futures[c][i].get(), want[i]))
+          << "client " << c << " sample " << i;
+    }
+  }
+}
+
+TEST(ServeEngine, FloatBatchedBitIdenticalToSoloAcrossWorkerCounts) {
+  Rng rng(301);
+  auto net = nn::mlp(6, 12, 3, 2, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 24; ++i) samples.push_back(Tensor::randn({6}, rng));
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.max_batch = 5;
+    cfg.batch_timeout = std::chrono::microseconds(200);
+    Engine engine(proto, cfg);
+    stress_bit_identity(engine, proto, samples, /*clients=*/4);
+    engine.shutdown();
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.submitted, samples.size() * 4);
+    EXPECT_EQ(stats.completed, stats.submitted);
+    std::uint64_t hist_total = 0;
+    for (std::size_t s = 0; s < stats.batch_hist.size(); ++s) {
+      EXPECT_LE(s, cfg.max_batch);  // size watermark: no oversized batches
+      hist_total += stats.batch_hist[s] * s;
+    }
+    EXPECT_EQ(hist_total, stats.completed);
+  }
+}
+
+TEST(ServeEngine, CnnRankThreeSamplesBitIdenticalToSolo) {
+  Rng rng(307);
+  auto net = nn::plain_cnn(4, 10, rng);
+  const Tensor warm = Tensor::randn({2, 3, 8, 8}, rng);
+  net->forward(warm, /*training=*/true);  // settle BN running stats
+  FloatBackend proto = FloatBackend::compile(*net);
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 6; ++i) samples.push_back(Tensor::randn({3, 8, 8}, rng));
+
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  Engine engine(proto, cfg);
+  stress_bit_identity(engine, proto, samples, /*clients=*/2);
+}
+
+TEST(ServeEngine, PositBackendBatchedBitIdenticalToSolo) {
+  Rng rng(311);
+  auto net = nn::mlp(6, 10, 3, 1, rng);
+  quant::SessionConfig scfg;
+  scfg.spec = {8, 1};
+  scfg.mode = quant::AccumMode::kSerial;  // the MulLut/AddLut hot path
+  auto proto = quant::PositSession::compile_backend(*net, scfg);
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 8; ++i) samples.push_back(Tensor::randn({6}, rng));
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    EngineConfig cfg;
+    cfg.workers = workers;
+    cfg.max_batch = 3;
+    Engine engine(*proto, cfg);
+    stress_bit_identity(engine, *proto, samples, /*clients=*/2);
+  }
+}
+
+TEST(ServeEngine, SizeWatermarkDispatchesFullBatchBeforeTimeout) {
+  Rng rng(313);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 4;
+  cfg.batch_timeout = std::chrono::seconds(30);  // timeout may never be the trigger
+  Engine engine(proto, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.submit(Tensor::randn({4}, rng)));
+  for (auto& f : futures) f.get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(10));  // full batch went at the size watermark
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batch_hist[4], 1u);
+}
+
+TEST(ServeEngine, TimeoutWatermarkDispatchesPartialBatch) {
+  Rng rng(317);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;  // never fills
+  cfg.batch_timeout = std::chrono::milliseconds(20);
+  Engine engine(proto, cfg);
+
+  auto f = engine.submit(Tensor::randn({4}, rng));
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  f.get();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batch_hist[1], 1u);
+}
+
+TEST(ServeEngine, ShutdownDrainsPendingRequestsWithoutLostFutures) {
+  Rng rng(331);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.max_batch = 4;
+  cfg.batch_timeout = std::chrono::seconds(30);  // drain must not wait for this
+  Engine engine(proto, cfg);
+
+  std::vector<Tensor> samples;
+  std::vector<Tensor> want;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back(Tensor::randn({4}, rng));
+    want.push_back(solo_run(proto, samples.back()));
+    futures.push_back(engine.submit(samples.back()));
+  }
+  engine.shutdown();  // pending partial batches must drain, not deadlock
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_TRUE(bit_identical(futures[i].get(), want[i])) << "sample " << i;
+  }
+  EXPECT_EQ(engine.stats().completed, futures.size());
+}
+
+TEST(ServeEngine, NoRequestsShutsDownCleanly) {
+  Rng rng(337);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  for (const std::size_t workers : {1u, 4u}) {
+    EngineConfig cfg;
+    cfg.workers = workers;
+    Engine engine(proto, cfg);
+    // Destructor must join idle workers without a single submit.
+  }
+}
+
+TEST(ServeEngine, SubmitAfterShutdownThrows) {
+  Rng rng(347);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  Engine engine(proto, EngineConfig{});
+  engine.shutdown();
+  EXPECT_THROW(engine.submit(Tensor::randn({4}, rng)), std::runtime_error);
+}
+
+TEST(ServeEngine, DegenerateSubmitThrows) {
+  Rng rng(349);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  Engine engine(proto, EngineConfig{});
+  EXPECT_THROW(engine.submit(Tensor()), std::invalid_argument);
+  EXPECT_THROW(engine.submit(Tensor::randn({1, 2, 2, 2}, rng)), std::invalid_argument);
+}
+
+TEST(ServeEngine, BadShapeFailsItsOwnBatchOnly) {
+  Rng rng(353);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_timeout = std::chrono::milliseconds(5);
+  Engine engine(proto, cfg);
+
+  const Tensor good_sample = Tensor::randn({4}, rng);
+  const Tensor want = solo_run(proto, good_sample);
+  // Wrong-width samples batch separately (shape-pure batches), so their
+  // plan-shape mismatch fails only their own futures.
+  auto good1 = engine.submit(good_sample);
+  auto bad = engine.submit(Tensor::randn({5}, rng));
+  auto good2 = engine.submit(good_sample);
+  EXPECT_TRUE(bit_identical(good1.get(), want));
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  EXPECT_TRUE(bit_identical(good2.get(), want));
+}
+
+// ---------------------------------------------------------------------------
+// The Backend output contract (backend.hpp): run() returns into backend-owned
+// storage that the next run() overwrites.
+// ---------------------------------------------------------------------------
+
+TEST(BackendContract, StaleCheckedOutputThrowsAfterNextRun) {
+  Rng rng(359);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend backend = FloatBackend::compile(*net);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+
+  exec::Backend::Output out = backend.run_checked(x);
+  const Tensor copy = out.get();  // fresh: readable
+  EXPECT_TRUE(bit_identical(copy, out.get()));
+
+  backend.run(x);  // overwrites the buffer out points into
+  EXPECT_THROW(out.get(), std::logic_error);
+}
+
+TEST(BackendContract, RunGenerationCountsRuns) {
+  Rng rng(367);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend backend = FloatBackend::compile(*net);
+  const Tensor x = Tensor::randn({1, 4}, rng);
+  const std::uint64_t g0 = backend.run_generation();
+  backend.run(x);
+  backend.run(x);
+  EXPECT_EQ(backend.run_generation(), g0 + 2);
+}
+
+TEST(BackendContract, CloneIsIndependentState) {
+  Rng rng(373);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend backend = FloatBackend::compile(*net);
+  const Tensor xa = Tensor::randn({1, 4}, rng);
+  const Tensor xb = Tensor::randn({1, 4}, rng);
+  const Tensor want_a = backend.run(xa);  // copy
+
+  auto twin = backend.clone();
+  // The clone's runs must not disturb an output held on the original.
+  exec::Backend::Output held = backend.run_checked(xa);
+  twin->run(xb);
+  twin->run(xb);
+  EXPECT_TRUE(bit_identical(held.get(), want_a));
+  // And the clone computes the same plan: bit-identical on equal input.
+  EXPECT_TRUE(bit_identical(twin->run(xa), want_a));
+}
+
+}  // namespace
+}  // namespace pdnn::serve

@@ -203,6 +203,44 @@ TEST(MatmulAcc, RejectsIncompatibleShapes) {
   EXPECT_NO_THROW(matmul_acc(a, b, c));
 }
 
+TEST(GemmBlocked, PackScratchShrinksAfterLargeGemmWithoutChangingBits) {
+  // The thread_local packing buffers are bounded: a worker that once packed a
+  // wide B panel (KC*NC floats) must give that memory back once traffic turns
+  // small — and the shrink must not perturb a single output bit.
+  const int restore = max_threads();
+  set_threads(1);  // keep all packing on this thread so gemm_pack_bytes sees it
+
+  const std::size_t small_m = 8, small_n = 8, small_k = 8;
+  Rng rng(5150);
+  std::vector<float> sa(small_m * small_k), sb(small_k * small_n);
+  for (float& v : sa) v = static_cast<float>(rng.normal());
+  for (float& v : sb) v = static_cast<float>(rng.normal());
+
+  std::vector<float> before(small_m * small_n, 0.0f);
+  gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, before.data(),
+               small_n);
+  const std::size_t small_bytes = gemm_pack_bytes();
+  EXPECT_GT(small_bytes, 0u);
+
+  // Full-width B block: bp grows to its KC*NC cap.
+  const std::size_t big_m = 8, big_n = GemmBlocking::NC, big_k = GemmBlocking::KC;
+  std::vector<float> ba(big_m * big_k, 1.0f), bb(big_k * big_n, 1.0f);
+  std::vector<float> bc(big_m * big_n, 0.0f);
+  gemm_blocked(big_m, big_n, big_k, ba.data(), big_k, bb.data(), big_n, bc.data(), big_n);
+  const std::size_t peak_bytes = gemm_pack_bytes();
+  EXPECT_GT(peak_bytes, small_bytes);
+
+  // The next small GEMM releases the peak capacity...
+  std::vector<float> after(small_m * small_n, 0.0f);
+  gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, after.data(),
+               small_n);
+  EXPECT_LT(gemm_pack_bytes(), peak_bytes / 2);
+  // ...and computes bit-identical results through the shrunken scratch.
+  EXPECT_TRUE(bits_equal(before, after));
+
+  set_threads(restore);
+}
+
 TEST(GemmBlocked, ReportsKernelFlavor) {
   // Smoke test: the query must be callable; either flavor is legal, and both
   // produce identical bits (locked in by the sweep above on whichever kernel

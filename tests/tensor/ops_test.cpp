@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/ops.hpp"
 #include "tensor/random.hpp"
@@ -261,6 +262,66 @@ TEST(Stats, Log2Range) {
   t[1] = 8.0f;   // log2 = 3
   t[2] = 0.5f;   // log2 = -1
   EXPECT_DOUBLE_EQ(log2_range(t), 4.0);
+}
+
+TEST(BatchHelpers, StackAndExtractRoundTripBitExact) {
+  Rng rng(61);
+  const Tensor s0 = Tensor::randn({2, 3}, rng);
+  const Tensor s1 = Tensor::randn({2, 3}, rng);
+  const Tensor s2 = Tensor::randn({2, 3}, rng);
+  const Tensor* samples[] = {&s0, &s1, &s2};
+
+  Tensor batch;
+  stack_samples(samples, 3, batch);
+  EXPECT_EQ(batch.shape(), (Shape{3, 2, 3}));
+
+  Tensor row;
+  for (std::size_t i = 0; i < 3; ++i) {
+    extract_sample(batch, i, row);
+    EXPECT_EQ(row.shape(), (Shape{2, 3}));
+    EXPECT_EQ(std::memcmp(row.data(), samples[i]->data(), row.numel() * sizeof(float)), 0)
+        << "sample " << i;
+  }
+}
+
+TEST(BatchHelpers, RankOneSamplesAndStorageReuse) {
+  Rng rng(67);
+  const Tensor a = Tensor::randn({5}, rng);
+  const Tensor b = Tensor::randn({5}, rng);
+  const Tensor* samples[] = {&a, &b};
+
+  // Pre-grown output storage is reused, not reallocated past need.
+  Tensor batch = Tensor::zeros({4, 7});
+  stack_samples(samples, 2, batch);
+  EXPECT_EQ(batch.shape(), (Shape{2, 5}));
+
+  Tensor row = Tensor::zeros({9});
+  extract_sample(batch, 1, row);
+  EXPECT_EQ(row.shape(), (Shape{5}));
+  EXPECT_EQ(std::memcmp(row.data(), b.data(), 5 * sizeof(float)), 0);
+
+  // Rank-1 batch: each sample is one scalar slot.
+  extract_sample(a, 3, row);
+  EXPECT_EQ(row.shape(), (Shape{1}));
+  EXPECT_FLOAT_EQ(row[0], a[3]);
+}
+
+TEST(BatchHelpers, DegenerateInputsThrow) {
+  Rng rng(71);
+  const Tensor ok = Tensor::randn({4}, rng);
+  const Tensor wide = Tensor::randn({5}, rng);
+  const Tensor cube4 = Tensor::randn({2, 2, 2, 2}, rng);
+  Tensor out;
+
+  const Tensor* none[] = {&ok};
+  EXPECT_THROW(stack_samples(none, 0, out), std::invalid_argument);
+  const Tensor* mixed[] = {&ok, &wide};
+  EXPECT_THROW(stack_samples(mixed, 2, out), std::invalid_argument);
+  const Tensor* deep[] = {&cube4};
+  EXPECT_THROW(stack_samples(deep, 1, out), std::invalid_argument);
+
+  EXPECT_THROW(extract_sample(Tensor(), 0, out), std::invalid_argument);
+  EXPECT_THROW(extract_sample(ok, 4, out), std::invalid_argument);
 }
 
 TEST(Stats, HistogramBuckets) {
