@@ -19,6 +19,7 @@
 // real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
 // perf regression (>20% below baseline — CI treats this one as non-blocking).
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -193,8 +194,10 @@ double baseline_forward_sps(const std::vector<ForwardBaselineEntry>& entries,
   return best;
 }
 
-/// Steady-state forward throughput: eager module walk vs compiled plan, one
-/// serial and one full-team row each, plan bit-checked against eager.
+/// Steady-state forward throughput: eager module walk vs compiled plan (the
+/// default fusion passes, bit-checked against eager) vs the plan with the
+/// rounding-changing BN fold on top (epsilon-checked — fold rows are excluded
+/// from the bit-identity gate by contract).
 void bench_forward(const std::string& net_name, pdnn::nn::Sequential& net, const Tensor& x,
                    int hw_threads, std::vector<ForwardResult>& out) {
   namespace exec = pdnn::exec;
@@ -207,20 +210,35 @@ void bench_forward(const std::string& net_name, pdnn::nn::Sequential& net, const
       want.shape() == backend.run(x).shape() &&
       std::memcmp(want.data(), backend.run(x).data(), want.numel() * sizeof(float)) == 0;
 
+  exec::PlanOptions fold_opts = exec::PlanOptions::defaults();
+  fold_opts.fold_bn = true;
+  exec::FloatBackend folded = exec::FloatBackend::compile(net, nullptr, fold_opts);
+  const Tensor& fold_out = folded.run(x);
+  bool fold_ok = want.shape() == fold_out.shape();
+  for (std::size_t i = 0; fold_ok && i < want.numel(); ++i) {
+    const float d = fold_out[i] - want[i];
+    const float tol = 1e-4f + 1e-3f * std::fabs(want[i]);
+    if (!(d <= tol && d >= -tol)) fold_ok = false;
+  }
+
   for (const int threads : {1, hw_threads}) {
     set_threads(threads);
     const double t_eager =
         pdnn::benchutil::time_best([&] { net.forward(x, false); }, reps);
     const double t_plan = pdnn::benchutil::time_best([&] { backend.run(x); }, reps);
+    const double t_fold = pdnn::benchutil::time_best([&] { folded.run(x); }, reps);
     out.push_back({net_name, "forward_eager", threads, batch, t_eager,
                    static_cast<double>(batch) / t_eager, 0, match});
     out.push_back({net_name, "forward_plan", threads, batch, t_plan,
                    static_cast<double>(batch) / t_plan, backend.arena_bytes(), match});
+    out.push_back({net_name, "forward_plan_fold", threads, batch, t_fold,
+                   static_cast<double>(batch) / t_fold, folded.arena_bytes(), fold_ok});
     if (threads == 1) {
       std::printf("%-3s forward b%-3zu  eager %8.1f samples/s  plan %8.1f samples/s (x%.2f)  "
-                  "arena %zu B  %s\n",
+                  "fold %8.1f samples/s  arena %zu B  %s%s\n",
                   net_name.c_str(), batch, batch / t_eager, batch / t_plan, t_eager / t_plan,
-                  backend.arena_bytes(), match ? "bit-identical" : "MISMATCH");
+                  batch / t_fold, backend.arena_bytes(), match ? "bit-identical" : "MISMATCH",
+                  fold_ok ? "" : " FOLD-EPSILON-FAIL");
     }
     if (hw_threads == 1) break;
   }

@@ -21,9 +21,20 @@ using tensor::Tensor;
 // expressions are copied verbatim. Parallel axes are independent output
 // slices, so thread count never changes a bit (same policy as src/nn).
 
-FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy) {
+FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy,
+                                   PlanOptions opts) {
+  if (policy != nullptr) {
+    // The eager forward this path mirrors bit-for-bit fires the A_p = P(A)
+    // hook between a layer and its trailing ReLU, and quantizes W before BN
+    // applies — both orderings die under fusion/folding, so a policy pins
+    // the faithful per-layer lowering. im2col elision moves no arithmetic
+    // and stays on.
+    opts.fuse_epilogues = false;
+    opts.fold_bn = false;
+  }
   FloatBackend b;
-  b.plan_ = GraphBuilder::lower(net);
+  b.opts_ = opts;
+  b.plan_ = GraphBuilder::lower(net, opts);
   b.net_ = &net;
   b.policy_ = policy;
   b.state_.resize(b.plan_.steps.size());
@@ -33,22 +44,23 @@ FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy)
 }
 
 std::unique_ptr<Backend> FloatBackend::clone() const {
-  return std::make_unique<FloatBackend>(compile(*net_, policy_));
+  return std::make_unique<FloatBackend>(compile(*net_, policy_, opts_));
 }
 
 void FloatBackend::refresh() {
   const bool quant = quantizing();
-  // An activate()/deactivate() flip between runs invalidates every cached
-  // panel regardless of Param::version.
-  const bool flip = quant != panels_quantized_;
+  // An activate()/deactivate() flip between runs — or an explicit
+  // invalidate() — rebuilds every cached panel regardless of versions.
+  const bool force = quant != panels_quantized_ || force_refresh_;
   panels_quantized_ = quant;
+  force_refresh_ = false;
   for (std::size_t i = 0; i < plan_.steps.size(); ++i) {
     const Step& s = plan_.steps[i];
     StepState& st = state_[i];
     switch (s.op) {
       case OpKind::kLinear: {
         nn::Param& w = s.linear->weight();
-        if (flip || !st.bound || w.version != st.version) {
+        if (force || !st.bound || w.version != st.version) {
           const Tensor qw =
               quant ? policy_->quantize_weight(w.value, s.name, nn::LayerClass::kLinear) : w.value;
           st.panel = tensor::transpose(qw);
@@ -59,13 +71,29 @@ void FloatBackend::refresh() {
       }
       case OpKind::kConv2d: {
         nn::Param& w = s.conv->weight();
-        if (quant) {
-          if (flip || !st.bound || w.version != st.version) {
+        if (s.folded_bn != nullptr) {
+          // fold_bn panels: every input that reaches the folded arithmetic
+          // participates in the staleness key, running stats included.
+          nn::BatchNorm2d& bn = *s.folded_bn;
+          const std::uint64_t bias_v = s.conv->has_bias() ? s.conv->bias().version : 0;
+          if (force || !st.bound || w.version != st.version || bias_v != st.bias_version ||
+              bn.gamma().version != st.gamma_version || bn.beta().version != st.beta_version ||
+              bn.stats_version() != st.stats_version) {
+            fold_conv_bn(s, st);
+            st.version = w.version;
+            st.bias_version = bias_v;
+            st.gamma_version = bn.gamma().version;
+            st.beta_version = bn.beta().version;
+            st.stats_version = bn.stats_version();
+            st.bound = true;
+          }
+        } else if (quant) {
+          if (force || !st.bound || w.version != st.version) {
             st.panel = policy_->quantize_weight(w.value, s.name, nn::LayerClass::kConv);
             st.version = w.version;
             st.bound = true;
           }
-        } else if (flip || !st.bound) {
+        } else if (force || !st.bound) {
           st.panel = Tensor();  // read the live weight directly
           st.version = w.version;
           st.bound = true;
@@ -75,12 +103,12 @@ void FloatBackend::refresh() {
       case OpKind::kBatchNorm: {
         nn::Param& g = s.bn->gamma();
         if (quant) {
-          if (flip || !st.bound || g.version != st.gamma_version) {
+          if (force || !st.bound || g.version != st.gamma_version) {
             st.qgamma = policy_->quantize_weight(g.value, s.name, nn::LayerClass::kBn);
             st.gamma_version = g.version;
             st.bound = true;
           }
-        } else if (flip || !st.bound) {
+        } else if (force || !st.bound) {
           st.qgamma = Tensor();
           st.gamma_version = g.version;
           st.bound = true;
@@ -92,6 +120,30 @@ void FloatBackend::refresh() {
   }
 }
 
+void FloatBackend::fold_conv_bn(const Step& s, StepState& st) {
+  // Eval-mode BN is a per-channel affine y = scale*(x - mean) + beta with
+  // scale = gamma / sqrt(var + eps), so it folds into the conv:
+  //   fw[c,:] = W[c,:] * scale[c]
+  //   fb[c]   = (b[c] - mean[c]) * scale[c] + beta[c]   (b = 0 without bias)
+  // This pre-rounds W*scale once per refresh — epsilon-close to, not
+  // bit-identical with, the unfolded conv→bn chain.
+  nn::BatchNorm2d& bn = *s.folded_bn;
+  const Tensor& w = s.conv->weight().value;
+  const std::size_t patch = w.numel() / s.out_c;
+  st.fw.resize({s.out_c, patch});
+  st.fb.resize({s.out_c});
+  const float* src = w.data();
+  float* fw = st.fw.data();
+#pragma omp parallel for schedule(static) if (s.out_c > 1 && s.out_c * patch > 16384)
+  for (std::size_t ci = 0; ci < s.out_c; ++ci) {
+    const float inv_std = 1.0f / std::sqrt(bn.running_var()[ci] + bn.eps());
+    const float scale = bn.gamma().value[ci] * inv_std;
+    for (std::size_t e = 0; e < patch; ++e) fw[ci * patch + e] = src[ci * patch + e] * scale;
+    const float b0 = s.conv->has_bias() ? s.conv->bias().value[ci] : 0.0f;
+    st.fb[ci] = (b0 - bn.running_mean()[ci]) * scale + bn.beta().value[ci];
+  }
+}
+
 const Tensor& FloatBackend::slot_tensor(int slot, const Tensor& x) const {
   if (slot == plan_.input_slot) return x;
   return arena_.at(static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(slot)].buffer));
@@ -99,10 +151,6 @@ const Tensor& FloatBackend::slot_tensor(int slot, const Tensor& x) const {
 
 const Tensor& FloatBackend::run_impl(const Tensor& x) {
   refresh();
-  if (plan_.steps.empty()) {
-    passthrough_ = x;  // empty graph: identity
-    return passthrough_;
-  }
   const bool quant = quantizing();
   for (std::size_t i = 0; i < plan_.steps.size(); ++i) {
     const Step& s = plan_.steps[i];
@@ -143,59 +191,66 @@ const Tensor& FloatBackend::run_impl(const Tensor& x) {
 
 void FloatBackend::exec_linear(const Step& s, StepState& st, const Tensor& in, Tensor& out) {
   // Same computation as nn::Linear::forward: out = x W^T (blocked GEMM on a
-  // zeroed target) then the row-parallel bias add — W^T is the panel cached
-  // at refresh() instead of a per-call transpose.
+  // zeroed target) then the bias add — W^T is the panel cached at refresh()
+  // instead of a per-call transpose, and the bias (plus any fused ReLU)
+  // rides the GEMM epilogue: per element the same add-then-clamp expression
+  // order as the separate sweeps, so the output bits don't change.
   const std::size_t n = in.shape()[0];
   out.fill(0.0f);
+  tensor::GemmEpilogue ep;
+  ep.col_bias = s.epilogue.bias ? s.linear->bias().value.data() : nullptr;
+  ep.relu = s.epilogue.relu;
   tensor::gemm_blocked(n, s.out_c, s.in_c, in.data(), s.in_c, st.panel.data(), s.out_c, out.data(),
-                       s.out_c);
-  const Tensor& bias = s.linear->bias().value;
-#pragma omp parallel for schedule(static) if (n > 1 && n * s.out_c > 16384)
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < s.out_c; ++j) out.at(i, j) += bias[j];
+                       s.out_c, ep);
 }
 
 void FloatBackend::exec_conv(const Step& s, StepState& st, const Tensor& in, Tensor& out) {
   // Same computation as tensor::conv2d_forward: per-sample im2col + blocked
   // GEMM — but into persistent cols scratch and straight into the output
   // slice (conv2d_forward computes the identical GEMM into a temporary and
-  // memcpys it out).
+  // memcpys it out). Bias / fused ReLU / folded BN affine ride the GEMM
+  // epilogue; a 1x1/s1/p0 conv skips im2col entirely — the input slice
+  // [C, H*W] already IS the patch matrix.
   const tensor::Conv2dGeom geom{s.in_c,   in.shape()[2], in.shape()[3], s.out_c,
                                 s.kernel, s.stride,      s.pad,         s.kernel_w};
   const std::size_t batch = in.shape()[0];
   const std::size_t pixels = geom.out_h() * geom.out_w();
   const std::size_t patch = geom.patch();
-  st.cols.resize({patch, pixels});
-  const float* w2d = quantizing() ? st.panel.data() : s.conv->weight().value.data();
+  const bool folded = s.folded_bn != nullptr;
+  const float* w2d = folded             ? st.fw.data()
+                     : quantizing()     ? st.panel.data()
+                                        : s.conv->weight().value.data();
+  tensor::GemmEpilogue ep;
+  ep.row_bias = folded             ? st.fb.data()
+                : s.epilogue.bias  ? s.conv->bias().value.data()
+                                   : nullptr;
+  ep.relu = s.epilogue.relu;
+  if (!s.elide_im2col) st.cols.resize({patch, pixels});
   const std::size_t in_stride = s.in_c * geom.in_h * geom.in_w;
   const std::size_t out_stride = s.out_c * pixels;
   for (std::size_t nidx = 0; nidx < batch; ++nidx) {
-    tensor::im2col(in.data() + nidx * in_stride, geom, st.cols.data());
+    const float* bmat;
+    if (s.elide_im2col) {
+      bmat = in.data() + nidx * in_stride;
+    } else {
+      tensor::im2col(in.data() + nidx * in_stride, geom, st.cols.data());
+      bmat = st.cols.data();
+    }
     float* oslice = out.data() + nidx * out_stride;
     std::memset(oslice, 0, out_stride * sizeof(float));
-    tensor::gemm_blocked(s.out_c, pixels, patch, w2d, patch, st.cols.data(), pixels, oslice,
-                         pixels);
-  }
-  if (s.conv->has_bias()) {
-    const Tensor& bias = s.conv->bias().value;
-#pragma omp parallel for schedule(static) if (s.out_c > 1 && batch* s.out_c* pixels > 16384)
-    for (std::size_t ci = 0; ci < s.out_c; ++ci) {
-      const float b = bias[ci];
-      for (std::size_t ni = 0; ni < batch; ++ni) {
-        float* dst = out.data() + (ni * s.out_c + ci) * pixels;
-        for (std::size_t i = 0; i < pixels; ++i) dst[i] += b;
-      }
-    }
+    tensor::gemm_blocked(s.out_c, pixels, patch, w2d, patch, bmat, pixels, oslice, pixels, ep);
   }
 }
 
 void FloatBackend::exec_bn(const Step& s, const StepState& st, const Tensor& in, Tensor& out) {
   // nn::BatchNorm2d::forward with training=false, expression for expression;
-  // running statistics and beta are read live from the module.
+  // running statistics and beta are read live from the module. A fused ReLU
+  // clamps the exact value the separate sweep would read — bit-identical.
   nn::BatchNorm2d& bn = *s.bn;
   const std::size_t n = in.shape()[0], c = in.shape()[1];
   const std::size_t plane = in.shape()[2] * in.shape()[3];
   const float* gamma = quantizing() ? st.qgamma.data() : bn.gamma().value.data();
+  const bool relu = s.epilogue.relu;
 #pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
   for (std::size_t ci = 0; ci < c; ++ci) {
     const float mean = bn.running_mean()[ci];
@@ -207,7 +262,8 @@ void FloatBackend::exec_bn(const Step& s, const StepState& st, const Tensor& in,
       float* dst = out.data() + (ni * c + ci) * plane;
       for (std::size_t i = 0; i < plane; ++i) {
         const float xhat = (src[i] - mean) * inv_std;
-        dst[i] = g * xhat + b;
+        const float y = g * xhat + b;
+        dst[i] = relu ? (y > 0.0f ? y : 0.0f) : y;
       }
     }
   }

@@ -7,7 +7,10 @@
 // (repeated shapes, no weight mutation) performs zero heap allocations,
 // and outputs are bit-identical to chaining nn::Module::forward in eval
 // mode — the eager path computes exactly the same GEMM calls, bias loops,
-// and elementwise expressions, just with fresh temporaries each time.
+// and elementwise expressions, just with fresh temporaries each time. The
+// PassPipeline's fusion passes (epilogue ReLU, 1x1 im2col elision) preserve
+// that bit-identity; the opt-in fold_bn pass pre-scales conv weights by the
+// BN affine and is epsilon-close instead (weights round once at fold time).
 //
 // An optional PrecisionPolicy mirrors the eager forward's Fig. 3 hooks
 // (W_p = P(W) cached per Param::version, A_p = P(A) applied in place on the
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "exec/backend.hpp"
+#include "exec/passes.hpp"
 #include "nn/precision.hpp"
 #include "tensor/arena.hpp"
 
@@ -29,9 +33,14 @@ class FloatBackend final : public Backend {
  public:
   /// Compile `net` (any Module tree GraphBuilder can lower). The module
   /// graph must outlive the backend: weights, BN statistics, and biases are
-  /// read through the live modules, with Param::version re-deriving cached
-  /// panels exactly when a parameter mutates.
-  static FloatBackend compile(nn::Module& net, nn::PrecisionPolicy* policy = nullptr);
+  /// read through the live modules, with Param::version (and
+  /// BatchNorm2d::stats_version) re-deriving cached panels exactly when a
+  /// parameter mutates. `opts` selects the plan rewrites; a non-null
+  /// `policy` forces fuse_epilogues/fold_bn off, because the Fig. 3 hooks
+  /// fire between a layer and its trailing ReLU (and quantize W before BN
+  /// applies) in the eager forward the policy path must match bit-for-bit.
+  static FloatBackend compile(nn::Module& net, nn::PrecisionPolicy* policy = nullptr,
+                              PlanOptions opts = PlanOptions::defaults());
 
   FloatBackend(FloatBackend&&) noexcept = default;
   FloatBackend& operator=(FloatBackend&&) noexcept = default;
@@ -43,6 +52,14 @@ class FloatBackend final : public Backend {
   const ExecPlan& plan() const override { return plan_; }
   std::size_t arena_bytes() const override { return arena_.bytes(); }
   std::size_t arena_buffers() const { return arena_.buffers(); }
+  /// The plan options actually compiled (after any policy forcing).
+  const PlanOptions& options() const { return opts_; }
+
+  /// Drop every cached panel (weight panels and BN-folded weights) so the
+  /// next run re-derives them, mirroring quant::PositSession::invalidate().
+  /// Version checks already catch Param and running-stat mutations; this is
+  /// the belt-and-braces hook for out-of-band weight writes.
+  void invalidate() { force_refresh_ = true; }
 
  protected:
   /// Eval-mode forward pass behind Backend::run(); returns a reference into
@@ -61,10 +78,20 @@ class FloatBackend final : public Backend {
     tensor::Tensor qgamma;  ///< bn under policy: P(gamma)
     std::uint64_t gamma_version = 0;
     tensor::Tensor cols;    ///< conv im2col scratch, persistent across runs
+    // BN-folded conv panels (step.folded_bn != nullptr): fw = W * scale,
+    // fb = (b - mean) * scale + beta with scale = gamma / sqrt(var + eps).
+    // Keyed on every contributing version: conv W (version above), conv
+    // bias, gamma (gamma_version above), beta, and the running stats.
+    tensor::Tensor fw;
+    tensor::Tensor fb;
+    std::uint64_t bias_version = 0;
+    std::uint64_t beta_version = 0;
+    std::uint64_t stats_version = 0;
   };
 
   bool quantizing() const { return policy_ != nullptr && policy_->active(); }
   void refresh();
+  void fold_conv_bn(const Step& s, StepState& st);
   const tensor::Tensor& slot_tensor(int slot, const tensor::Tensor& x) const;
 
   void exec_linear(const Step& s, StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
@@ -75,12 +102,13 @@ class FloatBackend final : public Backend {
                         tensor::Tensor& out);
 
   ExecPlan plan_;
+  PlanOptions opts_;
   std::vector<StepState> state_;
   tensor::TensorArena arena_;
   nn::Module* net_ = nullptr;              // not owned; clone() recompiles from it
   nn::PrecisionPolicy* policy_ = nullptr;  // not owned
   bool panels_quantized_ = false;
-  tensor::Tensor passthrough_;  // output buffer for an empty module graph
+  bool force_refresh_ = false;
 };
 
 }  // namespace pdnn::exec

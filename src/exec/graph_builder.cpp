@@ -68,12 +68,14 @@ struct Lowering {
       s.linear = fc;
       s.in_c = fc->in_features();
       s.out_c = fc->out_features();
+      s.epilogue.bias = true;
       return s;
     }
     if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
       s.op = OpKind::kConv2d;
       s.cls = nn::LayerClass::kConv;
       s.conv = conv;
+      s.epilogue.bias = conv->has_bias();
       s.in_c = conv->in_channels();
       s.out_c = conv->out_channels();
       s.kernel = conv->kernel();
@@ -110,11 +112,17 @@ struct Lowering {
 
 }  // namespace
 
-ExecPlan GraphBuilder::lower(nn::Module& net) {
+ExecPlan GraphBuilder::lower(nn::Module& net, const PlanOptions& opts) {
   Lowering l;
   l.plan.slots.push_back({-1, -1, -1});  // slot 0: the caller-owned input
   l.plan.input_slot = 0;
   l.plan.output_slot = l.lower_into(net, 0, 0);
+  if (l.plan.steps.empty()) {
+    throw std::invalid_argument("GraphBuilder: '" + net.name() +
+                                "' lowers to zero steps (empty or all-container net); the plan "
+                                "output would alias the caller-owned input");
+  }
+  PassPipeline::run(l.plan, opts);
   ArenaPlanner::plan(l.plan);
   return std::move(l.plan);
 }

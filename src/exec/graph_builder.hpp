@@ -8,11 +8,13 @@
 // each; module types no backend can execute throw std::invalid_argument at
 // lowering time.
 //
-// lower() also runs the ArenaPlanner, so the returned plan is ready for a
-// backend to compile against: slot lifetimes computed, elementwise steps
+// lower() also runs the PassPipeline (per the PlanOptions) and the
+// ArenaPlanner, so the returned plan is ready for a backend to compile
+// against: steps fused/folded, slot lifetimes computed, elementwise steps
 // marked in-place, and every slot folded onto its arena buffer.
 #pragma once
 
+#include "exec/passes.hpp"
 #include "exec/plan.hpp"
 
 namespace pdnn::exec {
@@ -21,8 +23,10 @@ class GraphBuilder {
  public:
   /// Lower `net` (a Sequential, a ResidualBlock, or a single layer) into a
   /// planned ExecPlan. The module graph must outlive the plan — steps bind
-  /// leaf modules by pointer.
-  static ExecPlan lower(nn::Module& net);
+  /// leaf modules by pointer. Throws std::invalid_argument if `net` lowers
+  /// to zero steps (an empty or all-container Sequential): the plan output
+  /// would alias the caller-owned input slot, which no backend can honor.
+  static ExecPlan lower(nn::Module& net, const PlanOptions& opts = PlanOptions::defaults());
 };
 
 }  // namespace pdnn::exec

@@ -1,0 +1,168 @@
+#include "exec/passes.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdnn::exec {
+
+namespace {
+
+/// Index of the only step reading `slot`, or -1 if the slot is the plan
+/// output, unread, or read more than once. Fusion may only consume a value
+/// with exactly one consumer — the plan output must stay a real slot, and a
+/// twice-read value (residual skip operands) must survive as written.
+int single_reader(const ExecPlan& plan, int slot) {
+  if (slot == plan.output_slot) return -1;
+  int reader = -1;
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const Step& s = plan.steps[i];
+    if (s.in0 == slot || s.in1 == slot) {
+      if (reader >= 0) return -1;
+      reader = static_cast<int>(i);
+    }
+  }
+  return reader;
+}
+
+/// Drop the steps marked dead and renumber slots densely (slot 0 stays the
+/// caller-owned input). Rewrites are pre-planner, so lifetimes/buffers are
+/// simply reset; ArenaPlanner fills them in afterwards.
+void compact(ExecPlan& plan, const std::vector<char>& dead) {
+  std::vector<Step> live;
+  live.reserve(plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    if (dead[i] == 0) live.push_back(std::move(plan.steps[i]));
+  }
+  plan.steps = std::move(live);
+
+  std::vector<int> remap(plan.slots.size(), -1);
+  remap[static_cast<std::size_t>(plan.input_slot)] = 0;
+  int next = 1;
+  const auto touch = [&](int s) {
+    if (s >= 0 && remap[static_cast<std::size_t>(s)] < 0) {
+      remap[static_cast<std::size_t>(s)] = next++;
+    }
+  };
+  // Steps are topologically ordered, so touching in operands before the def
+  // reproduces the original dense def-order numbering.
+  for (const Step& s : plan.steps) {
+    touch(s.in0);
+    touch(s.in1);
+    touch(s.out);
+  }
+
+  plan.slots.assign(static_cast<std::size_t>(next), Slot{});
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    Step& s = plan.steps[i];
+    s.in0 = remap[static_cast<std::size_t>(s.in0)];
+    if (s.in1 >= 0) s.in1 = remap[static_cast<std::size_t>(s.in1)];
+    s.out = remap[static_cast<std::size_t>(s.out)];
+    plan.slots[static_cast<std::size_t>(s.out)].def_step = static_cast<int>(i);
+  }
+  plan.input_slot = 0;
+  plan.output_slot = remap[static_cast<std::size_t>(plan.output_slot)];
+
+  std::size_t top = 0;
+  for (const Step& s : plan.steps) top += s.depth == 0 ? 1 : 0;
+  plan.top_level_steps = top;
+}
+
+}  // namespace
+
+PlanOptions PlanOptions::none() {
+  PlanOptions o;
+  o.fuse_epilogues = false;
+  o.elide_im2col_1x1 = false;
+  o.fold_bn = false;
+  return o;
+}
+
+PlanOptions PlanOptions::defaults() {
+  if (const char* env = std::getenv("PDNN_PLAN_PASSES")) {
+    const std::string v(env);
+    if (v == "0" || v == "off" || v == "OFF") return none();
+  }
+  return PlanOptions{};
+}
+
+void PassPipeline::run(ExecPlan& plan, const PlanOptions& opts) {
+  if (opts.fold_bn) fold_batchnorm(plan);
+  if (opts.fuse_epilogues) fuse_relu_epilogues(plan);
+  if (opts.elide_im2col_1x1) elide_im2col_1x1(plan);
+}
+
+std::size_t PassPipeline::fold_batchnorm(ExecPlan& plan) {
+  // conv -> bn where the conv output has no other reader: the BN becomes a
+  // per-output-channel affine on the conv result, so it folds into the conv
+  // weights (w' = w*scale) and a bias (b' = (b - mean)*scale + beta) the
+  // backend derives at refresh time from the live module parameters. A BN
+  // behind anything else (pool, join, the plan input) stays a real step.
+  // nn::BatchNorm2d is rank-4-only, so a Linear producer cannot occur.
+  std::vector<char> dead(plan.steps.size(), 0);
+  std::size_t folded = 0;
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    Step& conv = plan.steps[i];
+    if (conv.op != OpKind::kConv2d || conv.folded_bn != nullptr) continue;
+    const int reader = single_reader(plan, conv.out);
+    if (reader < 0) continue;
+    Step& bn = plan.steps[static_cast<std::size_t>(reader)];
+    if (bn.op != OpKind::kBatchNorm || dead[static_cast<std::size_t>(reader)] != 0) continue;
+    conv.folded_bn = bn.bn;
+    conv.epilogue.bias = true;  // the folded bias exists even for bias-free convs
+    conv.out = bn.out;
+    dead[static_cast<std::size_t>(reader)] = 1;
+    ++folded;
+  }
+  if (folded > 0) compact(plan, dead);
+  return folded;
+}
+
+std::size_t PassPipeline::fuse_relu_epilogues(ExecPlan& plan) {
+  // producer -> relu where the producer output has no other reader: the
+  // clamp runs on the exact value the separate sweep would have read, so
+  // fusing it into the producer's epilogue is bit-identical. Only producers
+  // whose backends implement the epilogue qualify (GEMM steps and BN);
+  // a ReLU behind a pool or join stays a real step. relu(relu(x)) collapses
+  // to one mark — also bit-identical.
+  std::vector<char> dead(plan.steps.size(), 0);
+  std::size_t fused = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+      Step& prod = plan.steps[i];
+      if (dead[i] != 0) continue;
+      if (prod.op != OpKind::kLinear && prod.op != OpKind::kConv2d &&
+          prod.op != OpKind::kBatchNorm) {
+        continue;
+      }
+      const int reader = single_reader(plan, prod.out);
+      if (reader < 0) continue;
+      Step& relu = plan.steps[static_cast<std::size_t>(reader)];
+      if (relu.op != OpKind::kRelu || dead[static_cast<std::size_t>(reader)] != 0) continue;
+      prod.epilogue.relu = true;
+      prod.out = relu.out;
+      dead[static_cast<std::size_t>(reader)] = 1;
+      ++fused;
+      changed = true;  // a following relu may now be adjacent to the producer
+    }
+  }
+  if (fused > 0) compact(plan, dead);
+  return fused;
+}
+
+std::size_t PassPipeline::elide_im2col_1x1(ExecPlan& plan) {
+  std::size_t elided = 0;
+  for (Step& s : plan.steps) {
+    if (s.op != OpKind::kConv2d || s.elide_im2col) continue;
+    if (s.kernel == 1 && s.kernel_w == 1 && s.stride == 1 && s.pad == 0) {
+      s.elide_im2col = true;
+      ++elided;
+    }
+  }
+  return elided;
+}
+
+}  // namespace pdnn::exec

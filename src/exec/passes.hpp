@@ -1,0 +1,63 @@
+// passes.hpp — plan-level rewrite passes between lowering and arena planning.
+//
+// GraphBuilder::lower produces a faithful one-step-per-layer plan; the
+// PassPipeline then rewrites it (cf. marian-dev's expression-graph lowering:
+// optimize the compiled graph, not the module tree). Three passes, each
+// individually togglable through PlanOptions:
+//
+//   fold_batchnorm      eval-mode BN folded into the preceding conv's weights
+//                       and bias at compile time. Changes rounding (weights
+//                       are pre-scaled), so it is OFF by default and tested
+//                       against an epsilon oracle, never bit-identity.
+//   fuse_relu_epilogues a trailing nn::ReLU swallowed into the producing
+//                       kLinear/kConv2d/kBatchNorm step's Epilogue. On the
+//                       float path this is bit-identical: the clamp applies
+//                       to the exact value the separate sweep would have
+//                       read. The posit backend clamps the decoded floats it
+//                       stores anyway, so it is bit-identical there too.
+//   elide_im2col_1x1    a 1x1/stride-1/pad-0 conv's im2col patch matrix IS
+//                       the input plane [C, H*W]; mark the step so backends
+//                       feed the GEMM (or posit encoder) the input slice
+//                       directly with no patch gather. Pure data-movement
+//                       removal — bit-identical everywhere.
+//
+// Passes run BEFORE ArenaPlanner::plan: they rewrite steps/slots freely and
+// leave lifetimes/buffers unassigned; the planner then sees the fused plan
+// and plans tighter (fewer intermediate slots to fold).
+#pragma once
+
+#include <cstddef>
+
+#include "exec/plan.hpp"
+
+namespace pdnn::exec {
+
+/// Which rewrites GraphBuilder::lower applies. Defaults: the bit-identical
+/// passes on, the rounding-changing BN fold off.
+struct PlanOptions {
+  bool fuse_epilogues = true;
+  bool elide_im2col_1x1 = true;
+  bool fold_bn = false;
+
+  /// Every pass off — the plain PR-5 one-step-per-layer lowering.
+  static PlanOptions none();
+  /// The default set, honoring the PDNN_PLAN_PASSES env toggle:
+  /// "0"/"off" disables every pass (CI runs the suites both ways).
+  static PlanOptions defaults();
+};
+
+class PassPipeline {
+ public:
+  /// Run the enabled passes in dependency order (fold_bn first so the ReLU
+  /// behind a folded BN fuses into the conv, then epilogue fusion, then
+  /// im2col elision). The plan must be fresh from lowering (no lifetimes).
+  static void run(ExecPlan& plan, const PlanOptions& opts);
+
+  // Individual passes; each returns the number of steps rewritten. Exposed
+  // for targeted tests — run() is the production entry point.
+  static std::size_t fold_batchnorm(ExecPlan& plan);
+  static std::size_t fuse_relu_epilogues(ExecPlan& plan);
+  static std::size_t elide_im2col_1x1(ExecPlan& plan);
+};
+
+}  // namespace pdnn::exec

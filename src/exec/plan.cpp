@@ -59,9 +59,14 @@ std::string ExecPlan::dump(std::size_t arena_bytes) const {
     }
     std::string name = s.name;
     for (int d = 0; d < s.depth; ++d) name.insert(0, "  ");
+    std::string marks;
+    if (s.in_place) marks += " (in-place)";
+    if (s.folded_bn != nullptr) marks += " +bn(" + s.folded_bn->name() + ")";
+    if (s.epilogue.relu) marks += " +relu";
+    if (s.elide_im2col) marks += " (1x1-direct)";
     std::snprintf(line, sizeof(line), "  [%3zu] %-14s %-24s %-16s b%d%s\n", i, to_string(s.op),
                   name.c_str(), wiring, slots[static_cast<std::size_t>(s.out)].buffer,
-                  s.in_place ? " (in-place)" : "");
+                  marks.c_str());
     out += line;
   }
   return out;

@@ -38,6 +38,19 @@ enum class OpKind {
 
 const char* to_string(OpKind op);
 
+/// Fused tail work a step applies to each output element after its final
+/// accumulation, before the store (see exec::PassPipeline). `bias` records
+/// that the step adds its per-output-channel bias (always true for kLinear,
+/// Conv2d::has_bias() for kConv2d, forced true when a BatchNorm is folded in);
+/// `relu` is a trailing nn::ReLU swallowed by the epilogue-fusion pass. On the
+/// float path both are bit-identical to running the separate sweeps: every
+/// element's bias add and zero-clamp happen exactly once, after the element's
+/// accumulation is complete, in the same expression order.
+struct Epilogue {
+  bool bias = false;
+  bool relu = false;
+};
+
 struct Step {
   OpKind op = OpKind::kRelu;
   std::string name;                          ///< layer (or residual block) name
@@ -55,6 +68,17 @@ struct Step {
   // full window, kBatchNorm out_c as the channel count.
   std::size_t in_c = 0, out_c = 0;
   std::size_t kernel = 0, kernel_w = 0, stride = 1, pad = 0;
+
+  // Pass-pipeline rewrites (exec::PassPipeline; all default to the plain
+  // PR-5 lowering).
+  Epilogue epilogue;
+  /// fold_bn pass: the eval-mode BatchNorm folded into this conv's weights.
+  /// Backends derive folded panels from (conv W/b, gamma, beta, running
+  /// stats) at refresh time; the BN step itself is gone from the plan.
+  nn::BatchNorm2d* folded_bn = nullptr;
+  /// 1x1/stride-1/pad-0 conv: the im2col patch matrix IS the input plane, so
+  /// backends feed the GEMM (or the posit encoder) the input slice directly.
+  bool elide_im2col = false;
 
   // Slot wiring.
   int in0 = -1;

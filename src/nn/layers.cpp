@@ -159,6 +159,9 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
       }
     }
   }
+  // Training rewrote every running-stat slot above; a single bump after the
+  // parallel loop keeps the version monotonic without per-channel contention.
+  if (training) stats_version_ = next_param_version();
   if (quantizing()) policy_->quantize_activation(out, name_, LayerClass::kBn);
   return out;
 }

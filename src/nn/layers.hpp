@@ -61,12 +61,20 @@ class BatchNorm2d final : public Module {
   float eps() const { return eps_; }
   const std::vector<float>& running_mean() const { return running_mean_; }
   const std::vector<float>& running_var() const { return running_var_; }
+  /// Version of the running statistics, drawn from the same monotonic
+  /// counter as Param::version and bumped on every training forward (the
+  /// only writer of running_mean_/running_var_). Backends that bake the
+  /// stats into derived state (BN-folded conv panels, posit BN scale codes)
+  /// key that state on this exactly like a Param version, so a training
+  /// step between serves re-derives it.
+  std::uint64_t stats_version() const { return stats_version_; }
 
  private:
   Param gamma_, beta_;
   std::size_t channels_;
   float eps_, momentum_;
   std::vector<float> running_mean_, running_var_;
+  std::uint64_t stats_version_ = next_param_version();
   // Forward cache.
   tensor::Tensor cached_xhat_;
   std::vector<float> cached_inv_std_;

@@ -75,7 +75,7 @@ struct StepState {
   Binding weight, bias;  // bias.param == nullptr -> no bias (panel stays empty)
 
   // bn: constants derived from (gamma, beta, running stats) at encode time
-  std::uint64_t gamma_version = 0, beta_version = 0;
+  std::uint64_t gamma_version = 0, beta_version = 0, stats_version = 0;
   std::vector<std::uint32_t> bn_scale, bn_mean, bn_shift;
 
   // steady-state scratch (grow-only)
@@ -98,7 +98,6 @@ struct PositSession::Impl final : exec::Backend {
   };
   std::vector<Arena> arenas;
 
-  Tensor passthrough;  // output buffer for an empty module graph
   std::uint64_t encodes = 0;
   std::size_t bound = 0;
   bool force_refresh = false;
@@ -153,6 +152,7 @@ struct PositSession::Impl final : exec::Backend {
     }
     s.gamma_version = bn.gamma().version;
     s.beta_version = bn.beta().version;
+    s.stats_version = bn.stats_version();
     ++encodes;
   }
 
@@ -189,6 +189,13 @@ void PositSession::Impl::compile_step(const exec::Step& step, StepState& s) {
       bind(s.bias, step.linear->bias(), s.spec);
       break;
     case exec::OpKind::kConv2d:
+      if (step.folded_bn != nullptr) {
+        // The session declines fold_bn by construction (compile() forces it
+        // off); this guards against a hand-built plan ever reaching us.
+        throw std::invalid_argument("PositSession: step '" + step.name +
+                                    "' carries a folded BatchNorm; the posit backend declines "
+                                    "fold_bn (pre-scaled weights break its encoded-BN numerics)");
+      }
       s.spec = cfg.spec_for(step.name, step.cls);
       s.mode = cfg.mode_for(step.name, step.cls);
       s.luts = detail::resolve_luts(s.spec, s.mode);
@@ -247,7 +254,8 @@ void PositSession::Impl::refresh(bool force) {
       ++encodes;
     }
     if (step.bn != nullptr && (force || step.bn->gamma().version != s.gamma_version ||
-                               step.bn->beta().version != s.beta_version)) {
+                               step.bn->beta().version != s.beta_version ||
+                               step.bn->stats_version() != s.stats_version)) {
       encode_bn(step, s);
     }
   }
@@ -261,10 +269,6 @@ const Tensor& PositSession::Impl::run_impl(const Tensor& x) {
   ensure_arena_threads();  // the caller may have grown the OpenMP team
   refresh(force_refresh);
   force_refresh = false;
-  if (eplan.steps.empty()) {
-    passthrough = x;  // empty graph: identity
-    return passthrough;
-  }
   for (std::size_t i = 0; i < eplan.steps.size(); ++i) {
     const exec::Step& step = eplan.steps[i];
     StepState& s = state[i];
@@ -284,6 +288,12 @@ const Tensor& PositSession::Impl::run_impl(const Tensor& x) {
       case exec::OpKind::kMaxPool2x2: exec::maxpool2x2_kernel(in, out); break;
       case exec::OpKind::kGlobalAvgPool: exec_gap(s, in, out); break;
       case exec::OpKind::kResidualJoin: exec_join(s, in, *skip, out); break;
+    }
+    if (step.epilogue.relu) {
+      // The fusion pass swallowed a trailing nn::ReLU. The session's GEMM and
+      // BN kernels store decoded floats, so clamping them here is bit-for-bit
+      // what the separate kRelu step over the same buffer produced.
+      exec::relu_kernel(out, out);
     }
   }
   return slots.at(static_cast<std::size_t>(
@@ -306,10 +316,19 @@ void PositSession::Impl::exec_conv(const exec::Step& step, StepState& s, const T
   const std::size_t batch = in.shape()[0];
   const std::size_t pixels = geom.out_h() * geom.out_w();
   const std::size_t patch = geom.patch();
-  s.cols.resize({patch, pixels});
+  if (!step.elide_im2col) s.cols.resize({patch, pixels});
   for (std::size_t nidx = 0; nidx < batch; ++nidx) {
-    tensor::im2col(in.data() + nidx * step.in_c * geom.in_h * geom.in_w, geom, s.cols.data());
-    detail::encode_conv_panel(s.cols.data(), patch, pixels, s.spec, s.act);
+    const float* slice = in.data() + nidx * step.in_c * geom.in_h * geom.in_w;
+    const float* bmat;
+    if (step.elide_im2col) {
+      // 1x1/s1/p0: the input slice [C, H*W] IS the patch matrix — encode it
+      // straight into the activation panel, no gather.
+      bmat = slice;
+    } else {
+      tensor::im2col(slice, geom, s.cols.data());
+      bmat = s.cols.data();
+    }
+    detail::encode_conv_panel(bmat, patch, pixels, s.spec, s.act);
     detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, pixels, patch, step.out_c, s.mode,
                         out.data() + nidx * step.out_c * pixels, 1, pixels, s.luts, pool(s));
   }
@@ -427,7 +446,13 @@ PositSession PositSession::compile(nn::Module& net, const SessionConfig& cfg) {
   Impl& I = *session.impl_;
   I.cfg = cfg;
   I.net = &net;
-  I.eplan = exec::GraphBuilder::lower(net);
+  // The session consumes the bit-identical passes (fused ReLU clamps the
+  // decoded floats it stores anyway; 1x1 elision moves no arithmetic) but
+  // declines fold_bn: its BN runs in encoded posit arithmetic, and a
+  // pre-scaled float weight panel would change which values get encoded.
+  exec::PlanOptions opts = exec::PlanOptions::defaults();
+  opts.fold_bn = false;
+  I.eplan = exec::GraphBuilder::lower(net, opts);
   I.slots.configure(I.eplan.num_buffers);
   I.state.resize(I.eplan.steps.size());
   for (std::size_t i = 0; i < I.eplan.steps.size(); ++i) {

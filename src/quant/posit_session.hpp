@@ -29,9 +29,10 @@
 // thread count. posit_forward() in posit_inference.hpp is the thin
 // compile-and-run compatibility wrapper over this API.
 //
-// BN running statistics are snapshotted when the BN constants are encoded;
-// they refresh whenever gamma/beta versions change. After mutating running
-// stats alone (a training forward with frozen BN params), call invalidate().
+// BN constants re-encode whenever gamma/beta versions or the BN's
+// stats_version change — a training forward that only moves the running
+// statistics is caught automatically. invalidate() remains for mutations
+// that bypass every version (e.g. writing a tensor's storage directly).
 #pragma once
 
 #include <cstdint>
@@ -101,8 +102,8 @@ class PositSession {
   const tensor::Tensor& run(const tensor::Tensor& x);
 
   /// Force every panel and BN constant to re-encode on the next run()
-  /// (needed only for mutations that bypass Param::mark_updated(), e.g. BN
-  /// running-stat updates with frozen gamma/beta).
+  /// (needed only for mutations that bypass every version counter, e.g.
+  /// writing a parameter's storage without Param::mark_updated()).
   void invalidate();
 
   const SessionConfig& config() const;

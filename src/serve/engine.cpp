@@ -1,5 +1,6 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -57,6 +58,29 @@ std::size_t Engine::batchable_prefix() const {
   return count;
 }
 
+bool Engine::scan_full_batch(std::vector<std::size_t>& picks) const {
+  // Only called when the head's own prefix hasn't filled a batch, so this is
+  // the mixed-shape slow path; the common uniform-traffic case never scans.
+  // The first shape to reach max_batch wins — tallying in arrival order
+  // keeps relief batches FIFO-fair among themselves.
+  std::vector<std::pair<const tensor::Shape*, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const tensor::Shape& shape = queue_[i].sample.shape();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return *g.first == shape; });
+    if (it == groups.end()) {
+      groups.emplace_back(&shape, std::vector<std::size_t>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(i);
+    if (it->second.size() == cfg_.max_batch) {
+      picks = it->second;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Engine::worker_loop(std::size_t worker) {
   exec::Backend& backend = *backends_[worker];
   // Steady-state serving reuses these across batches (grow-only storage).
@@ -66,6 +90,7 @@ void Engine::worker_loop(std::size_t worker) {
   taken.reserve(cfg_.max_batch);
   gather.reserve(cfg_.max_batch);
 
+  std::vector<std::size_t> picks;
   for (;;) {
     taken.clear();
     {
@@ -84,14 +109,24 @@ void Engine::worker_loop(std::size_t worker) {
         const auto deadline = queue_.front().arrival + cfg_.batch_timeout;
         if (n >= cfg_.max_batch || stopping_ ||
             std::chrono::steady_clock::now() >= deadline) {
+          for (std::size_t i = 0; i < n; ++i) {
+            taken.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
           break;  // size watermark, drain, or time watermark: take the batch
         }
+        // Head-of-line relief: the head's shape can't fill a batch yet, but
+        // a full batch of a later shape may be ready behind it. Take it out
+        // of the middle — the rest of the queue keeps its relative order,
+        // and the head keeps its deadline.
+        if (queue_.size() > n && scan_full_batch(picks)) {
+          for (const std::size_t idx : picks) taken.push_back(std::move(queue_[idx]));
+          for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+          }
+          break;
+        }
         cv_.wait_until(lock, deadline);
-      }
-      const std::size_t n = batchable_prefix();
-      for (std::size_t i = 0; i < n; ++i) {
-        taken.push_back(std::move(queue_.front()));
-        queue_.pop_front();
       }
       ++stats_.batches;
       ++stats_.batch_hist[taken.size()];

@@ -25,9 +25,16 @@
 // to running the same sample alone through the same backend — whatever
 // batch its neighbors landed in. serve.engine locks this in.
 //
-// Batching only coalesces requests whose sample shapes match (the contiguous
-// same-shape prefix of the FIFO, so mixed-shape traffic keeps its arrival
-// order and can never starve).
+// Batching only coalesces requests whose sample shapes match. The head of
+// the FIFO anchors dispatch: its shape selects the contiguous same-shape
+// prefix and its arrival time the deadline, so no request ever waits past
+// its own batch_timeout. One relief valve avoids head-of-line blocking: when
+// the head's shape has NOT yet filled a batch but a full max_batch of some
+// later shape is already queued behind it, that full batch dispatches
+// immediately (first shape to fill wins, tallied in arrival order; the
+// remaining queue keeps its relative order). An odd-shaped head therefore
+// delays only itself — never a ready batch of the majority shape — and
+// still cannot starve, because its time watermark is untouched.
 #pragma once
 
 #include <chrono>
@@ -113,6 +120,11 @@ class Engine {
   /// Length of the contiguous same-shape prefix of the queue, capped at
   /// max_batch. Caller holds mu_.
   std::size_t batchable_prefix() const;
+  /// Head-of-line relief: scan the whole queue tallying shapes in arrival
+  /// order; if some shape has max_batch requests pending, fill `picks` with
+  /// the queue indices of its first max_batch requests and return true.
+  /// Caller holds mu_.
+  bool scan_full_batch(std::vector<std::size_t>& picks) const;
 
   EngineConfig cfg_;
   std::vector<std::unique_ptr<exec::Backend>> backends_;

@@ -117,10 +117,33 @@ MicroFn micro_kernel() {
   return fn;
 }
 
+/// Fused tail over an mr×nr region of C: row bias, column bias, zero clamp —
+/// per element exactly one add per set bias and one clamp, the same
+/// expression order as the separate sweeps, so the fusion is bit-identical.
+/// The clamp expression matches exec::relu_kernel (`v > 0 ? v : 0`). Bias
+/// pointers are pre-offset to the region's first row/column; either may be
+/// null (no `+ 0.0f` is ever applied — that would flip -0.0 to +0.0).
+void apply_epilogue(float* c, std::size_t ldc, std::size_t mr, std::size_t nr, const float* rb,
+                    const float* cb, bool relu) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* row = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      float v = row[j];
+      if (rb != nullptr) v += rb[i];
+      if (cb != nullptr) v += cb[j];
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      row[j] = v;
+    }
+  }
+}
+
 /// One packed A block × one packed B block into C. Ragged micro-tiles round
 /// trip through a full 8×8 scratch tile so the hot path stays branch-free.
+/// `ep` is non-null only on the final KC slice: each C element's epilogue
+/// runs once, right after its accumulation completes, while the tile is
+/// still hot; bias pointers inside `ep` are pre-offset to this block.
 void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc, const float* ap,
-                  const float* bp, float* c, std::size_t ldc) {
+                  const float* bp, float* c, std::size_t ldc, const GemmEpilogue* ep) {
   const MicroFn micro = micro_kernel();
   for (std::size_t jr = 0; jr < nc; jr += NR) {
     const std::size_t nr = std::min(NR, nc - jr);
@@ -138,6 +161,11 @@ void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc, const float* a
         micro(kc, apanel, bpanel, tmp, NR);
         for (std::size_t i = 0; i < mr; ++i)
           for (std::size_t j = 0; j < nr; ++j) ctile[i * ldc + j] = tmp[i * NR + j];
+      }
+      if (ep != nullptr) {
+        apply_epilogue(ctile, ldc, mr, nr,
+                       ep->row_bias != nullptr ? ep->row_bias + ir : nullptr,
+                       ep->col_bias != nullptr ? ep->col_bias + jr : nullptr, ep->relu);
       }
     }
   }
@@ -175,17 +203,40 @@ bool gemm_kernel_vectorized() { return micro_kernel() != micro_8x8_scalar; }
 
 void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
                   const float* b, std::size_t ldb, float* c, std::size_t ldc) {
-  if (m == 0 || n == 0 || k == 0) return;
+  gemm_blocked(m, n, k, a, lda, b, ldb, c, ldc, GemmEpilogue{});
+}
+
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                  const GemmEpilogue& epilogue) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Degenerate reduction: C is the caller's pre-filled accumulator; the
+    // epilogue still owes each element its bias/clamp pass.
+    if (epilogue.active()) {
+      apply_epilogue(c, ldc, m, n, epilogue.row_bias, epilogue.col_bias, epilogue.relu);
+    }
+    return;
+  }
   float* bp = scratch(tl_bp_buf, KC * std::min(((n + NR - 1) / NR) * NR, NC));
   for (std::size_t jc = 0; jc < n; jc += NC) {
     const std::size_t nc = std::min(NC, n - jc);
     for (std::size_t pc = 0; pc < k; pc += KC) {
       const std::size_t kc = std::min(KC, k - pc);
       pack_b(b + pc * ldb + jc, ldb, kc, nc, bp);
+      // The epilogue fires only on an element's FINAL KC slice — C is stored
+      // and reloaded between slices, so an earlier application would fold
+      // bias/clamp into a partial sum and break the accumulation order.
+      const bool last_slice = pc + kc == k;
+      const GemmEpilogue block_ep{
+          epilogue.row_bias,  // row offset applied per MC block below
+          epilogue.col_bias != nullptr ? epilogue.col_bias + jc : nullptr, epilogue.relu};
+      const GemmEpilogue* ep = last_slice && epilogue.active() ? &block_ep : nullptr;
       // Rows of C are the parallel axis, as in the naive kernel: each thread
       // owns a contiguous range of MR-granular row panels and sweeps it in MC
       // blocks. Row grouping never changes a C element's accumulation order
-      // (only the k split does), so any thread count is bit-identical.
+      // (only the k split does), so any thread count is bit-identical — and
+      // each thread applies the epilogue only to rows it owns.
 #ifdef _OPENMP
       const bool parallel_rows = m > MR && m * n * k > 32768;
 #endif
@@ -204,7 +255,13 @@ void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, s
         for (std::size_t ic = ir0; ic < ir1; ic += MC) {
           const std::size_t mc = std::min(MC, ir1 - ic);
           pack_a(a + ic * lda + pc, lda, mc, kc, ap);
-          macro_kernel(mc, nc, kc, ap, bp, c + ic * ldc + jc, ldc);
+          GemmEpilogue row_ep;
+          if (ep != nullptr) {
+            row_ep = *ep;
+            if (row_ep.row_bias != nullptr) row_ep.row_bias += ic;
+          }
+          macro_kernel(mc, nc, kc, ap, bp, c + ic * ldc + jc, ldc,
+                       ep != nullptr ? &row_ep : nullptr);
         }
       }
     }

@@ -25,12 +25,32 @@ struct GemmBlocking {
   static constexpr std::size_t NC = 1024;
 };
 
+/// Fused tail applied to each C element exactly once, after its final KC
+/// slice lands (the element's accumulation is complete) and before the tile
+/// leaves the micro-kernel's cache footprint. Element order per C[i,j]:
+/// add row_bias[i] if set, add col_bias[j] if set, then clamp at zero if
+/// relu — the same expression order as running the separate bias/ReLU sweeps
+/// afterwards, so a fused call is bit-identical to gemm + sweeps.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;  ///< added to every element of row i (conv layout)
+  const float* col_bias = nullptr;  ///< added to every element of column j (linear layout)
+  bool relu = false;
+
+  bool active() const { return row_bias != nullptr || col_bias != nullptr || relu; }
+};
+
 /// C[m,n] += A[m,k] * B[k,n] on row-major buffers with explicit leading
 /// dimensions (lda/ldb/ldc are row strides in elements; pass k/n/n for
 /// contiguous matrices). Parallelizes over MC row blocks with OpenMP; results
 /// are bit-identical to the serial naive i-k-j loop at any thread count.
 void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
                   const float* b, std::size_t ldb, float* c, std::size_t ldc);
+
+/// gemm_blocked with a fused epilogue. k == 0 degenerates to applying the
+/// epilogue over C as-is (the caller's pre-filled accumulator).
+void gemm_blocked(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+                  const float* b, std::size_t ldb, float* c, std::size_t ldc,
+                  const GemmEpilogue& epilogue);
 
 /// True when the AVX2 micro-kernel is active on this host (false means the
 /// portable scalar micro-kernel — same results, lower throughput).

@@ -5,6 +5,8 @@
 // ownership simulation over hand-built and randomized graphs).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "exec/graph_builder.hpp"
@@ -73,13 +75,29 @@ void check_lifetimes(const ExecPlan& p) {
 TEST(ArenaPlanner, MlpChainsReuseTwoBuffers) {
   Rng rng(11);
   auto net = nn::mlp(6, 10, 3, 3, rng);  // fc/relu alternation
-  const ExecPlan p = GraphBuilder::lower(*net);
+  const ExecPlan p = GraphBuilder::lower(*net, PlanOptions::none());
   check_lifetimes(p);
   check_arena_discipline(p);
   // A pure chain with in-place ReLUs ping-pongs between two buffers at most.
   EXPECT_LE(p.num_buffers, 2u);
   EXPECT_GT(p.in_place_steps(), 0u);
   EXPECT_GT(p.reused_slots(), 0u);
+}
+
+TEST(ArenaPlanner, FusedMlpChainHasNoReluStepsAndStillPingPongs) {
+  Rng rng(11);
+  auto net = nn::mlp(6, 10, 3, 3, rng);
+  PlanOptions fuse;  // defaults: fuse_epilogues on
+  const ExecPlan p = GraphBuilder::lower(*net, fuse);
+  check_lifetimes(p);
+  check_arena_discipline(p);
+  // Every ReLU rides a linear epilogue now: only kLinear steps remain, each
+  // hidden one marked +relu, and the chain still fits two buffers.
+  for (const Step& s : p.steps) EXPECT_EQ(s.op, OpKind::kLinear);
+  EXPECT_GT(p.steps.size(), 1u);
+  for (std::size_t i = 0; i + 1 < p.steps.size(); ++i) EXPECT_TRUE(p.steps[i].epilogue.relu);
+  EXPECT_FALSE(p.steps.back().epilogue.relu);  // the head has no trailing ReLU
+  EXPECT_LE(p.num_buffers, 2u);
 }
 
 TEST(ArenaPlanner, ResidualSkipExtendsInputLifetime) {
@@ -111,21 +129,29 @@ TEST(ArenaPlanner, DownsampleBranchBuffersStayLiveAcrossMainBranch) {
 }
 
 TEST(ArenaPlanner, RandomizedGraphsKeepDiscipline) {
-  Rng rng(19);
-  for (int trial = 0; trial < 60; ++trial) {
-    exec_test::RandomNet rn = exec_test::random_cnn(rng, 2);
-    const ExecPlan p = GraphBuilder::lower(*rn.net);
-    check_lifetimes(p);
-    check_arena_discipline(p);
+  // Every option set must uphold the arena discipline — the fused plans have
+  // different step/slot topologies, not different invariants.
+  PlanOptions fold = PlanOptions{};
+  fold.fold_bn = true;
+  for (const PlanOptions& opts : {PlanOptions::none(), PlanOptions{}, fold}) {
+    Rng rng(19);
+    for (int trial = 0; trial < 60; ++trial) {
+      exec_test::RandomNet rn = exec_test::random_cnn(rng, 2);
+      const ExecPlan p = GraphBuilder::lower(*rn.net, opts);
+      check_lifetimes(p);
+      check_arena_discipline(p);
+    }
   }
 }
 
-TEST(ArenaPlanner, EmptyGraphHasNoBuffers) {
-  nn::Sequential net("empty");
-  const ExecPlan p = GraphBuilder::lower(net);
-  EXPECT_TRUE(p.steps.empty());
-  EXPECT_EQ(p.num_buffers, 0u);
-  EXPECT_EQ(p.output_slot, p.input_slot);
+TEST(ArenaPlanner, EmptyGraphThrowsAtLowerTime) {
+  // A zero-step plan would alias the caller-owned input slot as its output;
+  // lower() must refuse rather than hand backends that aliasing bug.
+  nn::Sequential empty("empty");
+  EXPECT_THROW(GraphBuilder::lower(empty), std::invalid_argument);
+  nn::Sequential nested("outer");
+  nested.add(std::make_unique<nn::Sequential>("inner"));
+  EXPECT_THROW(GraphBuilder::lower(nested), std::invalid_argument);
 }
 
 }  // namespace

@@ -158,13 +158,25 @@ TEST(FloatBackend, QuantPolicyHooksMatchEagerForward) {
   net->set_policy(nullptr);
 }
 
-TEST(FloatBackend, EmptyGraphIsIdentity) {
+TEST(FloatBackend, EmptyGraphThrowsAtCompile) {
+  // Previously an empty graph "worked" by returning a reference that aliased
+  // the caller's own input tensor — a contract violation lower() now rejects.
   nn::Sequential net("empty");
-  FloatBackend backend = FloatBackend::compile(net);
-  Tensor x({2, 3});
-  x[0] = 1.0f;
-  x[5] = -2.0f;
-  EXPECT_TRUE(bit_identical(backend.run(x), x));
+  EXPECT_THROW(FloatBackend::compile(net), std::invalid_argument);
+}
+
+TEST(FloatBackend, InvalidateRebuildsPanelsWithoutVersionBump) {
+  Rng rng(251);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend backend = FloatBackend::compile(*net);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  backend.run(x);
+  // Mutate a weight behind Param::version's back — the cached W^T panel goes
+  // stale invisibly, exactly the out-of-band case invalidate() exists for.
+  nn::Param* w = net->params().front();
+  for (std::size_t i = 0; i < w->value.numel(); ++i) w->value[i] *= 1.5f;
+  backend.invalidate();
+  EXPECT_TRUE(bit_identical(backend.run(x), net->forward(x, false)));
 }
 
 TEST(FloatBackend, UnknownModuleTypeThrowsAtCompile) {

@@ -36,6 +36,9 @@ void expect_matches_golden(const std::string& text, const std::string& name) {
                             << "; run with PDNN_UPDATE_GOLDEN=1 if intentional";
 }
 
+// Goldens pass explicit PlanOptions (not defaults()) so the PDNN_PLAN_PASSES
+// env toggle CI flips can never change what these tests compare against.
+
 TEST(PlanDump, ResNet8MatchesGolden) {
   tensor::Rng rng(7);
   nn::ResNetConfig rc;
@@ -43,16 +46,36 @@ TEST(PlanDump, ResNet8MatchesGolden) {
   rc.base_channels = 4;
   rc.classes = 4;
   auto net = nn::cifar_resnet(rc, rng);
-  const ExecPlan plan = GraphBuilder::lower(*net);
+  const ExecPlan plan = GraphBuilder::lower(*net, PlanOptions{});
   // Buffer sizes depend on run shapes, so the golden dump is unsized.
   expect_matches_golden(plan.dump(), "resnet8_plan.txt");
+}
+
+TEST(PlanDump, ResNet8FoldedMatchesGolden) {
+  tensor::Rng rng(7);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 4;
+  rc.classes = 4;
+  auto net = nn::cifar_resnet(rc, rng);
+  PlanOptions opts;
+  opts.fold_bn = true;
+  const ExecPlan plan = GraphBuilder::lower(*net, opts);
+  expect_matches_golden(plan.dump(), "resnet8_folded_plan.txt");
 }
 
 TEST(PlanDump, MlpMatchesGolden) {
   tensor::Rng rng(7);
   auto net = nn::mlp(6, 10, 3, 2, rng);
-  const ExecPlan plan = GraphBuilder::lower(*net);
+  const ExecPlan plan = GraphBuilder::lower(*net, PlanOptions{});
   expect_matches_golden(plan.dump(), "mlp_plan.txt");
+}
+
+TEST(PlanDump, UnfusedMlpMatchesGolden) {
+  tensor::Rng rng(7);
+  auto net = nn::mlp(6, 10, 3, 2, rng);
+  const ExecPlan plan = GraphBuilder::lower(*net, PlanOptions::none());
+  expect_matches_golden(plan.dump(), "mlp_unfused_plan.txt");
 }
 
 TEST(PlanDump, ArenaBytesAppearAfterARun) {

@@ -168,6 +168,39 @@ TEST(ServeEngine, TimeoutWatermarkDispatchesPartialBatch) {
   EXPECT_EQ(stats.batch_hist[1], 1u);
 }
 
+TEST(ServeEngine, HeadOfLineBlockedQueueDispatchesLaterFullBatch) {
+  Rng rng(379);
+  auto net = nn::mlp(4, 8, 2, 1, rng);
+  FloatBackend proto = FloatBackend::compile(*net);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 3;
+  cfg.batch_timeout = std::chrono::seconds(30);  // the head's deadline is far away
+  Engine engine(proto, cfg);
+
+  // An odd-shaped request parks at the head: its batchable prefix can never
+  // fill. A full batch of the serving shape queues behind it.
+  auto head = engine.submit(Tensor::randn({5}, rng));
+  const Tensor sample = Tensor::randn({4}, rng);
+  const Tensor want = solo_run(proto, sample);
+  std::vector<std::future<Tensor>> good;
+  for (int i = 0; i < 3; ++i) good.push_back(engine.submit(sample));
+
+  // Relief valve: the full later-shape batch dispatches out of the middle
+  // long before the head's timeout (a FIFO-only engine would sit on all
+  // three until the head's 30 s deadline).
+  for (auto& f : good) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+    EXPECT_TRUE(bit_identical(f.get(), want));
+  }
+  EXPECT_EQ(engine.stats().batch_hist[3], 1u);
+  // The head kept its place and its deadline: still pending, never dropped.
+  EXPECT_EQ(head.wait_for(std::chrono::milliseconds(0)), std::future_status::timeout);
+
+  engine.shutdown();  // drain dispatches the head; its shape fails its own batch
+  EXPECT_THROW(head.get(), std::invalid_argument);
+}
+
 TEST(ServeEngine, ShutdownDrainsPendingRequestsWithoutLostFutures) {
   Rng rng(331);
   auto net = nn::mlp(4, 8, 2, 1, rng);

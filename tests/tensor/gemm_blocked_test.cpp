@@ -6,6 +6,7 @@
 // serial blocked vs oracle, and threaded blocked vs serial blocked.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -239,6 +240,117 @@ TEST(GemmBlocked, PackScratchShrinksAfterLargeGemmWithoutChangingBits) {
   EXPECT_TRUE(bits_equal(before, after));
 
   set_threads(restore);
+}
+
+/// Reference epilogue: the exact per-element expression the fused kernel
+/// applies after an element's accumulation completes — add row bias, add
+/// column bias, clamp. Branching on pointer presence (instead of adding 0.0f)
+/// matters: an unconditional +0.0f would flip -0.0 to +0.0.
+void naive_epilogue(std::size_t m, std::size_t n, float* c, std::size_t ldc, const float* rb,
+                    const float* cb, bool relu) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = c[i * ldc + j];
+      if (rb != nullptr) v += rb[i];
+      if (cb != nullptr) v += cb[j];
+      if (relu) v = v > 0.0f ? v : 0.0f;
+      c[i * ldc + j] = v;
+    }
+}
+
+TEST(GemmBlocked, EpilogueSweepBitIdenticalToOracle) {
+  // Every epilogue combination over shapes straddling the micro-tile: the
+  // fused bias/relu must equal accumulate-then-sweep exactly, serial and
+  // threaded (each thread owns whole row panels, so the epilogue never races).
+  const std::size_t sizes[] = {1, 7, 8, 9, 65};
+  Rng rng(31);
+  const int restore = max_threads();
+  for (const std::size_t m : sizes)
+    for (const std::size_t k : sizes)
+      for (const std::size_t n : sizes) {
+        std::vector<float> a(m * k), b(k * n), seed(m * n), rb(m), cb(n);
+        for (auto& v : a) v = static_cast<float>(rng.normal());
+        for (auto& v : b) v = static_cast<float>(rng.normal());
+        for (auto& v : seed) v = static_cast<float>(rng.normal());
+        for (auto& v : rb) v = static_cast<float>(rng.normal());
+        for (auto& v : cb) v = static_cast<float>(rng.normal());
+
+        const GemmEpilogue combos[] = {
+            {rb.data(), nullptr, false},
+            {nullptr, cb.data(), false},
+            {nullptr, nullptr, true},
+            {rb.data(), cb.data(), true},
+        };
+        for (const GemmEpilogue& ep : combos) {
+          std::vector<float> want = seed;
+          naive_gemm_acc(m, n, k, a.data(), b.data(), want.data());
+          naive_epilogue(m, n, want.data(), n, ep.row_bias, ep.col_bias, ep.relu);
+
+          set_threads(1);
+          std::vector<float> serial = seed;
+          gemm_blocked(m, n, k, a.data(), k, b.data(), n, serial.data(), n, ep);
+          ASSERT_TRUE(bits_equal(want, serial))
+              << "serial epilogue diverged at " << m << "x" << k << "x" << n;
+
+          set_threads(4);
+          std::vector<float> threaded = seed;
+          gemm_blocked(m, n, k, a.data(), k, b.data(), n, threaded.data(), n, ep);
+          ASSERT_TRUE(bits_equal(serial, threaded))
+              << "threaded epilogue diverged at " << m << "x" << k << "x" << n;
+          set_threads(restore);
+        }
+      }
+}
+
+TEST(GemmBlocked, EpilogueAppliesOnceAcrossKcSlices) {
+  // k spans multiple KC slices: C is stored and reloaded between slices, so
+  // the epilogue must fire only after the FINAL slice — firing per slice
+  // would add the bias (and clamp) repeatedly.
+  const std::size_t m = 17, n = 33, k = 2 * GemmBlocking::KC + 37;
+  Rng rng(37);
+  std::vector<float> a(m * k), b(k * n), seed(m * n), rb(m), cb(n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto& v : seed) v = static_cast<float>(rng.normal());
+  for (auto& v : rb) v = static_cast<float>(rng.normal());
+  for (auto& v : cb) v = static_cast<float>(rng.normal());
+  const GemmEpilogue ep{rb.data(), cb.data(), true};
+
+  std::vector<float> want = seed;
+  naive_gemm_acc(m, n, k, a.data(), b.data(), want.data());
+  naive_epilogue(m, n, want.data(), n, ep.row_bias, ep.col_bias, ep.relu);
+
+  const int restore = max_threads();
+  set_threads(1);
+  std::vector<float> got = seed;
+  gemm_blocked(m, n, k, a.data(), k, b.data(), n, got.data(), n, ep);
+  EXPECT_TRUE(bits_equal(want, got));
+  set_threads(restore);
+}
+
+TEST(GemmBlocked, EpilogueOnZeroKAppliesOverSeededC) {
+  // k == 0 contributes nothing to the accumulation, but the epilogue is still
+  // owed: bias + clamp over whatever C held. Seed includes negatives (clamped
+  // to zero) and a NaN (the v > 0 ? v : 0 expression maps NaN to 0, matching
+  // the standalone relu kernel).
+  const std::size_t m = 3, n = 4;
+  std::vector<float> seed = {-1.0f, 2.0f, -0.5f, std::nanf(""),  //
+                             0.25f, -3.0f, 4.0f, -0.0f,          //
+                             1.5f,  0.0f,  -2.0f, 7.0f};
+  std::vector<float> rb = {0.5f, -1.0f, 0.0f};
+  std::vector<float> cb = {0.0f, 1.0f, -0.25f, 2.0f};
+  const GemmEpilogue ep{rb.data(), cb.data(), true};
+
+  std::vector<float> want = seed;
+  naive_epilogue(m, n, want.data(), n, ep.row_bias, ep.col_bias, ep.relu);
+  std::vector<float> got = seed;
+  gemm_blocked(m, n, 0, nullptr, 0, nullptr, n, got.data(), n, ep);
+  EXPECT_TRUE(bits_equal(want, got));
+
+  // Degenerate m/n with an active epilogue stay no-ops.
+  std::vector<float> untouched(4, 1.5f);
+  gemm_blocked(0, 2, 2, nullptr, 2, nullptr, 2, untouched.data(), 2, ep);
+  for (const float v : untouched) EXPECT_EQ(1.5f, v);
 }
 
 TEST(GemmBlocked, ReportsKernelFlavor) {
