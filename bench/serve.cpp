@@ -12,11 +12,19 @@
 //   bench_serve [out.json]
 //   bench_serve --check-regression <baseline.json> [out.json]
 //     also compares closed-loop achieved QPS against the committed baseline.
+//   bench_serve --chaos [out.json]
+//     chaos-only rows: closed-loop clients against a pool where every worker
+//     trips on a poison trigger value and one worker additionally throws on a
+//     seeded schedule and dawdles (exec::FaultInjectingBackend). Checks the
+//     overload/fault layer end-to-end: every future resolves, exceptions land
+//     only on poison requests, healthy answers stay bit-identical to solo,
+//     and the retry counters move. Defaults to BENCH_serve_chaos.json.
 //
 // Exit codes: 0 ok; 1 correctness mismatch (batched answer diverged from the
-// solo run — always a real failure); 2 usage / unreadable baseline /
-// unwritable output; 3 only a perf regression (>20% below baseline — CI
-// treats this one as non-blocking).
+// solo run, a healthy request faulted, or a poison request slipped through —
+// always a real failure); 2 usage / unreadable baseline / unwritable output;
+// 3 only a perf regression (>20% below baseline — CI treats this one as
+// non-blocking).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -32,6 +40,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/fault_injection.hpp"
 #include "exec/float_backend.hpp"
 #include "nn/resnet.hpp"
 #include "quant/posit_session.hpp"
@@ -71,7 +80,7 @@ LatencyStats percentiles(std::vector<double>& lat_us) {
 }
 
 struct Row {
-  std::string scenario;  // "closed" | "open"
+  std::string scenario;  // "closed" | "open" | "chaos"
   std::string backend;   // "float" | "posit"
   std::size_t workers = 1;
   std::size_t clients = 0;      // closed loop only
@@ -83,7 +92,21 @@ struct Row {
   double mean_batch = 0.0;
   std::string hist;  // "s:count|s:count|..." over dispatched batch sizes
   bool bit_identical = true;
+  // Overload/fault-layer counters (EngineStats), plus the futures that
+  // resolved with an exception on the client side.
+  std::uint64_t rejected = 0, shed = 0, deadline_expired = 0;
+  std::uint64_t retries = 0, quarantines = 0, rebuilds = 0;
+  std::uint64_t errors = 0;
 };
+
+void fill_fault_stats(Row& row, const EngineStats& stats) {
+  row.rejected = stats.rejected;
+  row.shed = stats.shed;
+  row.deadline_expired = stats.deadline_expired;
+  row.retries = stats.retries;
+  row.quarantines = stats.quarantines;
+  row.rebuilds = stats.rebuilds;
+}
 
 std::string render_hist(const EngineStats& stats) {
   std::string h;
@@ -114,6 +137,7 @@ Row closed_loop(const std::string& backend_name, Backend& proto, const EngineCon
   Engine engine(proto, cfg);
   std::vector<std::vector<double>> lat(clients);
   std::atomic<bool> identical{true};
+  std::atomic<std::uint64_t> errors{0};
 
   const auto t0 = clock_type::now();
   std::vector<std::thread> threads;
@@ -123,14 +147,19 @@ Row closed_loop(const std::string& backend_name, Backend& proto, const EngineCon
       for (std::size_t i = 0; i < per_client; ++i) {
         const std::size_t s = (c + i) % samples.size();
         const auto sent = clock_type::now();
-        Tensor y = engine.submit(samples[s]).get();
+        try {
+          Tensor y = engine.submit(samples[s]).get();
+          if (!want.empty() &&
+              (y.shape() != want[s].shape() ||
+               std::memcmp(y.data(), want[s].data(), y.numel() * sizeof(float)) != 0)) {
+            identical = false;
+          }
+        } catch (const std::exception&) {
+          // A faultless row must not see exceptions; counted and surfaced.
+          ++errors;
+        }
         lat[c].push_back(
             std::chrono::duration<double, std::micro>(clock_type::now() - sent).count());
-        if (!want.empty() &&
-            (y.shape() != want[s].shape() ||
-             std::memcmp(y.data(), want[s].data(), y.numel() * sizeof(float)) != 0)) {
-          identical = false;
-        }
       }
     });
   }
@@ -154,7 +183,9 @@ Row closed_loop(const std::string& backend_name, Backend& proto, const EngineCon
       stats.batches == 0 ? 0.0
                          : static_cast<double>(stats.completed) / static_cast<double>(stats.batches);
   row.hist = render_hist(stats);
-  row.bit_identical = identical.load();
+  row.bit_identical = identical.load() && errors.load() == 0;
+  row.errors = errors.load();
+  fill_fault_stats(row, stats);
   return row;
 }
 
@@ -175,12 +206,17 @@ Row open_loop(const std::string& backend_name, Backend& proto, const EngineConfi
   std::vector<double> lat_us(requests);
   futures.reserve(requests);  // no reallocation: harvester holds references
   std::atomic<std::size_t> published{0};
+  std::atomic<std::uint64_t> errors{0};
 
   const auto t0 = clock_type::now();
   std::thread harvester([&] {
     for (std::size_t i = 0; i < requests; ++i) {
       while (published.load(std::memory_order_acquire) <= i) std::this_thread::yield();
-      futures[i].get();
+      try {
+        futures[i].get();
+      } catch (const std::exception&) {
+        ++errors;
+      }
       lat_us[i] =
           std::chrono::duration<double, std::micro>(clock_type::now() - intended[i]).count();
     }
@@ -209,6 +245,97 @@ Row open_loop(const std::string& backend_name, Backend& proto, const EngineConfi
       stats.batches == 0 ? 0.0
                          : static_cast<double>(stats.completed) / static_cast<double>(stats.batches);
   row.hist = render_hist(stats);
+  row.bit_identical = errors.load() == 0;  // faultless open loop: any error is real
+  row.errors = errors.load();
+  fill_fault_stats(row, stats);
+  return row;
+}
+
+/// Chaos loop: closed-loop clients against a factory-built pool where every
+/// worker throws on the poison trigger value and worker `flaky_ordinal`
+/// additionally throws every `throw_every`-th run (seeded) and sleeps per
+/// run. Each client sends poison at fixed positions. The acceptance bar:
+/// every future resolves; poison requests (and only they) fail, with
+/// exec::InjectedFault; healthy answers are bit-identical to solo.
+Row chaos_loop(const std::string& backend_name, Backend& proto, const EngineConfig& cfg,
+               const std::vector<Tensor>& samples, const std::vector<Tensor>& want,
+               std::size_t clients, std::size_t per_client) {
+  constexpr float kPoison = 1.0e30f;
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  Engine::BackendFactory factory = [&proto, calls] {
+    const int ordinal = ++*calls;
+    pdnn::exec::FaultConfig fcfg;
+    fcfg.has_trigger = true;
+    fcfg.trigger = kPoison;
+    fcfg.seed = 9000 + static_cast<std::uint64_t>(ordinal);
+    if (ordinal == 2) {  // one flaky worker in the pool
+      fcfg.throw_every = 7;
+      fcfg.latency = std::chrono::microseconds(200);
+    }
+    return std::make_unique<pdnn::exec::FaultInjectingBackend>(proto.clone(), fcfg);
+  };
+  Engine engine(factory, cfg);
+  const Tensor poison = Tensor::full({samples[0].shape()[0]}, kPoison);
+
+  std::vector<std::vector<double>> lat(clients);
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> errors{0};
+
+  const auto t0 = clock_type::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lat[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const bool is_poison = i % 10 == 7;
+        const std::size_t s = (c + i) % samples.size();
+        const auto sent = clock_type::now();
+        try {
+          Tensor y = engine.submit(is_poison ? poison : samples[s]).get();
+          if (is_poison ||  // a poison request must not produce an answer
+              y.shape() != want[s].shape() ||
+              std::memcmp(y.data(), want[s].data(), y.numel() * sizeof(float)) != 0) {
+            ok = false;
+          }
+        } catch (const pdnn::exec::InjectedFault&) {
+          ++errors;
+          if (!is_poison) ok = false;  // a healthy request must never fault
+        } catch (const std::exception&) {
+          ++errors;
+          ok = false;  // only InjectedFault is in the chaos plan
+        }
+        lat[c].push_back(
+            std::chrono::duration<double, std::micro>(clock_type::now() - sent).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = std::chrono::duration<double>(clock_type::now() - t0).count();
+  engine.shutdown();
+
+  Row row;
+  row.scenario = "chaos";
+  row.backend = backend_name;
+  row.workers = cfg.workers;
+  row.clients = clients;
+  row.requests = clients * per_client;
+  row.achieved_qps = static_cast<double>(row.requests) / wall;
+  std::vector<double> all;
+  for (auto& l : lat) all.insert(all.end(), l.begin(), l.end());
+  row.lat = percentiles(all);
+  const EngineStats stats = engine.stats();
+  row.batches = stats.batches;
+  row.mean_batch =
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.completed) / static_cast<double>(stats.batches);
+  row.hist = render_hist(stats);
+  row.errors = errors.load();
+  fill_fault_stats(row, stats);
+  // Every admitted request must have resolved, and exactly the poison
+  // requests must have faulted.
+  const std::uint64_t poison_sent = row.requests / 10;  // i % 10 == 7 per client
+  row.bit_identical = ok.load() && stats.completed == stats.submitted &&
+                      row.errors == poison_sent;
   return row;
 }
 
@@ -260,8 +387,9 @@ double baseline_closed_qps(const std::vector<BaselineEntry>& entries, const Row&
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path = "BENCH_serve.json";
+  std::string out_path;
   std::string baseline_path;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check-regression") {
@@ -270,10 +398,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       baseline_path = argv[++i];
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else {
       out_path = arg;
     }
   }
+  if (out_path.empty()) out_path = chaos ? "BENCH_serve_chaos.json" : "BENCH_serve.json";
   std::vector<BaselineEntry> baseline;
   if (!baseline_path.empty()) {
     baseline = parse_baseline(baseline_path);
@@ -307,6 +438,22 @@ int main(int argc, char** argv) {
   cfg.batch_timeout = std::chrono::microseconds(100);
 
   std::vector<Row> rows;
+  if (chaos) {
+    // Chaos-only rows: a 4-worker pool with one flaky worker (seeded
+    // scheduled throws + injected latency) and a poison trigger armed on
+    // every worker; clients mix poison requests into the traffic. The
+    // quarantine knobs are tightened so the flaky worker's counters move.
+    EngineConfig ccfg = cfg;
+    ccfg.workers = 4;
+    ccfg.max_batch = 4;
+    ccfg.quarantine_threshold = 3;
+    ccfg.rebuild_backoff = std::chrono::milliseconds(1);
+    rows.push_back(chaos_loop("float", fproto, ccfg, samples, fwant, /*clients=*/4,
+                              /*per_client=*/100));
+    ccfg.workers = 1;  // every batch lands on the flaky trigger-armed worker
+    rows.push_back(chaos_loop("float", fproto, ccfg, samples, fwant, /*clients=*/2,
+                              /*per_client=*/100));
+  } else {
   // Closed loop: worker sweep at a fixed client count (structural scaling on
   // a 1-core container: workers overlap batch assembly with execution), then
   // a client sweep at the worker count CI regresses on.
@@ -329,9 +476,19 @@ int main(int argc, char** argv) {
     rows.push_back(open_loop("float", fproto, cfg, samples, qps,
                              static_cast<std::size_t>(qps * 0.25)));
   }
+  }
 
   for (const Row& r : rows) {
-    if (r.scenario == "closed") {
+    if (r.scenario == "chaos") {
+      std::printf("chaos  %-5s w%zu c%zu  %8.0f req/s  p50 %7.1fus  p99 %7.1fus  "
+                  "faults %llu  retries %llu  quarantines %llu  rebuilds %llu  %s\n",
+                  r.backend.c_str(), r.workers, r.clients, r.achieved_qps, r.lat.p50_us,
+                  r.lat.p99_us, static_cast<unsigned long long>(r.errors),
+                  static_cast<unsigned long long>(r.retries),
+                  static_cast<unsigned long long>(r.quarantines),
+                  static_cast<unsigned long long>(r.rebuilds),
+                  r.bit_identical ? "contained" : "MISMATCH");
+    } else if (r.scenario == "closed") {
       std::printf("closed %-5s w%zu c%zu  %8.0f req/s  p50 %7.1fus  p99 %7.1fus  p999 %7.1fus  "
                   "mean batch %.2f  %s\n",
                   r.backend.c_str(), r.workers, r.clients, r.achieved_qps, r.lat.p50_us,
@@ -360,9 +517,12 @@ int main(int argc, char** argv) {
         << ", \"achieved_qps\": " << r.achieved_qps << ", \"p50_us\": " << r.lat.p50_us
         << ", \"p99_us\": " << r.lat.p99_us << ", \"p999_us\": " << r.lat.p999_us
         << ", \"batches\": " << r.batches << ", \"mean_batch\": " << r.mean_batch
-        << ", \"hist\": \"" << r.hist << "\", \"bit_identical\": "
-        << (r.bit_identical ? "true" : "false") << "}" << (i + 1 < rows.size() ? "," : "")
-        << "\n";
+        << ", \"hist\": \"" << r.hist << "\", \"rejected\": " << r.rejected
+        << ", \"shed\": " << r.shed << ", \"deadline_expired\": " << r.deadline_expired
+        << ", \"retries\": " << r.retries << ", \"quarantines\": " << r.quarantines
+        << ", \"rebuilds\": " << r.rebuilds << ", \"errors\": " << r.errors
+        << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
@@ -370,8 +530,14 @@ int main(int argc, char** argv) {
   bool mismatch = false;
   for (const Row& r : rows) {
     if (!r.bit_identical) {
-      std::cerr << "FAIL: " << r.backend << " batched answer (workers=" << r.workers
-                << ") diverged from the solo reference\n";
+      if (r.scenario == "chaos") {
+        std::cerr << "FAIL: chaos (workers=" << r.workers << ") broke containment — a healthy "
+                  << "request faulted, a poison request slipped through, diverged from solo, "
+                  << "or a future never resolved\n";
+      } else {
+        std::cerr << "FAIL: " << r.backend << " batched answer (workers=" << r.workers
+                  << ") diverged from the solo reference\n";
+      }
       mismatch = true;
     }
   }

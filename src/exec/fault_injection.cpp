@@ -1,0 +1,85 @@
+#include "exec/fault_injection.hpp"
+
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace pdnn::exec {
+
+using tensor::Tensor;
+
+FaultInjectingBackend::FaultInjectingBackend(std::unique_ptr<Backend> inner, FaultConfig cfg)
+    : inner_(std::move(inner)), cfg_(cfg), rng_(cfg.seed) {
+  if (!inner_) throw std::invalid_argument("FaultInjectingBackend: inner backend is null");
+  if (cfg_.throw_rate < 0.0 || cfg_.throw_rate > 1.0) {
+    throw std::invalid_argument("FaultInjectingBackend: throw_rate must be in [0,1]");
+  }
+}
+
+std::unique_ptr<Backend> FaultInjectingBackend::wrap(const Backend& backend,
+                                                     const FaultConfig& cfg) {
+  return std::make_unique<FaultInjectingBackend>(backend.clone(), cfg);
+}
+
+std::unique_ptr<Backend> FaultInjectingBackend::clone() const {
+  FaultConfig child = cfg_;
+  // splitmix64-style seed derivation: reproducible for pools built by
+  // sequential clone() calls, distinct streams per child.
+  std::uint64_t z = cfg_.seed + 0x9e3779b97f4a7c15ULL * ++clones_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  child.seed = z ^ (z >> 31);
+  return std::make_unique<FaultInjectingBackend>(inner_->clone(), child);
+}
+
+namespace {
+
+bool contains_value(const Tensor& x, float trigger) {
+  const float* p = x.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::memcmp(&p[i], &trigger, sizeof(float)) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const Tensor& FaultInjectingBackend::run_impl(const Tensor& x) {
+  const std::uint64_t run = ++runs_;
+  if (cfg_.latency.count() > 0) std::this_thread::sleep_for(cfg_.latency);
+  if (cfg_.has_trigger && contains_value(x, cfg_.trigger)) {
+    ++injected_;
+    throw InjectedFault("FaultInjectingBackend: trigger value present in input (run " +
+                        std::to_string(run) + ")");
+  }
+  bool scheduled = (cfg_.throw_on_run != 0 && run == cfg_.throw_on_run) ||
+                   (cfg_.throw_every != 0 && run % cfg_.throw_every == 0);
+  if (cfg_.throw_rate > 0.0) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    scheduled = scheduled || unit(rng_) < cfg_.throw_rate;
+  }
+  if (scheduled) {
+    ++injected_;
+    throw InjectedFault("FaultInjectingBackend: scheduled fault at run " + std::to_string(run));
+  }
+  const Tensor& y = inner_->run(x);
+  if (cfg_.corrupt_on_run != 0 && run == cfg_.corrupt_on_run && y.numel() > 0) {
+    ++injected_;
+    corrupted_ = y;  // deep copy; the inner buffer stays clean
+    const std::size_t rows = corrupted_.shape()[0];
+    const std::size_t row = std::min(cfg_.corrupt_row, rows - 1);
+    const std::size_t stride = corrupted_.numel() / rows;
+    float* p = corrupted_.data() + row * stride;
+    for (std::size_t i = 0; i < stride; ++i) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &p[i], sizeof(bits));
+      bits ^= 1u;  // low mantissa bit: always a bit-level difference
+      std::memcpy(&p[i], &bits, sizeof(bits));
+    }
+    return corrupted_;
+  }
+  return y;
+}
+
+}  // namespace pdnn::exec

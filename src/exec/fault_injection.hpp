@@ -1,0 +1,109 @@
+// fault_injection.hpp — a chaos decorator for any exec::Backend.
+//
+// FaultInjectingBackend wraps an inner backend and perturbs its run() stream
+// deterministically, so the serving layer's overload/retry/quarantine
+// machinery can be exercised under test and in bench_serve --chaos with
+// reproducible schedules:
+//
+//   * throw on the nth run (`throw_on_run`), every kth run (`throw_every`),
+//     or with a seeded Bernoulli rate (`throw_rate` drawn from an mt19937_64
+//     seeded with `seed`) — all raise exec::InjectedFault before the inner
+//     backend runs, modeling a wedged or crashing worker;
+//   * throw whenever the input contains the trigger value (`trigger`),
+//     modeling a poison sample: any batch containing it fails, any batch
+//     without it succeeds — exactly the shape serve::Engine's bisection
+//     retry isolates;
+//   * sleep `latency` per run, modeling a slow or contended worker;
+//   * corrupt one output row on a chosen run (`corrupt_on_run` /
+//     `corrupt_row`, low-mantissa-bit flips), modeling silent data
+//     corruption — the one fault a retry cannot see and only an end-to-end
+//     bit-identity check catches.
+//
+// The decorator follows the full Backend contract: clone() wraps a clone of
+// the inner backend with the same fault plan but independent run/RNG state
+// (the child's seed is derived from the parent's seed and clone ordinal, so
+// a pool built by sequential clone() calls is reproducible); plan() and
+// arena_bytes() delegate. Run counters are per-instance: each clone's
+// schedule starts at run 1.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "exec/backend.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pdnn::exec {
+
+/// The exception every injected failure raises. Derives from
+/// std::runtime_error so generic backend-failure handling already covers it;
+/// tests catch the precise type to tell injected faults from real bugs.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The deterministic fault plan. Every field is independent; all disabled by
+/// default (the decorator is then a transparent pass-through).
+struct FaultConfig {
+  /// Seeds the Bernoulli stream for `throw_rate`. clone() derives the child
+  /// seed from this and the clone ordinal, keeping pools reproducible.
+  std::uint64_t seed = 0;
+  /// Throw on exactly this run (1-based, counting this instance's runs).
+  /// 0 disables.
+  std::uint64_t throw_on_run = 0;
+  /// Throw on every run whose 1-based index is a multiple of this. 0
+  /// disables. (>= 2 guarantees the run after a scheduled throw is clean,
+  /// which is what lets a single retry absorb the fault.)
+  std::uint64_t throw_every = 0;
+  /// Per-run throw probability in [0,1], drawn from the seeded RNG. 0
+  /// disables and leaves the RNG untouched.
+  double throw_rate = 0.0;
+  /// When set, any run whose input contains a value bit-equal to `trigger`
+  /// throws — the poison-sample model.
+  bool has_trigger = false;
+  float trigger = 0.0f;
+  /// Injected per-run latency (slept before any fault check fires).
+  std::chrono::microseconds latency{0};
+  /// On run `corrupt_on_run` (1-based; 0 disables), flip the low mantissa
+  /// bit of every element of output row `corrupt_row` (clamped to the
+  /// batch). The run "succeeds" — only a bit-level output check notices.
+  std::uint64_t corrupt_on_run = 0;
+  std::size_t corrupt_row = 0;
+};
+
+class FaultInjectingBackend final : public Backend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<Backend> inner, FaultConfig cfg);
+
+  /// Wrap `backend.clone()` directly.
+  static std::unique_ptr<Backend> wrap(const Backend& backend, const FaultConfig& cfg);
+
+  std::unique_ptr<Backend> clone() const override;
+  const ExecPlan& plan() const override { return inner_->plan(); }
+  std::size_t arena_bytes() const override { return inner_->arena_bytes(); }
+
+  const FaultConfig& fault_config() const { return cfg_; }
+  /// Runs attempted on this instance (throwing runs included).
+  std::uint64_t runs() const { return runs_; }
+  /// Faults this instance raised (throws; corruption is counted too).
+  std::uint64_t faults_injected() const { return injected_; }
+
+ protected:
+  const tensor::Tensor& run_impl(const tensor::Tensor& x) override;
+
+ private:
+  std::unique_ptr<Backend> inner_;
+  FaultConfig cfg_;
+  std::mt19937_64 rng_;
+  std::uint64_t runs_ = 0;
+  std::uint64_t injected_ = 0;
+  mutable std::uint64_t clones_ = 0;
+  tensor::Tensor corrupted_;  ///< owned copy returned on a corrupting run
+};
+
+}  // namespace pdnn::exec

@@ -9,6 +9,8 @@
 //
 //   * submit(sample) enqueues one sample (the plan's input shape without the
 //     batch axis) and returns a std::future for its output row;
+//     submit(sample, deadline) additionally bounds how long the request may
+//     wait in the queue;
 //   * workers coalesce requests into batches under two watermarks — dispatch
 //     as soon as `max_batch` same-shape requests are queued, or when the
 //     oldest pending request has waited `batch_timeout`, whichever first;
@@ -35,6 +37,32 @@
 // remaining queue keeps its relative order). An odd-shaped head therefore
 // delays only itself — never a ready batch of the majority shape — and
 // still cannot starve, because its time watermark is untouched.
+//
+// ## Overload and failure containment (the degrade-gracefully layer)
+//
+//   * Bounded admission: with max_queue > 0, a full queue triggers the
+//     configured OverloadPolicy — kReject fails submit() fast with
+//     QueueFullError; kBlock applies backpressure (the submitter waits for
+//     space, or for shutdown, which throws ShutdownError); kShedOldest
+//     drops the oldest pending request (its future fails with ShedError)
+//     to admit the new one. A saturated queue also releases the time
+//     watermark: workers dispatch without waiting for batch_timeout.
+//   * Deadlines: an expired request is failed with DeadlineExceededError at
+//     batch-assembly time, before any backend work is spent on it, and is
+//     never gathered into a batch — one stale request cannot poison a
+//     fresh batch, and an expired odd-shape head stops blocking instantly.
+//   * Fault isolation: a batch whose backend run throws is retried by
+//     bisection — sub-batches that pass complete their futures normally,
+//     and only the isolated poison sample(s) receive the exception. A
+//     failed single-sample run is retried once more to absorb transient
+//     faults before its future is failed. A worker whose backend throws
+//     quarantine_threshold times consecutively (with no intervening
+//     successful run) is quarantined: the worker backs off exponentially
+//     (rebuild_backoff doubling per rebuild) and its backend is rebuilt
+//     from the stored BackendFactory — a poisoned clone cannot degrade the
+//     pool forever. All of it is counted in EngineStats and exercised by
+//     exec::FaultInjectingBackend in tests/serve/fault_test.cpp and
+//     bench_serve --chaos.
 #pragma once
 
 #include <chrono>
@@ -42,6 +70,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -50,9 +79,17 @@
 #include <vector>
 
 #include "exec/backend.hpp"
+#include "serve/errors.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pdnn::serve {
+
+/// What submit() does when the queue already holds max_queue requests.
+enum class OverloadPolicy {
+  kReject,     ///< fail fast: submit() throws QueueFullError
+  kBlock,      ///< backpressure: submit() waits for space (or ShutdownError)
+  kShedOldest  ///< drop the oldest pending request (its future: ShedError)
+};
 
 struct EngineConfig {
   /// Worker threads == backend clones. Each worker runs whole batches, so
@@ -65,14 +102,32 @@ struct EngineConfig {
   /// Time watermark: dispatch a partial batch once its oldest request has
   /// waited this long. 0 disables coalescing delay (greedy dispatch).
   std::chrono::microseconds batch_timeout{200};
+  /// Admission bound: maximum requests waiting in the queue (in-flight
+  /// batches excluded). 0 = unbounded (the pre-overload behavior).
+  std::size_t max_queue = 0;
+  /// Applied when max_queue > 0 and the queue is full.
+  OverloadPolicy overload = OverloadPolicy::kReject;
+  /// Consecutive backend throws (no intervening successful run) before a
+  /// worker is quarantined and its backend rebuilt. 0 disables quarantine.
+  std::size_t quarantine_threshold = 3;
+  /// Base backoff slept before a quarantined worker's backend is rebuilt;
+  /// doubles per rebuild of that worker (capped at 2^10 x base). The sleep
+  /// is interruptible by shutdown().
+  std::chrono::milliseconds rebuild_backoff{1};
 };
 
 /// Counters for observability and the bench's batch-size histogram. A
 /// consistent snapshot under the engine lock.
 struct EngineStats {
-  std::uint64_t submitted = 0;
+  std::uint64_t submitted = 0;  ///< requests admitted to the queue
   std::uint64_t completed = 0;  ///< futures fulfilled (exceptions included)
   std::uint64_t batches = 0;
+  std::uint64_t rejected = 0;          ///< submit() failed fast (kReject)
+  std::uint64_t shed = 0;              ///< oldest-pending drops (kShedOldest)
+  std::uint64_t deadline_expired = 0;  ///< failed at assembly, never ran
+  std::uint64_t retries = 0;           ///< backend re-runs after a failed run
+  std::uint64_t quarantines = 0;       ///< workers taken out for rebuild
+  std::uint64_t rebuilds = 0;          ///< backends rebuilt from the factory
   /// batch_hist[s] = batches dispatched with exactly s samples
   /// (index 0 unused; size max_batch + 1).
   std::vector<std::uint64_t> batch_hist;
@@ -81,10 +136,16 @@ struct EngineStats {
 class Engine {
  public:
   using BackendFactory = std::function<std::unique_ptr<exec::Backend>()>;
+  using Clock = std::chrono::steady_clock;
 
-  /// Pool built by calling `factory` once per worker.
+  /// Pool built by calling `factory` once per worker. The factory is stored:
+  /// quarantine rebuilds call it again, so it must stay valid (and safe to
+  /// call from a worker thread, serialized by the engine) for the engine's
+  /// lifetime.
   Engine(const BackendFactory& factory, const EngineConfig& cfg);
-  /// Pool built by clone()ing `prototype` once per worker.
+  /// Pool built by clone()ing `prototype` once per worker. The engine keeps
+  /// its own pristine clone as the rebuild source, so the prototype itself
+  /// may go out of scope after construction.
   Engine(const exec::Backend& prototype, const EngineConfig& cfg);
 
   Engine(const Engine&) = delete;
@@ -95,14 +156,24 @@ class Engine {
 
   /// Enqueue one sample — the plan input without its batch axis (rank 1..3,
   /// non-empty) — and return the future for its output row. Thread-safe.
-  /// Throws std::invalid_argument on a degenerate sample and
-  /// std::runtime_error after shutdown(). The future resolves to the output
-  /// copied out of the worker backend, or to the exception the backend threw
-  /// for its batch (e.g. a shape mismatch with the plan).
+  /// Throws std::invalid_argument on a degenerate sample, ShutdownError
+  /// after shutdown(), and QueueFullError when the queue is full under
+  /// OverloadPolicy::kReject. The future resolves to the output copied out
+  /// of the worker backend, or to the exception the backend threw for this
+  /// sample (its healthy batch neighbors are unaffected — see the
+  /// bisection-retry notes above), or to ShedError / DeadlineExceededError
+  /// when the engine dropped the request before it ran.
   std::future<tensor::Tensor> submit(tensor::Tensor sample);
+  /// As submit(sample), with a queue-residency bound: if `deadline` passes
+  /// while the request is still waiting, its future fails with
+  /// DeadlineExceededError and no backend work is spent on it.
+  std::future<tensor::Tensor> submit(tensor::Tensor sample, Clock::time_point deadline);
+  /// Convenience: deadline = now + budget.
+  std::future<tensor::Tensor> submit(tensor::Tensor sample, std::chrono::microseconds budget);
 
-  /// Stop accepting, drain every pending request to completion, join the
-  /// workers. Idempotent; called by the destructor.
+  /// Stop accepting, wake any blocked submitters (they throw ShutdownError),
+  /// drain every pending request to completion, join the workers.
+  /// Idempotent and safe to call concurrently; called by the destructor.
   void shutdown();
 
   EngineStats stats() const;
@@ -113,9 +184,11 @@ class Engine {
   struct Request {
     tensor::Tensor sample;
     std::promise<tensor::Tensor> promise;
-    std::chrono::steady_clock::time_point arrival;
+    Clock::time_point arrival;
+    Clock::time_point deadline;  ///< time_point::max() = none
   };
 
+  std::future<tensor::Tensor> submit_impl(tensor::Tensor sample, Clock::time_point deadline);
   void worker_loop(std::size_t worker);
   /// Length of the contiguous same-shape prefix of the queue, capped at
   /// max_batch. Caller holds mu_.
@@ -125,8 +198,34 @@ class Engine {
   /// the queue indices of its first max_batch requests and return true.
   /// Caller holds mu_.
   bool scan_full_batch(std::vector<std::size_t>& picks) const;
+  /// Move every request whose deadline has passed into `expired` (queue
+  /// order preserved). Caller holds mu_.
+  void reap_expired(Clock::time_point now, std::vector<Request>& expired);
+  /// Earliest request deadline in the queue (time_point::max() if none).
+  /// Caller holds mu_.
+  Clock::time_point earliest_deadline() const;
+
+  /// Run reqs[lo,hi) through `backend` and fulfil their promises. Returns
+  /// true on success; on failure stores the exception in `err`. Never
+  /// throws.
+  bool try_run(exec::Backend& backend, std::vector<Request>& reqs, std::size_t lo,
+               std::size_t hi, tensor::Tensor& batch, std::vector<const tensor::Tensor*>& gather,
+               std::exception_ptr& err);
+  /// Bisection fault isolation: run reqs[lo,hi); on failure split and retry
+  /// each half (a singleton is retried once, then failed with the backend's
+  /// exception). `retries` counts backend re-runs; `consecutive` tracks
+  /// throws since the worker's last successful run (reset to 0 on success).
+  void run_span(exec::Backend& backend, std::vector<Request>& reqs, std::size_t lo,
+                std::size_t hi, tensor::Tensor& batch,
+                std::vector<const tensor::Tensor*>& gather, std::uint64_t& retries,
+                std::size_t& consecutive);
+  /// Back off (exponential in this worker's rebuild count, interruptible by
+  /// shutdown) and rebuild backends_[worker] from the stored factory. A
+  /// factory failure keeps the old backend so the queue still drains.
+  void quarantine_and_rebuild(std::size_t worker, std::size_t& worker_rebuilds);
 
   EngineConfig cfg_;
+  BackendFactory factory_;  ///< stored for quarantine rebuilds
   std::vector<std::unique_ptr<exec::Backend>> backends_;
   std::vector<std::thread> threads_;
 
@@ -136,6 +235,14 @@ class Engine {
   bool accepting_ = true;
   bool stopping_ = false;
   EngineStats stats_;
+
+  /// Serializes quarantine rebuild factory calls (a prototype-clone factory
+  /// shares one pristine backend; clone() on it must not race itself).
+  std::mutex rebuild_mu_;
+  /// Serializes the join loop: shutdown() is safe to call concurrently
+  /// (destructor racing an explicit shutdown), and std::thread::join from
+  /// two threads at once is not.
+  std::mutex join_mu_;
 };
 
 }  // namespace pdnn::serve

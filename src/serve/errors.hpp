@@ -1,0 +1,65 @@
+// errors.hpp — the serving layer's typed failure vocabulary.
+//
+// Every way serve::Engine can refuse or abandon a request has its own type,
+// all rooted at serve::Error, which itself derives from std::runtime_error so
+// pre-existing catch(std::runtime_error) sites keep working:
+//
+//   Error
+//    ├── QueueFullError        submit() under OverloadPolicy::kReject with a
+//    │                         full queue — the request was never admitted
+//    ├── ShedError             the request was admitted but later dropped to
+//    │                         make room under OverloadPolicy::kShedOldest
+//    ├── DeadlineExceededError the request's deadline passed while it was
+//    │                         still queued; it never reached a backend
+//    └── ShutdownError         submit() after shutdown(), or a submitter
+//                              blocked for queue space when shutdown() fired
+//
+// Faults injected by exec::FaultInjectingBackend surface as
+// exec::InjectedFault (they are backend failures, not admission decisions),
+// and plan-shape mismatches keep their std::invalid_argument type — a future
+// from submit() can therefore resolve to any of: a value, one of the types
+// above, or whatever the backend threw for that sample.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pdnn::serve {
+
+/// Root of the serving-layer error hierarchy. Derives from
+/// std::runtime_error so callers written against the pre-typed engine
+/// (catching std::runtime_error from submit()) still compile and still catch.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// OverloadPolicy::kReject and the queue is at max_queue: the submit() call
+/// itself throws this — the request was never enqueued and has no future.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(const std::string& what) : Error(what) {}
+};
+
+/// OverloadPolicy::kShedOldest dropped this (oldest pending) request to admit
+/// a newer one: its future resolves to this exception.
+class ShedError : public Error {
+ public:
+  explicit ShedError(const std::string& what) : Error(what) {}
+};
+
+/// The request's deadline expired while it was still waiting in the queue.
+/// Failed at batch-assembly time, before any backend work was spent on it.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what) : Error(what) {}
+};
+
+/// submit() was called after shutdown(), or a submitter blocked on queue
+/// space (OverloadPolicy::kBlock) when shutdown() arrived.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pdnn::serve

@@ -244,6 +244,9 @@ TEST(ServeEngine, SubmitAfterShutdownThrows) {
   FloatBackend proto = FloatBackend::compile(*net);
   Engine engine(proto, EngineConfig{});
   engine.shutdown();
+  // The typed error (serve::ShutdownError) still derives from
+  // std::runtime_error; old catch sites keep working.
+  EXPECT_THROW(engine.submit(Tensor::randn({4}, rng)), ShutdownError);
   EXPECT_THROW(engine.submit(Tensor::randn({4}, rng)), std::runtime_error);
 }
 
