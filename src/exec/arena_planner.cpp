@@ -6,8 +6,11 @@ namespace pdnn::exec {
 
 void ArenaPlanner::plan(ExecPlan& p) {
   const int n = static_cast<int>(p.steps.size());
+  const int m = static_cast<int>(p.grad_steps.size());
+  // Unified timeline: forward step i runs at time i, grad step k at time n+k.
+  const int T = n + m;
 
-  // --- lifetimes: last_use = index of the last step reading each slot ------
+  // --- lifetimes: last_use = last timeline point reading each slot ---------
   for (Slot& s : p.slots) s.last_use = s.def_step;  // unread slots die at birth
   for (int i = 0; i < n; ++i) {
     const Step& s = p.steps[static_cast<std::size_t>(i)];
@@ -15,12 +18,33 @@ void ArenaPlanner::plan(ExecPlan& p) {
     if (s.in1 >= 0) p.slots[static_cast<std::size_t>(s.in1)].last_use = i;
   }
   // The caller reads the plan output after the run: it outlives every step.
-  p.slots[static_cast<std::size_t>(p.output_slot)].last_use = n;
+  // In a training plan it must also survive the backward sweep (the caller
+  // computes the loss gradient from it before and metrics after).
+  p.slots[static_cast<std::size_t>(p.output_slot)].last_use = m > 0 ? T : n;
+  for (int k = 0; k < m; ++k) {
+    const int t = n + k;
+    const GradStep& g = p.grad_steps[static_cast<std::size_t>(k)];
+    const Step& fwd = p.steps[static_cast<std::size_t>(g.fwd_step)];
+    p.slots[static_cast<std::size_t>(g.gin)].last_use = t;
+    // Saved-for-backward activations pin their forward slot across the
+    // forward/backward boundary: the GEMM inputs of linear/conv (dW reads
+    // them) and BatchNorm's x-hat save slot.
+    if (fwd.op == OpKind::kLinear || fwd.op == OpKind::kConv2d) {
+      p.slots[static_cast<std::size_t>(fwd.in0)].last_use = t;
+    }
+    if (fwd.save >= 0) p.slots[static_cast<std::size_t>(fwd.save)].last_use = t;
+    // Accumulating writes read the slot's prior contents.
+    if (g.acc0) p.slots[static_cast<std::size_t>(g.gout0)].last_use = t;
+    if (g.gout1 >= 0 && g.acc1) p.slots[static_cast<std::size_t>(g.gout1)].last_use = t;
+  }
+  // The caller reads the gradient of the plan input after the backward sweep.
+  if (p.grad_input_slot >= 0) p.slots[static_cast<std::size_t>(p.grad_input_slot)].last_use = T;
 
   // --- in-place marking ----------------------------------------------------
   // ReLU and eval-mode BN read and write the same element index, so they may
   // execute into their input's buffer — but only when that input dies here
-  // (no later reader) and is not the caller-owned plan input.
+  // (no later reader) and is not the caller-owned plan input. Pinned GEMM
+  // inputs fail the dies-here test automatically.
   for (int i = 0; i < n; ++i) {
     Step& s = p.steps[static_cast<std::size_t>(i)];
     if (s.op != OpKind::kRelu && s.op != OpKind::kBatchNorm) continue;
@@ -28,25 +52,32 @@ void ArenaPlanner::plan(ExecPlan& p) {
     if (p.slots[static_cast<std::size_t>(s.in0)].last_use != i) continue;
     s.in_place = true;
   }
+  // The same-index property holds for the ReLU and BatchNorm backward sweeps
+  // (BN backward finishes its per-channel reductions over gin/x-hat before
+  // writing any element of that channel), so their grad output may overwrite
+  // gin when gin dies here, is arena-owned (not the caller's grad_out), and
+  // the write initializes rather than accumulates.
+  for (int k = 0; k < m; ++k) {
+    GradStep& g = p.grad_steps[static_cast<std::size_t>(k)];
+    const Step& fwd = p.steps[static_cast<std::size_t>(g.fwd_step)];
+    if (fwd.op != OpKind::kRelu && fwd.op != OpKind::kBatchNorm) continue;
+    if (g.gin == p.grad_output_slot) continue;
+    if (g.acc0) continue;
+    if (p.slots[static_cast<std::size_t>(g.gin)].last_use != n + k) continue;
+    g.in_place = true;
+  }
 
   // --- linear-scan buffer assignment ---------------------------------------
   // expire[b] = last_use of the slot currently occupying buffer b. A buffer
   // frees once its occupant's last reader has run; a step's own inputs have
-  // expire >= i and therefore never collide with its output.
+  // expire >= t and therefore never collide with its outputs.
   std::vector<int> expire;
   std::vector<int> free_list;
-  for (int i = 0; i < n; ++i) {
-    for (int b = 0; b < static_cast<int>(expire.size()); ++b) {
-      if (expire[static_cast<std::size_t>(b)] < i) {
-        expire[static_cast<std::size_t>(b)] = n + 1;  // parked until reassigned
-        free_list.push_back(b);
-      }
-    }
-    Step& s = p.steps[static_cast<std::size_t>(i)];
-    Slot& out = p.slots[static_cast<std::size_t>(s.out)];
+  auto assign = [&](int slot_id, int share_with) {
+    Slot& out = p.slots[static_cast<std::size_t>(slot_id)];
     int b;
-    if (s.in_place) {
-      b = p.slots[static_cast<std::size_t>(s.in0)].buffer;
+    if (share_with >= 0) {
+      b = p.slots[static_cast<std::size_t>(share_with)].buffer;
     } else if (!free_list.empty()) {
       b = free_list.back();
       free_list.pop_back();
@@ -56,6 +87,29 @@ void ArenaPlanner::plan(ExecPlan& p) {
     }
     out.buffer = b;
     expire[static_cast<std::size_t>(b)] = out.last_use;
+  };
+  for (int t = 0; t < T; ++t) {
+    for (int b = 0; b < static_cast<int>(expire.size()); ++b) {
+      if (expire[static_cast<std::size_t>(b)] < t) {
+        expire[static_cast<std::size_t>(b)] = T + 1;  // parked until reassigned
+        free_list.push_back(b);
+      }
+    }
+    if (t < n) {
+      const Step& s = p.steps[static_cast<std::size_t>(t)];
+      assign(s.out, s.in_place ? s.in0 : -1);
+      if (s.save >= 0) assign(s.save, -1);
+    } else {
+      const GradStep& g = p.grad_steps[static_cast<std::size_t>(t - n)];
+      // A grad slot is assigned by its first writer; accumulating writers
+      // reuse the existing buffer.
+      if (p.slots[static_cast<std::size_t>(g.gout0)].def_step == t) {
+        assign(g.gout0, g.in_place ? g.gin : -1);
+      }
+      if (g.gout1 >= 0 && p.slots[static_cast<std::size_t>(g.gout1)].def_step == t) {
+        assign(g.gout1, -1);
+      }
+    }
   }
   p.num_buffers = expire.size();
 }

@@ -6,6 +6,12 @@
 // by linear scan: a buffer is reused as soon as its occupant's last reader
 // has run. Backends then execute the whole plan against
 // tensor::TensorArena with no per-run allocation once shapes settle.
+//
+// Training plans run the same scan over the unified forward+backward
+// timeline: saved-for-backward activations (GEMM inputs, BN x-hat save
+// slots) are pinned until their grad step reads them, gradient slots are
+// assigned at their first writing grad step, and elementwise backward sweeps
+// (ReLU/BN) may run in place over the incoming gradient.
 #pragma once
 
 #include "exec/plan.hpp"

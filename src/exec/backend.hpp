@@ -94,6 +94,11 @@ class Backend {
  protected:
   virtual const tensor::Tensor& run_impl(const tensor::Tensor& x) = 0;
 
+  /// For backends with additional run-like entry points that overwrite slot
+  /// buffers (FloatBackend's training forward/backward): stamp the generation
+  /// exactly like run() does, so Output handles from earlier runs go stale.
+  void bump_generation() { ++generation_; }
+
  private:
   std::uint64_t generation_ = 0;
 };

@@ -44,7 +44,74 @@ FloatBackend FloatBackend::compile(nn::Module& net, nn::PrecisionPolicy* policy,
 }
 
 std::unique_ptr<Backend> FloatBackend::clone() const {
+  if (plan_.training()) return std::make_unique<FloatBackend>(compile_training(*net_));
   return std::make_unique<FloatBackend>(compile(*net_, policy_, opts_));
+}
+
+FloatBackend FloatBackend::compile_training(nn::Module& net) {
+  FloatBackend b;
+  b.opts_ = PlanOptions::none();
+  b.plan_ = GraphBuilder::lower_training(net);
+  b.net_ = &net;
+  b.state_.resize(b.plan_.steps.size());
+  b.tstate_.resize(b.plan_.steps.size());
+  b.arena_.configure(b.plan_.num_buffers);
+  // Backend-owned gradient accumulators in net.params() order — the order
+  // every clone agrees on, so a data-parallel trainer can reduce across
+  // backends index by index.
+  b.params_ = net.params();
+  b.grads_.reserve(b.params_.size());
+  for (nn::Param* p : b.params_) b.grads_.push_back(Tensor::zeros(p->value.shape()));
+  const auto pidx = [&b](const nn::Param* p) -> int {
+    for (std::size_t i = 0; i < b.params_.size(); ++i) {
+      if (b.params_[i] == p) return static_cast<int>(i);
+    }
+    throw std::logic_error(
+        "FloatBackend::compile_training: step parameter missing from net.params()");
+  };
+  for (std::size_t i = 0; i < b.plan_.steps.size(); ++i) {
+    const Step& s = b.plan_.steps[i];
+    TrainState& ts = b.tstate_[i];
+    switch (s.op) {
+      case OpKind::kLinear:
+        ts.wgrad = pidx(&s.linear->weight());
+        ts.bgrad = pidx(&s.linear->bias());
+        break;
+      case OpKind::kConv2d:
+        ts.wgrad = pidx(&s.conv->weight());
+        if (s.conv->has_bias()) ts.bgrad = pidx(&s.conv->bias());
+        break;
+      case OpKind::kBatchNorm:
+        ts.wgrad = pidx(&s.bn->gamma());
+        ts.bgrad = pidx(&s.bn->beta());
+        ts.bn_stats = static_cast<int>(b.bn_stats_.size());
+        b.bn_stats_.push_back(BnBatchStats{s.bn, {}, {}});
+        break;
+      default: break;
+    }
+  }
+  b.refresh();
+  return b;
+}
+
+void FloatBackend::require_training(const char* who) const {
+  if (!plan_.training()) {
+    throw std::logic_error(std::string("FloatBackend::") + who +
+                           ": backend was not compiled with compile_training()");
+  }
+}
+
+void FloatBackend::zero_grad() {
+  require_training("zero_grad");
+  for (Tensor& g : grads_) g.fill(0.0f);
+}
+
+void FloatBackend::commit_bn_stats() {
+  require_training("commit_bn_stats");
+  if (!forward_done_) {
+    throw std::logic_error("FloatBackend::commit_bn_stats: no train_forward() batch to commit");
+  }
+  for (BnBatchStats& s : bn_stats_) s.bn->update_running_stats(s.mean.data(), s.var.data());
 }
 
 void FloatBackend::refresh() {
@@ -61,9 +128,15 @@ void FloatBackend::refresh() {
       case OpKind::kLinear: {
         nn::Param& w = s.linear->weight();
         if (force || !st.bound || w.version != st.version) {
-          const Tensor qw =
-              quant ? policy_->quantize_weight(w.value, s.name, nn::LayerClass::kLinear) : w.value;
-          st.panel = tensor::transpose(qw);
+          if (quant) {
+            st.panel = tensor::transpose(
+                policy_->quantize_weight(w.value, s.name, nn::LayerClass::kLinear));
+          } else {
+            // Grow-only resize + transpose_into: weight updates between
+            // training steps re-derive the panel without reallocating.
+            st.panel.resize({s.in_c, s.out_c});
+            tensor::transpose_into(w.value.data(), s.out_c, s.in_c, st.panel.data());
+          }
           st.version = w.version;
           st.bound = true;
         }
@@ -147,6 +220,11 @@ void FloatBackend::fold_conv_bn(const Step& s, StepState& st) {
 const Tensor& FloatBackend::slot_tensor(int slot, const Tensor& x) const {
   if (slot == plan_.input_slot) return x;
   return arena_.at(static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(slot)].buffer));
+}
+
+Tensor& FloatBackend::bind_slot(int slot, const tensor::Shape& shape) {
+  return arena_.bind(static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(slot)].buffer),
+                     shape);
 }
 
 const Tensor& FloatBackend::run_impl(const Tensor& x) {
@@ -292,6 +370,414 @@ void FloatBackend::exec_join(const Tensor& main, const Tensor& skip, Tensor& out
   for (std::size_t i = 0; i < numel; ++i) {
     const float t = ma[i] + sk[i];
     dst[i] = t > 0.0f ? t : 0.0f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training forward
+// ---------------------------------------------------------------------------
+// The training kernels mirror nn::Module::forward(x, /*training=*/true)
+// expression for expression — the batch-stats BN reductions, the mask
+// recording, the maxpool comparisons — with the saved-for-backward state in
+// backend-owned storage (masks/argmax/inv_std per step, x-hat in the step's
+// arena save slot) instead of module members, so clones never touch the
+// shared module graph.
+
+const Tensor& FloatBackend::train_forward(const Tensor& x) {
+  require_training("train_forward");
+  bump_generation();
+  const bool force = force_refresh_;
+  refresh();
+  if (force) {
+    for (TrainState& ts : tstate_) ts.wt_bound = false;
+  }
+  for (std::size_t i = 0; i < plan_.steps.size(); ++i) {
+    const Step& s = plan_.steps[i];
+    StepState& st = state_[i];
+    TrainState& ts = tstate_[i];
+    const Tensor& in = slot_tensor(s.in0, x);
+    const Tensor* skip = s.in1 >= 0 ? &slot_tensor(s.in1, x) : nullptr;
+    const Shape skip_shape = skip != nullptr ? skip->shape() : Shape{};
+    const Shape out_shape =
+        infer_out_shape(s, in.shape(), skip != nullptr ? &skip_shape : nullptr, "FloatBackend");
+    ts.in_shape = in.shape();
+    Tensor& out = bind_slot(s.out, out_shape);
+    switch (s.op) {
+      case OpKind::kLinear: exec_linear(s, st, in, out); break;
+      case OpKind::kConv2d: exec_conv(s, st, in, out); break;
+      case OpKind::kBatchNorm: {
+        Tensor& xhat = bind_slot(s.save, in.shape());
+        exec_bn_train(s, ts, in, out, xhat);
+        break;
+      }
+      case OpKind::kRelu: exec_relu_train(ts, in, out); break;
+      case OpKind::kMaxPool2x2: exec_maxpool_train(ts, in, out); break;
+      case OpKind::kGlobalAvgPool: exec_gap(in, out); break;
+      case OpKind::kResidualJoin: exec_join_train(ts, in, *skip, out); break;
+    }
+  }
+  const Tensor& out = slot_tensor(plan_.output_slot, x);
+  train_out_shape_ = out.shape();
+  train_input_ = &x;
+  forward_done_ = true;
+  return out;
+}
+
+void FloatBackend::exec_bn_train(const Step& s, TrainState& ts, const Tensor& in, Tensor& out,
+                                 Tensor& xhat) {
+  // nn::BatchNorm2d::forward with training=true, minus the running-stat EMA
+  // (batch stats land in bn_stats_; the trainer commits them serially).
+  nn::BatchNorm2d& bn = *s.bn;
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t plane = in.shape()[2] * in.shape()[3];
+  const std::size_t per_channel = n * plane;
+  ts.inv_std.assign(c, 0.0f);
+  BnBatchStats& stats = bn_stats_[static_cast<std::size_t>(ts.bn_stats)];
+  stats.mean.assign(c, 0.0f);
+  stats.var.assign(c, 0.0f);
+  const float* gamma = bn.gamma().value.data();
+  const float* beta = bn.beta().value.data();
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* src = in.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum += src[i];
+        sum_sq += static_cast<double>(src[i]) * src[i];
+      }
+    }
+    const float mean = static_cast<float>(sum / static_cast<double>(per_channel));
+    const float var = static_cast<float>(std::max(
+        0.0, sum_sq / static_cast<double>(per_channel) - static_cast<double>(mean) * mean));
+    stats.mean[ci] = mean;
+    stats.var[ci] = var;
+    const float inv_std = 1.0f / std::sqrt(var + bn.eps());
+    ts.inv_std[ci] = inv_std;
+    const float g = gamma[ci], b = beta[ci];
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* src = in.data() + (ni * c + ci) * plane;
+      float* dst = out.data() + (ni * c + ci) * plane;
+      float* xh = xhat.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float xhat_v = (src[i] - mean) * inv_std;
+        xh[i] = xhat_v;
+        dst[i] = g * xhat_v + b;
+      }
+    }
+  }
+}
+
+void FloatBackend::exec_relu_train(TrainState& ts, const Tensor& in, Tensor& out) {
+  // nn::ReLU::forward(training=true): zero-clamp recording the mask. May run
+  // in place (the value is read before either write).
+  const std::size_t numel = out.numel();
+  ts.mask.assign(numel, 0);
+  const float* src = in.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    const float v = src[i];
+    if (v > 0.0f) {
+      ts.mask[i] = 1;
+      dst[i] = v;
+    } else {
+      dst[i] = 0.0f;
+    }
+  }
+}
+
+void FloatBackend::exec_maxpool_train(TrainState& ts, const Tensor& in, Tensor& out) {
+  // tensor::maxpool2x2_forward with the argmax recorded into backend state;
+  // planes are independent, so the parallel axis never changes a comparison.
+  const std::size_t n = in.shape()[0], c = in.shape()[1];
+  const std::size_t h = in.shape()[2], w = in.shape()[3];
+  const std::size_t oh = h / 2, ow = w / 2;
+  ts.argmax.assign(out.numel(), 0);
+  const float* src = in.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (n * c > 1 && n * c * oh * ow > 16384)
+  for (std::size_t pc = 0; pc < n * c; ++pc) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t dy = 0; dy < 2; ++dy) {
+          for (std::size_t dx = 0; dx < 2; ++dx) {
+            const std::size_t idx = (pc * h + 2 * y + dy) * w + 2 * x + dx;
+            if (src[idx] > best) {
+              best = src[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t oi = (pc * oh + y) * ow + x;
+        dst[oi] = best;
+        ts.argmax[oi] = best_idx;
+      }
+    }
+  }
+}
+
+void FloatBackend::exec_join_train(TrainState& ts, const Tensor& main, const Tensor& skip,
+                                   Tensor& out) {
+  // ResidualBlock's h += skip then masked ReLU: the fused t = m + s is the
+  // exact value the separate sweeps would clamp and mask.
+  const std::size_t numel = out.numel();
+  ts.mask.assign(numel, 0);
+  const float* ma = main.data();
+  const float* sk = skip.data();
+  float* dst = out.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    const float t = ma[i] + sk[i];
+    if (t > 0.0f) {
+      ts.mask[i] = 1;
+      dst[i] = t;
+    } else {
+      dst[i] = 0.0f;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Training backward
+// ---------------------------------------------------------------------------
+// Mirrors nn::Module::backward op for op: the same GEMM calls (staged through
+// persistent scratch instead of fresh temporaries), the same serial
+// accumulation loops, the same omp guards. Accumulating steps (`acc`) stage
+// dX into zeroed scratch exactly like eager's fresh tensor, then add it to
+// the slot's prior contents — eager's `gm += gs` with the operands swapped,
+// identical bits for any non-NaN gradient (IEEE addition is commutative).
+
+const Tensor& FloatBackend::run_backward(const Tensor& grad_out) {
+  require_training("run_backward");
+  if (!forward_done_) {
+    throw std::logic_error("FloatBackend::run_backward: no train_forward() to differentiate");
+  }
+  if (grad_out.shape() != train_out_shape_) {
+    throw std::invalid_argument("FloatBackend::run_backward: grad_out " +
+                                grad_out.shape().to_string() + " does not match forward output " +
+                                train_out_shape_.to_string());
+  }
+  bump_generation();
+  for (const GradStep& g : plan_.grad_steps) {
+    const Step& s = plan_.steps[static_cast<std::size_t>(g.fwd_step)];
+    TrainState& ts = tstate_[static_cast<std::size_t>(g.fwd_step)];
+    const Tensor& e = g.gin == plan_.grad_output_slot
+                          ? grad_out
+                          : arena_.at(static_cast<std::size_t>(
+                                plan_.slots[static_cast<std::size_t>(g.gin)].buffer));
+    Tensor& gout0 = bind_slot(g.gout0, ts.in_shape);
+    switch (s.op) {
+      case OpKind::kLinear:
+        exec_linear_grad(s, ts, e, slot_tensor(s.in0, *train_input_), gout0, g.acc0);
+        break;
+      case OpKind::kConv2d:
+        exec_conv_grad(s, ts, e, slot_tensor(s.in0, *train_input_), gout0, g.acc0);
+        break;
+      case OpKind::kBatchNorm: {
+        const Tensor& xhat = arena_.at(
+            static_cast<std::size_t>(plan_.slots[static_cast<std::size_t>(s.save)].buffer));
+        exec_bn_grad(s, ts, e, xhat, gout0, g.acc0);
+        break;
+      }
+      case OpKind::kRelu: exec_relu_grad(ts, e, gout0, g.acc0); break;
+      case OpKind::kMaxPool2x2: exec_maxpool_grad(ts, e, gout0, g.acc0, ts.dx_scratch); break;
+      case OpKind::kGlobalAvgPool: exec_gap_grad(ts, e, gout0, g.acc0); break;
+      case OpKind::kResidualJoin: {
+        Tensor& gout1 = bind_slot(g.gout1, ts.in_shape);
+        exec_join_grad(ts, e, gout0, g.acc0, gout1, g.acc1);
+        break;
+      }
+    }
+  }
+  return arena_.at(static_cast<std::size_t>(
+      plan_.slots[static_cast<std::size_t>(plan_.grad_input_slot)].buffer));
+}
+
+void FloatBackend::exec_linear_grad(const Step& s, TrainState& ts, const Tensor& e,
+                                    const Tensor& in, Tensor& gout, bool acc) {
+  // nn::Linear::backward: dW = dY^T X, db = colsum(dY), dX = dY W — the same
+  // blocked GEMMs matmul makes, staged through persistent scratch.
+  const std::size_t n = e.shape()[0];
+  ts.e_t.resize({s.out_c, n});
+  tensor::transpose_into(e.data(), n, s.out_c, ts.e_t.data());
+  ts.dw.resize({s.out_c, s.in_c});
+  ts.dw.fill(0.0f);
+  tensor::gemm_blocked(s.out_c, s.in_c, n, ts.e_t.data(), n, in.data(), s.in_c, ts.dw.data(),
+                       s.in_c);
+  Tensor& gw = grads_[static_cast<std::size_t>(ts.wgrad)];
+  float* gwp = gw.data();
+  const float* dwp = ts.dw.data();
+  for (std::size_t i = 0; i < gw.numel(); ++i) gwp[i] += dwp[i];
+  float* gb = grads_[static_cast<std::size_t>(ts.bgrad)].data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < s.out_c; ++j) gb[j] += e.data()[i * s.out_c + j];
+  }
+  if (acc) ts.dx_scratch.resize(gout.shape());
+  Tensor& target = acc ? ts.dx_scratch : gout;
+  target.fill(0.0f);
+  tensor::gemm_blocked(n, s.in_c, s.out_c, e.data(), s.out_c, s.linear->weight().value.data(),
+                       s.in_c, target.data(), s.in_c);
+  if (acc) {
+    float* d = gout.data();
+    const float* v = ts.dx_scratch.data();
+    for (std::size_t i = 0; i < gout.numel(); ++i) d[i] += v[i];
+  }
+}
+
+void FloatBackend::exec_conv_grad(const Step& s, TrainState& ts, const Tensor& e, const Tensor& in,
+                                  Tensor& gout, bool acc) {
+  // nn::Conv2d::backward + tensor::conv2d_backward: per-channel bias
+  // reduction, then the serial per-sample im2col / dW GEMM / dX col2im loop —
+  // dW accumulates straight into the backend-owned grad (same layout and
+  // bits as eager's reshaped-copy-and-write-back), W^T is a panel cached per
+  // Param::version (a transpose moves data, it computes nothing).
+  const tensor::Conv2dGeom geom{s.in_c,   ts.in_shape[2], ts.in_shape[3], s.out_c,
+                                s.kernel, s.stride,       s.pad,          s.kernel_w};
+  const std::size_t batch = ts.in_shape[0];
+  const std::size_t pixels = geom.out_h() * geom.out_w();
+  const std::size_t patch = geom.patch();
+  if (s.epilogue.bias) {
+    float* gb = grads_[static_cast<std::size_t>(ts.bgrad)].data();
+#pragma omp parallel for schedule(static) if (s.out_c > 1 && batch * s.out_c * pixels > 16384)
+    for (std::size_t ci = 0; ci < s.out_c; ++ci) {
+      float acc_b = 0.0f;
+      for (std::size_t ni = 0; ni < batch; ++ni) {
+        const float* src = e.data() + (ni * s.out_c + ci) * pixels;
+        for (std::size_t i = 0; i < pixels; ++i) acc_b += src[i];
+      }
+      gb[ci] += acc_b;
+    }
+  }
+  nn::Param& w = s.conv->weight();
+  if (!ts.wt_bound || ts.wt_version != w.version) {
+    ts.w2d_t.resize({patch, s.out_c});
+    tensor::transpose_into(w.value.data(), s.out_c, patch, ts.w2d_t.data());
+    ts.wt_version = w.version;
+    ts.wt_bound = true;
+  }
+  ts.cols.resize({patch, pixels});
+  ts.cols_t.resize({pixels, patch});
+  ts.grad_cols.resize({patch, pixels});
+  if (acc) ts.dx_scratch.resize(gout.shape());
+  Tensor& target = acc ? ts.dx_scratch : gout;
+  target.fill(0.0f);
+  float* gw = grads_[static_cast<std::size_t>(ts.wgrad)].data();  // [out_c, patch] layout
+  const std::size_t in_stride = s.in_c * geom.in_h * geom.in_w;
+  const std::size_t out_stride = s.out_c * pixels;
+  for (std::size_t nidx = 0; nidx < batch; ++nidx) {
+    const float* go = e.data() + nidx * out_stride;
+    // dW += dY * cols^T; the serial batch loop keeps accumulation order fixed.
+    tensor::im2col(in.data() + nidx * in_stride, geom, ts.cols.data());
+    tensor::transpose_into(ts.cols.data(), patch, pixels, ts.cols_t.data());
+    tensor::gemm_blocked(s.out_c, patch, pixels, go, pixels, ts.cols_t.data(), patch, gw, patch);
+    // dX = col2im(W^T * dY)
+    ts.grad_cols.fill(0.0f);
+    tensor::gemm_blocked(patch, pixels, s.out_c, ts.w2d_t.data(), s.out_c, go, pixels,
+                         ts.grad_cols.data(), pixels);
+    tensor::col2im(ts.grad_cols.data(), geom, target.data() + nidx * in_stride);
+  }
+  if (acc) {
+    float* d = gout.data();
+    const float* v = ts.dx_scratch.data();
+    for (std::size_t i = 0; i < gout.numel(); ++i) d[i] += v[i];
+  }
+}
+
+void FloatBackend::exec_bn_grad(const Step& s, TrainState& ts, const Tensor& e, const Tensor& xhat,
+                                Tensor& gout, bool acc) {
+  // nn::BatchNorm2d::backward, with x-hat from the save slot and inv_std from
+  // the last train_forward. May run in place over e (the per-channel
+  // reductions complete before any element of that channel is written).
+  const std::size_t n = ts.in_shape[0], c = ts.in_shape[1];
+  const std::size_t plane = ts.in_shape[2] * ts.in_shape[3];
+  const auto per_channel = static_cast<float>(n * plane);
+  float* gg = grads_[static_cast<std::size_t>(ts.wgrad)].data();
+  float* gb = grads_[static_cast<std::size_t>(ts.bgrad)].data();
+  const float* gamma = s.bn->gamma().value.data();
+#pragma omp parallel for schedule(static) if (c > 1 && n * plane > 4096)
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    double dg = 0.0, db = 0.0;
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* gy = e.data() + (ni * c + ci) * plane;
+      const float* xh = xhat.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        dg += static_cast<double>(gy[i]) * xh[i];
+        db += gy[i];
+      }
+    }
+    gg[ci] += static_cast<float>(dg);
+    gb[ci] += static_cast<float>(db);
+    const float scale = gamma[ci] * ts.inv_std[ci] / per_channel;
+    const auto sdg = static_cast<float>(dg);
+    const auto sdb = static_cast<float>(db);
+    for (std::size_t ni = 0; ni < n; ++ni) {
+      const float* gy = e.data() + (ni * c + ci) * plane;
+      const float* xh = xhat.data() + (ni * c + ci) * plane;
+      float* gx = gout.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float v = scale * (per_channel * gy[i] - sdb - xh[i] * sdg);
+        gx[i] = acc ? gx[i] + v : v;
+      }
+    }
+  }
+}
+
+void FloatBackend::exec_relu_grad(const TrainState& ts, const Tensor& e, Tensor& gout, bool acc) {
+  // nn::ReLU::backward: pass where the mask fired, zero elsewhere.
+  const std::size_t numel = e.numel();
+  const float* g = e.data();
+  float* dst = gout.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    const float v = ts.mask[i] != 0 ? g[i] : 0.0f;
+    dst[i] = acc ? dst[i] + v : v;
+  }
+}
+
+void FloatBackend::exec_maxpool_grad(TrainState& ts, const Tensor& e, Tensor& gout, bool acc,
+                                     Tensor& scratch) {
+  // tensor::maxpool2x2_backward: zero, then the serial winner scatter.
+  if (acc) scratch.resize(gout.shape());
+  Tensor& target = acc ? scratch : gout;
+  target.fill(0.0f);
+  for (std::size_t i = 0; i < e.numel(); ++i) target[ts.argmax[i]] += e[i];
+  if (acc) {
+    float* d = gout.data();
+    const float* v = scratch.data();
+    for (std::size_t i = 0; i < gout.numel(); ++i) d[i] += v[i];
+  }
+}
+
+void FloatBackend::exec_gap_grad(const TrainState& ts, const Tensor& e, Tensor& gout, bool acc) {
+  // tensor::global_avgpool_backward's serial per-cell broadcast.
+  const std::size_t n = ts.in_shape[0], c = ts.in_shape[1];
+  const std::size_t plane = ts.in_shape[2] * ts.in_shape[3];
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t ci = 0; ci < c; ++ci) {
+      const float g = e.data()[ni * c + ci] * inv;
+      float* dst = gout.data() + (ni * c + ci) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = acc ? dst[i] + g : g;
+    }
+  }
+}
+
+void FloatBackend::exec_join_grad(const TrainState& ts, const Tensor& e, Tensor& gout0, bool acc0,
+                                  Tensor& gout1, bool acc1) {
+  // ResidualBlock::backward's masked g, routed to both branches: the main
+  // branch's bn2 and the skip operand receive the identical masked value.
+  const std::size_t numel = e.numel();
+  const float* g = e.data();
+  float* d0 = gout0.data();
+  float* d1 = gout1.data();
+#pragma omp parallel for schedule(static) if (numel > 16384)
+  for (std::size_t i = 0; i < numel; ++i) {
+    const float v = ts.mask[i] != 0 ? g[i] : 0.0f;
+    d0[i] = acc0 ? d0[i] + v : v;
+    d1[i] = acc1 ? d1[i] + v : v;
   }
 }
 

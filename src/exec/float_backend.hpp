@@ -17,6 +17,24 @@
 // slot buffer), so a trainer's eval loop under posit-simulated quantization
 // can run through the compiled plan too. With no policy (or an inactive
 // one), the backend is the plain FP32 reference.
+//
+// ## Training mode (compile_training)
+//
+// A training backend executes a GraphBuilder::lower_training plan:
+// train_forward() is the training-mode forward (batch-stats BN writing x-hat
+// to its save slot, ReLU/join masks and pool argmax recorded as backend
+// state) and run_backward() replays the plan's grad steps in reverse forward
+// order, accumulating parameter gradients into BACKEND-OWNED grad tensors
+// (param_grads()) — never into the shared Param::grad, so cloned training
+// backends can run on worker threads without racing. Both are bit-identical
+// to the eager Module::forward(x, true)/backward chain: the same GEMM calls,
+// the same per-element expressions, the same serial accumulation orders —
+// the only reordering is which operand of a final gradient add comes first
+// (IEEE-commutative). Batch statistics land in bn_batch_stats(); they are
+// NOT folded into the modules' running estimates until the trainer commits
+// them (BatchNorm2d::update_running_stats), keeping clones side-effect-free.
+// run() still works on a training backend and is the eval-mode forward.
+// Steady state (repeated shapes, no weight mutation) allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +60,11 @@ class FloatBackend final : public Backend {
   static FloatBackend compile(nn::Module& net, nn::PrecisionPolicy* policy = nullptr,
                               PlanOptions opts = PlanOptions::defaults());
 
+  /// Compile a training backend (see "Training mode" above). No policy and
+  /// no fusion passes: the Fig. 3 hooks and the fused epilogues both
+  /// conflict with the saved activations and masks backward needs.
+  static FloatBackend compile_training(nn::Module& net);
+
   FloatBackend(FloatBackend&&) noexcept = default;
   FloatBackend& operator=(FloatBackend&&) noexcept = default;
 
@@ -60,6 +83,44 @@ class FloatBackend final : public Backend {
   /// Version checks already catch Param and running-stat mutations; this is
   /// the belt-and-braces hook for out-of-band weight writes.
   void invalidate() { force_refresh_ = true; }
+
+  // --- training API (compile_training backends only; others throw) ---------
+
+  /// Per-BatchNorm-step batch statistics of the last train_forward(), in
+  /// step order. The trainer folds them into the modules serially via
+  /// BatchNorm2d::update_running_stats (or commit_bn_stats() below).
+  struct BnBatchStats {
+    nn::BatchNorm2d* bn = nullptr;
+    std::vector<float> mean, var;
+  };
+
+  /// Training-mode forward pass: batch-stats BN (x-hat saved for backward),
+  /// ReLU/join masks and pool argmax recorded. Same output contract as
+  /// run(); the input `x` must stay alive and unmodified until run_backward
+  /// finishes (the backward GEMMs read it). Shapes may vary between calls.
+  const tensor::Tensor& train_forward(const tensor::Tensor& x);
+
+  /// Backward pass over the last train_forward(). `grad_out` is
+  /// d(loss)/d(output) with the forward output's shape; returns
+  /// d(loss)/d(input) (arena-owned, valid until the next run-like call).
+  /// Parameter gradients ACCUMULATE into param_grads() — call zero_grad()
+  /// to start a fresh batch, exactly like the eager Param::grad contract.
+  const tensor::Tensor& run_backward(const tensor::Tensor& grad_out);
+
+  /// Zero the backend-owned gradient accumulators.
+  void zero_grad();
+
+  /// The trained parameters in nn::Module::params() order, and the
+  /// backend-owned gradient tensors aligned with them.
+  const std::vector<nn::Param*>& trained_params() const { return params_; }
+  std::vector<tensor::Tensor>& param_grads() { return grads_; }
+  const std::vector<tensor::Tensor>& param_grads() const { return grads_; }
+
+  const std::vector<BnBatchStats>& bn_batch_stats() const { return bn_stats_; }
+  /// Single-worker convenience: EMA-fold the last batch's BN statistics into
+  /// the live modules in step order (bumps each stats_version). Data-parallel
+  /// trainers commit shard stats themselves, in shard order.
+  void commit_bn_stats();
 
  protected:
   /// Eval-mode forward pass behind Backend::run(); returns a reference into
@@ -89,10 +150,33 @@ class FloatBackend final : public Backend {
     std::uint64_t stats_version = 0;
   };
 
+  /// Per-step training state: saved-for-backward bookkeeping the arena can't
+  /// hold (masks/argmax are not float tensors) plus persistent backward
+  /// scratch. Grad-index fields map the step's parameters into
+  /// params_/grads_.
+  struct TrainState {
+    tensor::Shape in_shape;              ///< forward input shape, per run
+    std::vector<std::uint8_t> mask;      ///< relu / residual-join mask
+    std::vector<std::size_t> argmax;     ///< maxpool winner indices
+    std::vector<float> inv_std;          ///< bn: batch 1/sqrt(var+eps)
+    int bn_stats = -1;                   ///< bn: index into bn_stats_
+    int wgrad = -1;                      ///< linear/conv W, bn gamma
+    int bgrad = -1;                      ///< linear/conv bias, bn beta
+    tensor::Tensor w2d_t;                ///< conv: W^T [patch, out_c] panel
+    std::uint64_t wt_version = 0;
+    bool wt_bound = false;
+    tensor::Tensor e_t;                  ///< linear: dY^T scratch
+    tensor::Tensor dw;                   ///< linear: dW staging
+    tensor::Tensor cols, cols_t, grad_cols;  ///< conv backward scratch
+    tensor::Tensor dx_scratch;           ///< accumulate-mode dX staging
+  };
+
   bool quantizing() const { return policy_ != nullptr && policy_->active(); }
   void refresh();
   void fold_conv_bn(const Step& s, StepState& st);
   const tensor::Tensor& slot_tensor(int slot, const tensor::Tensor& x) const;
+  tensor::Tensor& bind_slot(int slot, const tensor::Shape& shape);
+  void require_training(const char* who) const;
 
   void exec_linear(const Step& s, StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
   void exec_conv(const Step& s, StepState& st, const tensor::Tensor& in, tensor::Tensor& out);
@@ -100,6 +184,28 @@ class FloatBackend final : public Backend {
   static void exec_gap(const tensor::Tensor& in, tensor::Tensor& out);
   static void exec_join(const tensor::Tensor& main, const tensor::Tensor& skip,
                         tensor::Tensor& out);
+
+  void exec_bn_train(const Step& s, TrainState& ts, const tensor::Tensor& in, tensor::Tensor& out,
+                     tensor::Tensor& xhat);
+  static void exec_relu_train(TrainState& ts, const tensor::Tensor& in, tensor::Tensor& out);
+  static void exec_maxpool_train(TrainState& ts, const tensor::Tensor& in, tensor::Tensor& out);
+  static void exec_join_train(TrainState& ts, const tensor::Tensor& main,
+                              const tensor::Tensor& skip, tensor::Tensor& out);
+
+  void exec_linear_grad(const Step& s, TrainState& ts, const tensor::Tensor& e,
+                        const tensor::Tensor& in, tensor::Tensor& gout, bool acc);
+  void exec_conv_grad(const Step& s, TrainState& ts, const tensor::Tensor& e,
+                      const tensor::Tensor& in, tensor::Tensor& gout, bool acc);
+  void exec_bn_grad(const Step& s, TrainState& ts, const tensor::Tensor& e,
+                    const tensor::Tensor& xhat, tensor::Tensor& gout, bool acc);
+  static void exec_relu_grad(const TrainState& ts, const tensor::Tensor& e, tensor::Tensor& gout,
+                             bool acc);
+  static void exec_maxpool_grad(TrainState& ts, const tensor::Tensor& e, tensor::Tensor& gout,
+                                bool acc, tensor::Tensor& scratch);
+  static void exec_gap_grad(const TrainState& ts, const tensor::Tensor& e, tensor::Tensor& gout,
+                            bool acc);
+  static void exec_join_grad(const TrainState& ts, const tensor::Tensor& e, tensor::Tensor& gout0,
+                             bool acc0, tensor::Tensor& gout1, bool acc1);
 
   ExecPlan plan_;
   PlanOptions opts_;
@@ -109,6 +215,15 @@ class FloatBackend final : public Backend {
   nn::PrecisionPolicy* policy_ = nullptr;  // not owned
   bool panels_quantized_ = false;
   bool force_refresh_ = false;
+
+  // Training-only state (empty for inference backends).
+  std::vector<TrainState> tstate_;
+  std::vector<nn::Param*> params_;      // net.params() order; clones agree
+  std::vector<tensor::Tensor> grads_;   // backend-owned, aligned with params_
+  std::vector<BnBatchStats> bn_stats_;  // kBatchNorm steps, in step order
+  tensor::Shape train_out_shape_;       // last train_forward output shape
+  const tensor::Tensor* train_input_ = nullptr;  // caller's x; backward GEMMs read it
+  bool forward_done_ = false;
 };
 
 }  // namespace pdnn::exec

@@ -110,7 +110,71 @@ struct Lowering {
   }
 };
 
+/// Append the backward pass to a freshly lowered (unfused) plan: grad steps in
+/// exact reverse forward order, one gradient slot per forward slot, created on
+/// first write. A forward slot with several readers (a residual block input,
+/// read by conv1 and the join/downsample) collects one contribution per
+/// reader: the first writing grad step initializes the slot, later ones
+/// accumulate (`acc0`/`acc1`). Reverse order guarantees every contribution to
+/// grad(s) lands before the grad step of s's defining step consumes it.
+void emit_grad_steps(ExecPlan& p) {
+  const int n = static_cast<int>(p.steps.size());
+  std::vector<int> gslot(p.slots.size(), -1);
+
+  // BatchNorm saves x-hat for backward; the save slot is defined by the
+  // forward step and read by its grad step.
+  for (int i = 0; i < n; ++i) {
+    if (p.steps[static_cast<std::size_t>(i)].op == OpKind::kBatchNorm) {
+      p.slots.push_back({i, -1, -1, -1});
+      p.steps[static_cast<std::size_t>(i)].save = static_cast<int>(p.slots.size()) - 1;
+    }
+  }
+
+  // The gradient of the plan output is caller-owned, like the plan input.
+  p.slots.push_back({-1, -1, -1, p.output_slot});
+  p.grad_output_slot = static_cast<int>(p.slots.size()) - 1;
+  gslot[static_cast<std::size_t>(p.output_slot)] = p.grad_output_slot;
+
+  for (int i = n - 1; i >= 0; --i) {
+    const Step& s = p.steps[static_cast<std::size_t>(i)];
+    GradStep g;
+    g.fwd_step = i;
+    g.gin = gslot[static_cast<std::size_t>(s.out)];
+    const int time = n + static_cast<int>(p.grad_steps.size());
+    auto write_grad = [&](int fwd_slot, int& gout, bool& acc) {
+      int& gs = gslot[static_cast<std::size_t>(fwd_slot)];
+      if (gs < 0) {
+        p.slots.push_back({time, -1, -1, fwd_slot});
+        gs = static_cast<int>(p.slots.size()) - 1;
+        acc = false;
+      } else {
+        acc = true;
+      }
+      gout = gs;
+    };
+    write_grad(s.in0, g.gout0, g.acc0);
+    if (s.in1 >= 0) write_grad(s.in1, g.gout1, g.acc1);
+    p.grad_steps.push_back(g);
+  }
+  p.grad_input_slot = gslot[static_cast<std::size_t>(p.input_slot)];
+}
+
 }  // namespace
+
+ExecPlan GraphBuilder::lower_training(nn::Module& net) {
+  Lowering l;
+  l.plan.slots.push_back({-1, -1, -1});
+  l.plan.input_slot = 0;
+  l.plan.output_slot = l.lower_into(net, 0, 0);
+  if (l.plan.steps.empty()) {
+    throw std::invalid_argument("GraphBuilder: '" + net.name() +
+                                "' lowers to zero steps (empty or all-container net); the plan "
+                                "output would alias the caller-owned input");
+  }
+  emit_grad_steps(l.plan);
+  ArenaPlanner::plan(l.plan);
+  return std::move(l.plan);
+}
 
 ExecPlan GraphBuilder::lower(nn::Module& net, const PlanOptions& opts) {
   Lowering l;

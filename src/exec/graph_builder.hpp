@@ -27,6 +27,16 @@ class GraphBuilder {
   /// to zero steps (an empty or all-container Sequential): the plan output
   /// would alias the caller-owned input slot, which no backend can honor.
   static ExecPlan lower(nn::Module& net, const PlanOptions& opts = PlanOptions::defaults());
+
+  /// Lower `net` into a training plan: the plain unfused forward lowering
+  /// (bias epilogues kept; fusion/folding passes conflict with the masks and
+  /// saved activations backward needs) plus one GradStep per forward step in
+  /// exact reverse forward order. kBatchNorm steps get a `save` slot for
+  /// x-hat; GEMM inputs are pinned across the forward/backward boundary by
+  /// the ArenaPlanner. The gradient of the plan output is the caller-owned
+  /// `grad_output_slot`; the gradient of the plan input lands in
+  /// `grad_input_slot` and is what FloatBackend::run_backward returns.
+  static ExecPlan lower_training(nn::Module& net);
 };
 
 }  // namespace pdnn::exec

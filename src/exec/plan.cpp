@@ -43,6 +43,10 @@ std::string ExecPlan::dump(std::size_t arena_bytes) const {
                 steps.size(), top_level_steps, slots.size(), num_buffers, reused_slots(),
                 in_place_steps());
   out += line;
+  if (!grad_steps.empty()) {
+    std::snprintf(line, sizeof(line), ", %zu grad steps", grad_steps.size());
+    out += line;
+  }
   if (arena_bytes > 0) {
     std::snprintf(line, sizeof(line), ", arena %zu bytes\n", arena_bytes);
   } else {
@@ -64,10 +68,40 @@ std::string ExecPlan::dump(std::size_t arena_bytes) const {
     if (s.folded_bn != nullptr) marks += " +bn(" + s.folded_bn->name() + ")";
     if (s.epilogue.relu) marks += " +relu";
     if (s.elide_im2col) marks += " (1x1-direct)";
+    if (s.save >= 0) marks += " save:s" + std::to_string(s.save);
     std::snprintf(line, sizeof(line), "  [%3zu] %-14s %-24s %-16s b%d%s\n", i, to_string(s.op),
                   name.c_str(), wiring, slots[static_cast<std::size_t>(s.out)].buffer,
                   marks.c_str());
     out += line;
+  }
+  if (!grad_steps.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "  grad steps: %zu (reverse forward order; grad:sN = gradient of slot sN)\n",
+                  grad_steps.size());
+    out += line;
+    for (std::size_t k = 0; k < grad_steps.size(); ++k) {
+      const GradStep& g = grad_steps[k];
+      const Step& s = steps[static_cast<std::size_t>(g.fwd_step)];
+      char wiring[96];
+      const int gin_of = slots[static_cast<std::size_t>(g.gin)].grad_of;
+      const int g0_of = slots[static_cast<std::size_t>(g.gout0)].grad_of;
+      if (g.gout1 >= 0) {
+        std::snprintf(wiring, sizeof(wiring), "grad:s%d -> grad:s%d, grad:s%d", gin_of, g0_of,
+                      slots[static_cast<std::size_t>(g.gout1)].grad_of);
+      } else {
+        std::snprintf(wiring, sizeof(wiring), "grad:s%d -> grad:s%d", gin_of, g0_of);
+      }
+      std::string name = s.name;
+      for (int d = 0; d < s.depth; ++d) name.insert(0, "  ");
+      std::string marks;
+      if (g.in_place) marks += " (in-place)";
+      if (g.acc0) marks += " (+=)";
+      if (g.acc1) marks += " (+= skip)";
+      std::snprintf(line, sizeof(line), "  [g%2zu] %-14s %-24s %-28s b%d%s\n", k, to_string(s.op),
+                    name.c_str(), wiring, slots[static_cast<std::size_t>(g.gout0)].buffer,
+                    marks.c_str());
+      out += line;
+    }
   }
   return out;
 }

@@ -15,6 +15,17 @@
 // branch steps, its skip branch steps, and one kResidualJoin (the rounded
 // add + trailing ReLU the block performs), so nothing in the runtime is
 // shaped like a tree anymore.
+//
+// Training plans (GraphBuilder::lower_training) extend the same dataflow with
+// one GradStep per forward step, emitted in exact reverse forward order: grad
+// step k runs at unified-timeline time `steps.size() + k`, reads the gradient
+// slot of its forward step's output, and defines (or accumulates into) the
+// gradient slot of each forward input. Saved-for-backward activations (the
+// GEMM inputs of kLinear/kConv2d, the normalized x-hat a kBatchNorm writes to
+// its `save` slot) are pinned across the forward/backward boundary by
+// extending their last_use into the grad timeline, so ArenaPlanner folds
+// activations and gradients onto one arena without ever clobbering a tensor
+// the backward pass still needs.
 #pragma once
 
 #include <cstddef>
@@ -85,14 +96,43 @@ struct Step {
   int in1 = -1;  ///< kResidualJoin only: the skip operand
   int out = -1;
   bool in_place = false;  ///< planner: out shares in0's buffer (elementwise ops)
+  /// Training plans only: arena slot this step saves for its backward pass
+  /// (kBatchNorm writes x-hat there). -1 everywhere else; masks/argmax are
+  /// backend state, not slots, because they are not float tensors.
+  int save = -1;
+};
+
+/// One backward step of a training plan, differentiating forward step
+/// `fwd_step`. Reads `gin` (the grad slot of the forward step's output — the
+/// caller-owned grad_out for the last step) and writes `gout0` = d(loss)/d(in0)
+/// (joins also `gout1` for in1). `acc0`/`acc1` mark outputs whose slot was
+/// already initialized by an earlier grad step (a forward slot with several
+/// readers, e.g. a residual block input): the step must add its contribution
+/// instead of overwriting. Accumulation order across grad steps differs from
+/// eager's `gm += gs` only by operand order of the final IEEE add, which is
+/// commutative for non-NaN values — so planned backward stays bit-identical.
+struct GradStep {
+  int fwd_step = -1;
+  int gin = -1;
+  int gout0 = -1;
+  int gout1 = -1;  ///< kResidualJoin only: gradient of the skip operand
+  bool acc0 = false;
+  bool acc1 = false;
+  bool in_place = false;  ///< planner: gout0 shares gin's buffer (elementwise)
 };
 
 /// One tensor defined during a run. Lifetimes and buffer assignment are
 /// filled by ArenaPlanner.
 struct Slot {
-  int def_step = -1;  ///< step defining this slot; -1 for the plan input
-  int last_use = -1;  ///< last step reading it; the output slot never dies
+  /// Defining time: the forward step index, or `steps.size() + k` for a slot
+  /// first written by grad step k. -1 for the caller-owned plan input and the
+  /// caller-owned grad_out of a training plan.
+  int def_step = -1;
+  int last_use = -1;  ///< last timeline point reading it; the output slot never dies
   int buffer = -1;    ///< arena buffer id; -1 for the caller-owned plan input
+  /// Training plans: this slot holds the gradient of forward slot `grad_of`
+  /// (-1 for forward activation and save slots).
+  int grad_of = -1;
 };
 
 struct ExecPlan {
@@ -103,15 +143,22 @@ struct ExecPlan {
   std::size_t num_buffers = 0;      ///< arena buffers after lifetime folding
   std::size_t top_level_steps = 0;  ///< a residual region counts as one
 
+  // Training extension (empty/-1 for inference plans).
+  std::vector<GradStep> grad_steps;  ///< reverse forward order, one per step
+  int grad_input_slot = -1;   ///< arena slot holding d(loss)/d(plan input)
+  int grad_output_slot = -1;  ///< caller-owned d(loss)/d(plan output)
+  bool training() const { return !grad_steps.empty(); }
+
   std::size_t in_place_steps() const;
   /// Arena slots that reuse a buffer another slot already occupied — the
   /// savings the lifetime planner bought over one-buffer-per-slot.
   std::size_t reused_slots() const;
 
   /// Human-readable plan: the step table (slot wiring, buffers, in-place
-  /// marks) plus the summary line. `arena_bytes` is backend state (buffer
-  /// sizes depend on the shapes actually run), so callers pass it in —
-  /// 0 prints "unsized".
+  /// marks) plus the summary line. Training plans append the gradient step
+  /// table with `grad:`-prefixed slots. `arena_bytes` is backend state
+  /// (buffer sizes depend on the shapes actually run), so callers pass it
+  /// in — 0 prints "unsized".
   std::string dump(std::size_t arena_bytes = 0) const;
 };
 

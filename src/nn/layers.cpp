@@ -210,6 +210,14 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+void BatchNorm2d::update_running_stats(const float* mean, const float* var) {
+  for (std::size_t ci = 0; ci < channels_; ++ci) {
+    running_mean_[ci] = (1 - momentum_) * running_mean_[ci] + momentum_ * mean[ci];
+    running_var_[ci] = (1 - momentum_) * running_var_[ci] + momentum_ * var[ci];
+  }
+  stats_version_ = next_param_version();
+}
+
 // ---------------------------------------------------------------------------
 // ReLU
 // ---------------------------------------------------------------------------

@@ -68,6 +68,17 @@ class BatchNorm2d final : public Module {
   /// key that state on this exactly like a Param version, so a training
   /// step between serves re-derives it.
   std::uint64_t stats_version() const { return stats_version_; }
+  float momentum() const { return momentum_; }
+
+  /// Trainer hook: fold one training batch's per-channel statistics into the
+  /// running estimates with the module's EMA momentum (the same expression
+  /// the eager training forward uses) and bump stats_version(). The compiled
+  /// training backend computes batch stats into backend-owned state — clones
+  /// must not race on the shared module — and the trainer commits them
+  /// serially here, one call per micro-batch in shard order. `mean`/`var`
+  /// must hold channels() values.
+  void update_running_stats(const float* mean, const float* var);
+  std::size_t channels() const { return channels_; }
 
  private:
   Param gamma_, beta_;

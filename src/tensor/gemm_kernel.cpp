@@ -174,20 +174,37 @@ void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc, const float* a
 /// Per-thread pack scratch, reused across calls; conv's per-sample GEMMs
 /// would otherwise malloc on every invocation. File-scope so
 /// gemm_pack_bytes() can report the calling thread's footprint.
-thread_local std::vector<float> tl_bp_buf;
-thread_local std::vector<float> tl_ap_buf;
+struct PackBuf {
+  std::vector<float> buf;
+  std::size_t slack_calls = 0;  // consecutive calls far below capacity
+};
+thread_local PackBuf tl_bp_buf;
+thread_local PackBuf tl_ap_buf;
 
 /// Shrink threshold: a long-lived worker that once saw a huge GEMM must not
-/// hold that peak forever, so when the retained capacity is both over the
-/// floor and several times the current need, the buffer is reallocated at
-/// the current need before reuse. Packing panels are fully (re)written on
-/// every use, so resizing never changes a computed bit.
+/// hold that peak forever, so when the retained capacity stays both over the
+/// floor and several times the current need for a sustained streak of calls,
+/// the buffer is reallocated at the current need before reuse. The streak
+/// requirement (kPackShrinkPatience) is hysteresis: workloads that alternate
+/// large and small GEMMs within one step — a compiled backward pass
+/// interleaves wide dW panels with narrow dX ones — reset the streak every
+/// few calls and therefore never thrash realloc in steady state, while a
+/// worker whose traffic turns small for good still releases the peak within
+/// one patience window. Packing panels are fully (re)written on every use,
+/// so resizing never changes a computed bit.
 constexpr std::size_t kPackShrinkFactor = 4;
 constexpr std::size_t kPackShrinkFloor = 1u << 14;  // 16 Ki floats = 64 KiB
+constexpr std::size_t kPackShrinkPatience = 64;
 
-float* scratch(std::vector<float>& buf, std::size_t need) {
+float* scratch(PackBuf& pb, std::size_t need) {
+  std::vector<float>& buf = pb.buf;
   if (buf.capacity() > kPackShrinkFloor && buf.capacity() / kPackShrinkFactor > need) {
-    std::vector<float>(need).swap(buf);
+    if (++pb.slack_calls >= kPackShrinkPatience) {
+      std::vector<float>(need).swap(buf);
+      pb.slack_calls = 0;
+    }
+  } else {
+    pb.slack_calls = 0;
   }
   if (buf.size() < need) buf.resize(need);
   return buf.data();
@@ -196,7 +213,7 @@ float* scratch(std::vector<float>& buf, std::size_t need) {
 }  // namespace
 
 std::size_t gemm_pack_bytes() {
-  return (tl_bp_buf.capacity() + tl_ap_buf.capacity()) * sizeof(float);
+  return (tl_bp_buf.buf.capacity() + tl_ap_buf.buf.capacity()) * sizeof(float);
 }
 
 bool gemm_kernel_vectorized() { return micro_kernel() != micro_8x8_scalar; }

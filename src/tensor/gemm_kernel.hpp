@@ -58,9 +58,11 @@ bool gemm_kernel_vectorized();
 
 /// Bytes of packing scratch (A and B panels) currently retained by the
 /// calling thread. The scratch is thread_local and bounded: it grows to the
-/// need of the running GEMM and shrinks back on the next call whose need is
-/// several times smaller (see gemm_kernel.cpp), so a long-lived serving
-/// worker never holds a historical peak forever.
+/// need of the running GEMM and shrinks back after a sustained streak of
+/// calls whose need is several times smaller (see gemm_kernel.cpp), so a
+/// long-lived serving worker never holds a historical peak forever, while
+/// loops that alternate large and small GEMMs — e.g. a compiled backward
+/// pass — stay allocation-free in steady state.
 std::size_t gemm_pack_bytes();
 
 }  // namespace pdnn::tensor

@@ -66,9 +66,8 @@ void transpose_into(const float* a, std::size_t m, std::size_t n, float* out) {
 void stack_samples(const Tensor* const* samples, std::size_t count, Tensor& out) {
   if (count == 0) throw std::invalid_argument("stack_samples: empty batch");
   const Shape& s = samples[0]->shape();
-  if (s.rank() == 0 || s.rank() > 3) {
-    throw std::invalid_argument("stack_samples: sample rank must be 1..3, got " +
-                                std::to_string(s.rank()));
+  if (s.rank() == 0) {
+    throw std::invalid_argument("stack_samples: rank-0 sample");
   }
   const std::size_t stride = s.numel();
   if (stride == 0) throw std::invalid_argument("stack_samples: empty sample");
@@ -76,7 +75,10 @@ void stack_samples(const Tensor* const* samples, std::size_t count, Tensor& out)
   switch (s.rank()) {
     case 1: batched = {count, s[0]}; break;
     case 2: batched = {count, s[0], s[1]}; break;
-    default: batched = {count, s[0], s[1], s[2]}; break;
+    case 3: batched = {count, s[0], s[1], s[2]}; break;
+    // Rank-4 samples are already batched NCHW — Shape holds at most four
+    // dims, so stacking concatenates along axis 0 instead of adding one.
+    default: batched = {count * s[0], s[1], s[2], s[3]}; break;
   }
   out.resize(batched);
   for (std::size_t i = 0; i < count; ++i) {
@@ -104,6 +106,26 @@ void extract_sample(const Tensor& batch, std::size_t i, Tensor& out) {
   const std::size_t stride = s.rank() == 1 ? 1 : sample.numel();
   out.resize(sample);
   std::memcpy(out.data(), batch.data() + i * stride, stride * sizeof(float));
+}
+
+void extract_span(const Tensor& batch, std::size_t lo, std::size_t count, Tensor& out) {
+  const Shape& s = batch.shape();
+  if (s.rank() == 0 || lo + count > s[0]) {
+    throw std::invalid_argument("extract_span: [" + std::to_string(lo) + ", " +
+                                std::to_string(lo + count) + ") out of range for batch " +
+                                s.to_string());
+  }
+  Shape span;
+  switch (s.rank()) {
+    case 1: span = {count}; break;
+    case 2: span = {count, s[1]}; break;
+    case 3: span = {count, s[1], s[2]}; break;
+    default: span = {count, s[1], s[2], s[3]}; break;
+  }
+  std::size_t stride = 1;
+  for (std::size_t d = 1; d < s.rank(); ++d) stride *= s[d];
+  out.resize(span);
+  std::memcpy(out.data(), batch.data() + lo * stride, count * stride * sizeof(float));
 }
 
 void Conv2dGeom::validate() const {

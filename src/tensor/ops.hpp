@@ -21,16 +21,26 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
 Tensor transpose(const Tensor& a);
 
 /// Gather `count` equally-shaped sample tensors into one batch along a new
-/// leading axis: out[i, ...] = *samples[i]. Reuses out's storage (grow-only
-/// via Tensor::resize), so a serving loop that stacks batches of settled
-/// shapes allocates nothing. Throws std::invalid_argument on shape
-/// mismatches between samples, rank > 3 samples, or empty samples.
+/// leading axis: out[i, ...] = *samples[i]. Rank-4 (NCHW) samples are
+/// already batched, so they concatenate along axis 0 instead
+/// ({count * n, c, h, w}) — Shape holds at most four dims. Reuses out's
+/// storage (grow-only via Tensor::resize), so a serving loop that stacks
+/// batches of settled shapes allocates nothing. Throws
+/// std::invalid_argument on shape mismatches between samples, rank-0
+/// samples, or empty samples.
 void stack_samples(const Tensor* const* samples, std::size_t count, Tensor& out);
 
 /// Scatter the i-th sample of a batched tensor back out: out = batch[i, ...]
 /// with the leading axis dropped. Reuses out's storage. Throws
 /// std::invalid_argument when batch is rank 0 or i is out of range.
 void extract_sample(const Tensor& batch, std::size_t i, Tensor& out);
+
+/// Contiguous sub-batch keeping the rank: out = batch[lo : lo+count, ...] —
+/// the micro-batch sharding primitive (train::Trainer slices each worker's
+/// span of the global batch with it). count may be 0 (an empty span of the
+/// batched shape). Reuses out's storage. Throws std::invalid_argument when
+/// batch is rank 0 or [lo, lo+count) falls outside the leading axis.
+void extract_span(const Tensor& batch, std::size_t lo, std::size_t count, Tensor& out);
 
 /// out[n,m] = a[m,n]^T into caller-owned storage (no allocation).
 void transpose_into(const float* a, std::size_t m, std::size_t n, float* out);

@@ -78,6 +78,24 @@ TEST(PlanDump, UnfusedMlpMatchesGolden) {
   expect_matches_golden(plan.dump(), "mlp_unfused_plan.txt");
 }
 
+TEST(PlanDump, MlpTrainingPlanMatchesGolden) {
+  tensor::Rng rng(7);
+  auto net = nn::mlp(6, 10, 3, 2, rng);
+  const ExecPlan plan = GraphBuilder::lower_training(*net);
+  expect_matches_golden(plan.dump(), "mlp_train_plan.txt");
+}
+
+TEST(PlanDump, ResNet8TrainingPlanMatchesGolden) {
+  tensor::Rng rng(7);
+  nn::ResNetConfig rc;
+  rc.blocks_per_stage = 1;
+  rc.base_channels = 4;
+  rc.classes = 4;
+  auto net = nn::cifar_resnet(rc, rng);
+  const ExecPlan plan = GraphBuilder::lower_training(*net);
+  expect_matches_golden(plan.dump(), "resnet8_train_plan.txt");
+}
+
 TEST(PlanDump, ArenaBytesAppearAfterARun) {
   tensor::Rng rng(7);
   auto net = nn::mlp(6, 10, 3, 2, rng);

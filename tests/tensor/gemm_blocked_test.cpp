@@ -207,7 +207,10 @@ TEST(MatmulAcc, RejectsIncompatibleShapes) {
 TEST(GemmBlocked, PackScratchShrinksAfterLargeGemmWithoutChangingBits) {
   // The thread_local packing buffers are bounded: a worker that once packed a
   // wide B panel (KC*NC floats) must give that memory back once traffic turns
-  // small — and the shrink must not perturb a single output bit.
+  // small for good — and the shrink must not perturb a single output bit.
+  // The release is hysteretic (a sustained streak of small needs, so loops
+  // alternating large/small GEMMs never realloc-thrash), hence the loop of
+  // small calls below rather than a single one.
   const int restore = max_threads();
   set_threads(1);  // keep all packing on this thread so gemm_pack_bytes sees it
 
@@ -217,9 +220,15 @@ TEST(GemmBlocked, PackScratchShrinksAfterLargeGemmWithoutChangingBits) {
   for (float& v : sa) v = static_cast<float>(rng.normal());
   for (float& v : sb) v = static_cast<float>(rng.normal());
 
+  // Drain any capacity earlier tests left behind: a long run of small GEMMs
+  // rides out the shrink hysteresis and settles the scratch at its small-need
+  // baseline before the measurements below.
   std::vector<float> before(small_m * small_n, 0.0f);
-  gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, before.data(),
-               small_n);
+  for (int i = 0; i < 100; ++i) {
+    std::fill(before.begin(), before.end(), 0.0f);
+    gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, before.data(),
+                 small_n);
+  }
   const std::size_t small_bytes = gemm_pack_bytes();
   EXPECT_GT(small_bytes, 0u);
 
@@ -231,12 +240,22 @@ TEST(GemmBlocked, PackScratchShrinksAfterLargeGemmWithoutChangingBits) {
   const std::size_t peak_bytes = gemm_pack_bytes();
   EXPECT_GT(peak_bytes, small_bytes);
 
-  // The next small GEMM releases the peak capacity...
+  // The immediate next small GEMM keeps the peak (hysteresis: one small call
+  // is not "traffic turned small") and computes bit-identical results.
   std::vector<float> after(small_m * small_n, 0.0f);
   gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, after.data(),
                small_n);
+  EXPECT_EQ(gemm_pack_bytes(), peak_bytes);
+  EXPECT_TRUE(bits_equal(before, after));
+
+  // A sustained run of small GEMMs releases the peak capacity...
+  for (int i = 0; i < 100; ++i) {
+    std::fill(after.begin(), after.end(), 0.0f);
+    gemm_blocked(small_m, small_n, small_k, sa.data(), small_k, sb.data(), small_n, after.data(),
+                 small_n);
+  }
   EXPECT_LT(gemm_pack_bytes(), peak_bytes / 2);
-  // ...and computes bit-identical results through the shrunken scratch.
+  // ...and still computes bit-identical results through the shrunken scratch.
   EXPECT_TRUE(bits_equal(before, after));
 
   set_threads(restore);

@@ -306,10 +306,46 @@ TEST(BatchHelpers, RankOneSamplesAndStorageReuse) {
   EXPECT_FLOAT_EQ(row[0], a[3]);
 }
 
+TEST(BatchHelpers, RankFourSamplesConcatenateAlongAxisZero) {
+  // NCHW mini-batches stack by axis-0 concatenation (Shape tops out at four
+  // dims): two [2,3,4,4] shards -> one [4,3,4,4] batch, rows in order.
+  Rng rng(73);
+  const Tensor s0 = Tensor::randn({2, 3, 4, 4}, rng);
+  const Tensor s1 = Tensor::randn({2, 3, 4, 4}, rng);
+  const Tensor* samples[] = {&s0, &s1};
+
+  Tensor batch;
+  stack_samples(samples, 2, batch);
+  EXPECT_EQ(batch.shape(), (Shape{4, 3, 4, 4}));
+  EXPECT_EQ(std::memcmp(batch.data(), s0.data(), s0.numel() * sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(batch.data() + s0.numel(), s1.data(), s1.numel() * sizeof(float)), 0);
+}
+
+TEST(BatchHelpers, ExtractSpanKeepsRank) {
+  Rng rng(79);
+  const Tensor batch4 = Tensor::randn({6, 2, 3, 3}, rng);
+  const std::size_t stride = batch4.numel() / 6;
+
+  Tensor span;
+  extract_span(batch4, 2, 3, span);
+  EXPECT_EQ(span.shape(), (Shape{3, 2, 3, 3}));
+  EXPECT_EQ(std::memcmp(span.data(), batch4.data() + 2 * stride, span.numel() * sizeof(float)), 0);
+
+  // Rank-2 batches keep their rank too, and an empty span is legal.
+  const Tensor batch2 = Tensor::randn({5, 7}, rng);
+  extract_span(batch2, 4, 1, span);
+  EXPECT_EQ(span.shape(), (Shape{1, 7}));
+  EXPECT_EQ(std::memcmp(span.data(), batch2.data() + 4 * 7, 7 * sizeof(float)), 0);
+  extract_span(batch2, 5, 0, span);
+  EXPECT_EQ(span.shape(), (Shape{0, 7}));
+  EXPECT_EQ(span.numel(), 0u);
+}
+
 TEST(BatchHelpers, DegenerateInputsThrow) {
   Rng rng(71);
   const Tensor ok = Tensor::randn({4}, rng);
   const Tensor wide = Tensor::randn({5}, rng);
+  const Tensor cube3 = Tensor::randn({2, 2, 2}, rng);
   const Tensor cube4 = Tensor::randn({2, 2, 2, 2}, rng);
   Tensor out;
 
@@ -317,11 +353,18 @@ TEST(BatchHelpers, DegenerateInputsThrow) {
   EXPECT_THROW(stack_samples(none, 0, out), std::invalid_argument);
   const Tensor* mixed[] = {&ok, &wide};
   EXPECT_THROW(stack_samples(mixed, 2, out), std::invalid_argument);
-  const Tensor* deep[] = {&cube4};
-  EXPECT_THROW(stack_samples(deep, 1, out), std::invalid_argument);
+  const Tensor* mixed_rank[] = {&cube4, &cube3};
+  EXPECT_THROW(stack_samples(mixed_rank, 2, out), std::invalid_argument);
+  const Tensor empty_sample = Tensor::zeros({0, 2, 2, 2});
+  const Tensor* degenerate[] = {&empty_sample};
+  EXPECT_THROW(stack_samples(degenerate, 1, out), std::invalid_argument);
 
   EXPECT_THROW(extract_sample(Tensor(), 0, out), std::invalid_argument);
   EXPECT_THROW(extract_sample(ok, 4, out), std::invalid_argument);
+
+  EXPECT_THROW(extract_span(Tensor(), 0, 0, out), std::invalid_argument);
+  EXPECT_THROW(extract_span(ok, 3, 2, out), std::invalid_argument);
+  EXPECT_THROW(extract_span(ok, 5, 0, out), std::invalid_argument);
 }
 
 TEST(Stats, HistogramBuckets) {
