@@ -4,6 +4,8 @@
 
 #include "posit/arith.hpp"
 #include "posit/quire.hpp"
+#include "posit/simd.hpp"
+#include "posit/unpacked.hpp"
 #include "quant/posit_transform.hpp"
 #include "tensor/random.hpp"
 
@@ -80,6 +82,67 @@ void BM_TransformScaled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
 }
 BENCHMARK(BM_TransformScaled)->Args({8, 1})->Args({16, 2});
+
+/// Span decode through the dispatcher: AVX2 batch-of-8 when available
+/// (/simd=1), forced scalar otherwise (/simd=0) — same codes, same output,
+/// the bit-identity pair bench_posit asserts on.
+void BM_DecodeSpan(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  const bool want_simd = state.range(2) != 0;
+  if (want_simd && !posit::simd::available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  posit::simd::force_disable(!want_simd);
+  const auto codes = random_codes(spec, 4096);
+  std::vector<posit::Unpacked> ops(codes.size());
+  for (auto _ : state) {
+    posit::decode_unpacked(codes.data(), codes.size(), spec, ops.data());
+    benchmark::DoNotOptimize(ops.data());
+  }
+  posit::simd::force_disable(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_DecodeSpan)
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({16, 1, 0})
+    ->Args({16, 1, 1})
+    ->Args({32, 2, 0})
+    ->Args({32, 2, 1});
+
+/// Quire::accumulate_dot over pre-decoded lanes: the vectorized carry-save
+/// limb deposit (/simd=1) vs the scalar chunk loop (/simd=0).
+void BM_QuireAccumulateDot(benchmark::State& state) {
+  const posit::PositSpec spec{static_cast<int>(state.range(0)), static_cast<int>(state.range(1))};
+  const bool want_simd = state.range(2) != 0;
+  if (want_simd && !posit::simd::available()) {
+    state.SkipWithError("AVX2 unavailable");
+    return;
+  }
+  posit::simd::force_disable(!want_simd);
+  const auto a_codes = random_codes(spec, 1024);
+  const auto b_codes = random_codes(spec, 1024);
+  std::vector<posit::Unpacked> a(1024), b(1024);
+  posit::decode_unpacked(a_codes.data(), 1024, spec, a.data());
+  posit::decode_unpacked(b_codes.data(), 1024, spec, b.data());
+  posit::Quire q(spec);
+  for (auto _ : state) {
+    q.clear();
+    q.accumulate_dot(a.data(), b.data(), 1024);
+    benchmark::DoNotOptimize(q.to_posit());
+  }
+  posit::simd::force_disable(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_QuireAccumulateDot)
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({16, 1, 0})
+    ->Args({16, 1, 1})
+    ->Args({32, 2, 0})
+    ->Args({32, 2, 1});
 
 void BM_FromDoubleNearest(benchmark::State& state) {
   const posit::PositSpec spec{16, 1};

@@ -14,9 +14,16 @@
 // run() throughput on each shape (path "session") plus a batch-size sweep on
 // the linear shape (labels "linear_sweep_b*"), all recorded in the JSON.
 //
-// Exit codes: 0 ok; 1 correctness mismatch (bit-identity broken — always a
-// real failure); 2 usage / unreadable baseline / unwritable output; 3 only a
-// perf regression (>20% below baseline — CI treats this one as non-blocking).
+// Besides throughput rows, the JSON carries a "footprints" array — per
+// (shape, spec) packed panel bytes next to what the old unpacked layout
+// (4-byte code + 8-byte Unpacked per value) would cost — and per-spec
+// "decode_bandwidth" rows timing the block decoder (unpack + SIMD batch
+// decode; macs_per_s holds codes/s for these).
+//
+// Exit codes: 0 ok; 1 correctness mismatch or packed-footprint growth vs
+// the baseline (both blocking — bit-identity and model size are contracts);
+// 2 usage / unreadable baseline / unwritable output; 3 only a perf
+// regression (>20% below baseline — CI treats this one as non-blocking).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -88,6 +95,17 @@ bool same_bits(const Tensor& a, const Tensor& b) {
          std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
 }
 
+/// Packed panel bytes for one (shape, spec) next to the retired unpacked
+/// layout's cost (4-byte code + 8-byte Unpacked per value) — the paper's
+/// model-size story, gated against growth by --check-regression.
+struct Footprint {
+  std::string label;
+  PositSpec spec{8, 1};
+  std::size_t packed_bytes = 0;
+  std::size_t unpacked_bytes = 0;
+  std::size_t values = 0;
+};
+
 struct BaselineEntry {
   std::string label, mode, path;
   int n = 0, es = 0, threads = 0;
@@ -123,6 +141,44 @@ std::vector<BaselineEntry> parse_baseline(const std::string& path) {
     pos = end + 1;
   }
   return entries;
+}
+
+/// Footprint objects in a baseline JSON (keyed off panel_bytes_packed, which
+/// throughput rows never carry). Older baselines simply yield none.
+std::vector<Footprint> parse_baseline_footprints(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<Footprint> entries;
+  if (!in.good()) return entries;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::string::size_type pos = 0;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const auto end = text.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string obj = text.substr(pos, end - pos + 1);
+    double n = 0, es = 0, packed = 0, unpacked = 0;
+    if (scan_number(obj, "spec_n", &n) && scan_number(obj, "spec_es", &es) &&
+        scan_number(obj, "panel_bytes_packed", &packed) &&
+        scan_number(obj, "panel_bytes_unpacked", &unpacked)) {
+      Footprint f;
+      f.label = scan_string(obj, "label");
+      f.spec = PositSpec{static_cast<int>(n), static_cast<int>(es)};
+      f.packed_bytes = static_cast<std::size_t>(packed);
+      f.unpacked_bytes = static_cast<std::size_t>(unpacked);
+      entries.push_back(f);
+    }
+    pos = end + 1;
+  }
+  return entries;
+}
+
+std::size_t baseline_packed_bytes(const std::vector<Footprint>& entries, const Footprint& f) {
+  for (const auto& e : entries) {
+    if (e.label == f.label && e.spec.n == f.spec.n && e.spec.es == f.spec.es)
+      return e.packed_bytes;
+  }
+  return 0;
 }
 
 double baseline_engine_macs(const std::vector<BaselineEntry>& entries, const Result& r) {
@@ -226,6 +282,7 @@ int main(int argc, char** argv) {
   const int hw_threads = max_threads();
   Rng rng(7);
   std::vector<Result> results;
+  std::vector<Footprint> footprints;
   bool mismatch = false;
 
   for (const Case& c : cases) {
@@ -238,6 +295,22 @@ int main(int argc, char** argv) {
                                   : Tensor::randn({c.n}, rng, 0.1f);
 
     for (const PositSpec& spec : specs) {
+      {
+        // Model footprint at this format: packed payload vs what the retired
+        // unpacked layout (uint32 code + 8-byte Unpacked per value) held.
+        const EncodedTensor fw = pdnn::quant::encode_pack(w, spec);
+        const EncodedTensor fb = pdnn::quant::encode_pack(bias, spec);
+        Footprint f;
+        f.label = c.label;
+        f.spec = spec;
+        f.values = fw.numel() + fb.numel();
+        f.packed_bytes = fw.payload_bytes() + fb.payload_bytes();
+        f.unpacked_bytes = f.values * (sizeof(std::uint32_t) + sizeof(pdnn::posit::Unpacked));
+        footprints.push_back(f);
+        std::printf("%-20s %-11s panel %zu B packed vs %zu B unpacked (x%.2f smaller)\n",
+                    c.label.c_str(), spec.to_string().c_str(), f.packed_bytes, f.unpacked_bytes,
+                    static_cast<double>(f.unpacked_bytes) / static_cast<double>(f.packed_bytes));
+      }
       for (const AccumMode mode : modes) {
         const bool lut =
             mode == AccumMode::kSerial &&
@@ -266,8 +339,8 @@ int main(int argc, char** argv) {
 
         // Steady-state serving: weights already encoded + unpacked (what
         // a compiled session holds in its panels).
-        const EncodedTensor we = pdnn::quant::encode_unpack(w, spec);
-        const EncodedTensor be = pdnn::quant::encode_unpack(bias, spec);
+        const EncodedTensor we = pdnn::quant::encode_pack(w, spec);
+        const EncodedTensor be = pdnn::quant::encode_pack(bias, spec);
         Tensor cached_out;
         const auto run_cached = [&] {
           cached_out = c.is_conv ? pdnn::quant::posit_conv2d(x, we, be, c.geom, mode)
@@ -343,8 +416,8 @@ int main(int argc, char** argv) {
     const Tensor bias = Tensor::randn({lin.n}, rng, 0.1f);
     auto net = case_net(lin, w, bias);
     PositSession session = PositSession::compile(*net, session_config(spec, mode));
-    const EncodedTensor we = pdnn::quant::encode_unpack(w, spec);
-    const EncodedTensor be = pdnn::quant::encode_unpack(bias, spec);
+    const EncodedTensor we = pdnn::quant::encode_pack(w, spec);
+    const EncodedTensor be = pdnn::quant::encode_pack(bias, spec);
     for (const std::size_t batch : {std::size_t{1}, std::size_t{8}, std::size_t{64},
                                     std::size_t{256}}) {
       const Tensor x = Tensor::randn({batch, lin.k}, rng);
@@ -360,6 +433,32 @@ int main(int argc, char** argv) {
       std::printf("%-20s %-11s %-6s session %8.3f MMAC/s  %s\n", label.c_str(),
                   spec.to_string().c_str(), mode_name(mode), macs / t * 1e-6,
                   match ? "bit-identical" : "MISMATCH");
+    }
+  }
+
+  {
+    // Block-decoder bandwidth: unpack a packed panel and group-decode it into
+    // Unpacked lanes — the exact work engine_gemm does per activation tile /
+    // weight row. macs_per_s carries codes/s for these rows.
+    const std::size_t n_codes = std::size_t{1} << 20;
+    std::vector<float> src(n_codes);
+    Rng drng(31);
+    for (float& v : src) v = static_cast<float>((drng.uniform() - 0.5) * 4.0);
+    std::vector<std::uint32_t> codes(n_codes);
+    std::vector<pdnn::posit::Unpacked> ops(n_codes);
+    for (const PositSpec& spec : specs) {
+      EncodedTensor panel;
+      pdnn::quant::encode_pack_into(src.data(), n_codes, spec, panel);
+      const auto run_decode = [&] {
+        pdnn::posit::unpack_codes(panel.packed.data(), 0, n_codes, spec, codes.data());
+        pdnn::posit::decode_unpacked(codes.data(), n_codes, spec, ops.data());
+      };
+      const double t = time_best(run_decode, 5);
+      const double codes_per_s = static_cast<double>(n_codes) / t;
+      results.push_back({"decode_bandwidth", spec, AccumMode::kQuire, "decode", 1, t, codes_per_s,
+                         false, true, 0.0});
+      std::printf("%-20s %-11s %8.1f Mcodes/s (unpack + simd decode, %zu codes)\n",
+                  "decode_bandwidth", spec.to_string().c_str(), codes_per_s * 1e-6, n_codes);
     }
   }
 
@@ -381,6 +480,16 @@ int main(int argc, char** argv) {
         << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"footprints\": [\n";
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    const auto& f = footprints[i];
+    out << "    {\"label\": \"" << f.label << "\", \"spec_n\": " << f.spec.n
+        << ", \"spec_es\": " << f.spec.es << ", \"values\": " << f.values
+        << ", \"panel_bytes_packed\": " << f.packed_bytes
+        << ", \"panel_bytes_unpacked\": " << f.unpacked_bytes << ", \"compression\": "
+        << static_cast<double>(f.unpacked_bytes) / static_cast<double>(f.packed_bytes) << "}"
+        << (i + 1 < footprints.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
 
@@ -389,9 +498,11 @@ int main(int argc, char** argv) {
   }
 
   bool regressed = false;
+  bool footprint_grew = false;
   if (!baseline_path.empty()) {
     for (const auto& r : results) {
-      if ((r.path != "engine" && r.path != "engine_cached" && r.path != "session") ||
+      if ((r.path != "engine" && r.path != "engine_cached" && r.path != "session" &&
+           r.path != "decode") ||
           r.threads != 1) {
         continue;
       }
@@ -405,7 +516,22 @@ int main(int argc, char** argv) {
     }
     if (regressed)
       std::cerr << "FAIL: engine serial MAC/s dropped >20% vs " << baseline_path << "\n";
+
+    // Packed footprint is a model-size contract, not a perf number: panels
+    // are deterministic bytes, so any growth over the baseline is a real
+    // layout change and blocks like a correctness failure.
+    const std::vector<Footprint> base_fp = parse_baseline_footprints(baseline_path);
+    for (const auto& f : footprints) {
+      const std::size_t base = baseline_packed_bytes(base_fp, f);
+      if (base == 0) continue;  // entry not in baseline; nothing to compare
+      std::printf("footprint check  %-20s %-11s: %zu packed B vs baseline %zu%s\n", f.label.c_str(),
+                  f.spec.to_string().c_str(), f.packed_bytes, base,
+                  f.packed_bytes > base ? "  GREW" : "");
+      if (f.packed_bytes > base) footprint_grew = true;
+    }
+    if (footprint_grew)
+      std::cerr << "FAIL: packed panel footprint grew vs " << baseline_path << "\n";
   }
-  if (mismatch) return 1;
+  if (mismatch || footprint_grew) return 1;
   return regressed ? 3 : 0;
 }

@@ -1,28 +1,41 @@
 #include "posit/packed.hpp"
 
+#include <cstring>
+
 namespace pdnn::posit {
 
-std::uint32_t PackedPositTensor::code_at(std::size_t index) const {
-  const std::size_t bit0 = index * static_cast<std::size_t>(spec_.n);
-  std::uint32_t code = 0;
-  for (int b = 0; b < spec_.n; ++b) {
-    const std::size_t bit = bit0 + static_cast<std::size_t>(b);
-    code |= static_cast<std::uint32_t>((bits_[bit / 8] >> (bit % 8)) & 1u) << b;
+void pack_codes(const std::uint32_t* codes, std::size_t first, std::size_t count,
+                const PositSpec& spec, std::uint8_t* out) {
+  const std::uint32_t mask = spec.mask();
+  const std::size_t n = static_cast<std::size_t>(spec.n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t bit = (first + i) * n;
+    std::uint64_t window;
+    std::memcpy(&window, out + (bit >> 3), sizeof(window));
+    window |= static_cast<std::uint64_t>(codes[i] & mask) << (bit & 7);
+    std::memcpy(out + (bit >> 3), &window, sizeof(window));
   }
-  return code;
+}
+
+void unpack_codes(const std::uint8_t* packed, std::size_t first, std::size_t count,
+                  const PositSpec& spec, std::uint32_t* out) {
+  const std::uint32_t mask = spec.mask();
+  const std::size_t n = static_cast<std::size_t>(spec.n);
+  std::size_t bit = first * n;
+  for (std::size_t i = 0; i < count; ++i, bit += n) {
+    std::uint64_t window;
+    std::memcpy(&window, packed + (bit >> 3), sizeof(window));
+    out[i] = static_cast<std::uint32_t>(window >> (bit & 7)) & mask;
+  }
 }
 
 void PackedPositTensor::set_code(std::size_t index, std::uint32_t code) {
-  const std::size_t bit0 = index * static_cast<std::size_t>(spec_.n);
-  for (int b = 0; b < spec_.n; ++b) {
-    const std::size_t bit = bit0 + static_cast<std::size_t>(b);
-    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit % 8));
-    if ((code >> b) & 1u) {
-      bits_[bit / 8] |= mask;
-    } else {
-      bits_[bit / 8] &= static_cast<std::uint8_t>(~mask);
-    }
-  }
+  const std::size_t bit = index * static_cast<std::size_t>(spec_.n);
+  std::uint64_t window;
+  std::memcpy(&window, bits_.data() + (bit >> 3), sizeof(window));
+  window &= ~(static_cast<std::uint64_t>(spec_.mask()) << (bit & 7));
+  window |= static_cast<std::uint64_t>(code & spec_.mask()) << (bit & 7);
+  std::memcpy(bits_.data() + (bit >> 3), &window, sizeof(window));
 }
 
 PackedPositTensor PackedPositTensor::pack(const tensor::Tensor& t, PositSpec spec, RoundMode mode) {

@@ -1,9 +1,19 @@
 // packed.hpp — bit-packed posit storage.
 //
 // Section IV of the paper: "By using 8 bits or 16 bits posit number for
-// training, the model size can be reduced to 25% or 50%" of FP32. This class
-// is that claim as an artifact: n-bit posit codes packed edge to edge with no
-// padding, round-trippable to float tensors.
+// training, the model size can be reduced to 25% or 50%" of FP32. Two layers
+// live here:
+//
+//   * pack_codes / unpack_codes — the block codec primitive: n-bit posit
+//     codes packed edge to edge (LSB-first within each byte, no padding
+//     between codes), random-access decodable from any code index. This is
+//     the storage layout behind the engine's compressed weight panels
+//     (quant::EncodedTensor): a posit(8,·) panel costs 1 byte per value
+//     where the decode-once layout spent 12. Access goes through unaligned
+//     64-bit windows, so every packed buffer must reserve kPackedSlackBytes
+//     of tail slack (packed_capacity() accounts for it).
+//   * PackedPositTensor — the model-size claim as an artifact: a whole float
+//     tensor quantized and packed, round-trippable to float32.
 #pragma once
 
 #include <cstdint>
@@ -14,10 +24,45 @@
 
 namespace pdnn::posit {
 
+/// Tail slack every packed buffer must carry so the 64-bit window reads of
+/// unpack_codes()/unpack_one() stay in bounds at the last code.
+constexpr std::size_t kPackedSlackBytes = 8;
+
+/// Payload bytes of `count` packed n-bit codes (the model-size number).
+constexpr std::size_t packed_bytes(std::size_t count, const PositSpec& spec) {
+  return (count * static_cast<std::size_t>(spec.n) + 7) / 8;
+}
+
+/// Allocation size for a packed buffer of `count` codes (payload + slack).
+constexpr std::size_t packed_capacity(std::size_t count, const PositSpec& spec) {
+  return packed_bytes(count, spec) + kPackedSlackBytes;
+}
+
+/// Pack `count` codes (low n bits each) into `out`, starting at code index
+/// `first` of the stream. `out` must hold packed_capacity() bytes for the
+/// whole stream and be zeroed over the bits being written (pack_codes ORs
+/// into place so adjacent ranges can share boundary bytes).
+void pack_codes(const std::uint32_t* codes, std::size_t first, std::size_t count,
+                const PositSpec& spec, std::uint8_t* out);
+
+/// Unpack codes [first, first+count) of a packed stream into `out`.
+/// Bit-exact inverse of pack_codes for every spec and any ragged range.
+void unpack_codes(const std::uint8_t* packed, std::size_t first, std::size_t count,
+                  const PositSpec& spec, std::uint32_t* out);
+
+/// Random access to one code of a packed stream.
+inline std::uint32_t unpack_one(const std::uint8_t* packed, std::size_t index,
+                                const PositSpec& spec) {
+  const std::size_t bit = index * static_cast<std::size_t>(spec.n);
+  std::uint64_t window;
+  __builtin_memcpy(&window, packed + (bit >> 3), sizeof(window));
+  return static_cast<std::uint32_t>(window >> (bit & 7)) & spec.mask();
+}
+
 class PackedPositTensor {
  public:
   PackedPositTensor(PositSpec spec, tensor::Shape shape)
-      : spec_(spec), shape_(shape), bits_((shape.numel() * static_cast<std::size_t>(spec.n) + 7) / 8, 0) {
+      : spec_(spec), shape_(shape), bits_(packed_capacity(shape.numel(), spec), 0) {
     spec_.validate();
   }
 
@@ -29,14 +74,14 @@ class PackedPositTensor {
   /// Decode back to float32.
   tensor::Tensor unpack() const;
 
-  std::uint32_t code_at(std::size_t index) const;
+  std::uint32_t code_at(std::size_t index) const { return unpack_one(bits_.data(), index, spec_); }
   void set_code(std::size_t index, std::uint32_t code);
 
   const PositSpec& spec() const { return spec_; }
   const tensor::Shape& shape() const { return shape_; }
   std::size_t numel() const { return shape_.numel(); }
-  /// Bytes of payload storage (the model-size number).
-  std::size_t byte_size() const { return bits_.size(); }
+  /// Bytes of payload storage (the model-size number; slack excluded).
+  std::size_t byte_size() const { return packed_bytes(numel(), spec_); }
   /// Storage ratio vs float32.
   double ratio_vs_fp32() const {
     return static_cast<double>(byte_size()) / (static_cast<double>(numel()) * sizeof(float));

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "posit/simd.hpp"
+
 namespace pdnn::posit {
 
 namespace {
@@ -21,8 +23,12 @@ Quire::Quire(const PositSpec& spec, int guard_bits) : spec_(spec) {
   const long total = frac_bits_ + int_bits + 1;  // +1 sign
   words_.assign(static_cast<std::size_t>((total + 63) / 64), 0u);
   // accumulate_dot scratch: one 64-bit limb per 32 register bits plus two
-  // spill limbs, twice (positive stream then negative stream).
-  limbs_.assign((words_.size() * 2 + 2) * 2, 0u);
+  // spill limbs per bank, four banks — the SIMD deposit splits each sign
+  // stream (positive, negative) across two banks (even/odd terms) to shorten
+  // the same-limb add chains; the scalar path uses only the first bank of
+  // each stream. Every bank folds into the register exactly, so the split
+  // cannot change a bit.
+  limbs_.assign((words_.size() * 2 + 2 + 2) * 4, 0u);
   mag_scratch_.assign(words_.size(), 0u);
 }
 
@@ -167,12 +173,27 @@ void Quire::fold_limbs(std::uint64_t* limbs, bool negative) {
 
 void Quire::accumulate_dot(const Unpacked* a, const Unpacked* b, std::size_t count) {
   const std::size_t nlimbs = words_.size() * 2 + 2;
+  const std::size_t bank_stride = nlimbs + 2;  // +2 spill slack per bank
+  // Bank layout: [pos0 | neg0 | pos1 | neg1]. The scalar loop (and the SIMD
+  // group's even terms) deposit into bank 0 of each sign stream; the SIMD
+  // group's odd terms go bank1_offset limbs further.
   std::uint64_t* pos_limbs = limbs_.data();
-  std::uint64_t* neg_limbs = limbs_.data() + nlimbs;
+  std::uint64_t* neg_limbs = limbs_.data() + bank_stride;
+  const std::size_t bank1_offset = bank_stride * 2;
   std::fill(limbs_.begin(), limbs_.end(), 0u);
   const long base = frac_bits_;
   bool nar = false;
-  for (std::size_t i = 0; i < count; ++i) {
+  std::size_t i = 0;
+  bool used_bank1 = false;
+  if (simd::enabled()) {
+    // Groups of 8 terms deposit vectorized; limb adds are exact, so the
+    // grouping cannot change the folded register state. Scalar tail below.
+    std::uint32_t flags = 0;
+    i = simd::accumulate_limbs_avx2(a, b, count, base, pos_limbs, neg_limbs, bank1_offset, &flags);
+    if ((flags & Unpacked::kNarFlag) != 0) nar = true;
+    used_bank1 = i != 0;
+  }
+  for (; i < count; ++i) {
     const Unpacked ua = a[i];
     const Unpacked ub = b[i];
     // Zero operands fall through for free (sig == 0 deposits nothing); only
@@ -195,6 +216,10 @@ void Quire::accumulate_dot(const Unpacked* a, const Unpacked* b, std::size_t cou
   if (nar) nar_ = true;
   fold_limbs(pos_limbs, false);
   fold_limbs(neg_limbs, true);
+  if (used_bank1) {
+    fold_limbs(pos_limbs + bank1_offset, false);
+    fold_limbs(neg_limbs + bank1_offset, true);
+  }
 }
 
 void Quire::sub_product(std::uint32_t a, std::uint32_t b) { add_product(a, neg(b, spec_)); }

@@ -1,10 +1,16 @@
 #include "posit/unpacked.hpp"
 
+#include "posit/simd.hpp"
+
 namespace pdnn::posit {
 
 void decode_unpacked(const std::uint32_t* codes, std::size_t count, const PositSpec& spec,
                      Unpacked* out) {
-  for (std::size_t i = 0; i < count; ++i) out[i] = decode_unpacked(codes[i], spec);
+  std::size_t i = 0;
+  if (simd::enabled()) {
+    for (; i + 8 <= count; i += 8) simd::decode_unpacked8_avx2(codes + i, spec, out + i);
+  }
+  for (; i < count; ++i) out[i] = decode_unpacked(codes[i], spec);
 }
 
 Decoded to_decoded(const Unpacked& u) {

@@ -40,13 +40,19 @@ struct EngineLuts {
 /// cache lock; never call on the per-row hot path).
 EngineLuts resolve_luts(const posit::PositSpec& spec, AccumMode mode);
 
-/// The decode-once GEMM at the heart of the engine. `a` holds `rows`
-/// contiguous unpacked operand rows of length k (activation panel), `w` holds
-/// `cols` rows of length k (weight panel); the rounded dot of every pair —
-/// plus optional per-column bias — lands at
-/// out[r * row_stride + o * col_stride].
+/// The block-decode GEMM at the heart of the engine. `a` holds `rows`
+/// contiguous bit-packed operand rows of length k (activation panel), `w`
+/// holds `cols` packed rows of length k (weight panel); the rounded dot of
+/// every pair — plus optional per-column bias — lands at
+/// out[r * row_stride + o * col_stride]. Panels stay packed at format width
+/// and every packed value is decoded exactly once per call (SIMD group
+/// decode, posit/simd.hpp): the activation panel into the calling thread's
+/// scratch first (kActTile-row slices, team-parallel), then each weight row
+/// into its streaming thread's O(k) scratch as the column loop reaches it.
+/// Resident panel memory is the packed payload; the decoded activation panel
+/// is per-call working scratch.
 ///
-/// Threading is over activation tiles with one quire per thread. Each output
+/// Threading is over output columns with one quire per thread. Each output
 /// is accumulated start-to-finish by a single thread in ascending-k order —
 /// exactly the reference order — so results are bit-identical to the scalar
 /// reference and to any other thread count, for every AccumMode.
@@ -63,5 +69,10 @@ void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTe
 /// so each output pixel's patch is contiguous, reusing the panel's storage.
 void encode_conv_panel(const float* cols, std::size_t patch, std::size_t pixels,
                        const posit::PositSpec& spec, EncodedTensor& panel);
+
+/// Bytes of the calling thread's block-decode + encode scratch (capacity,
+/// grow-only). Scratch, not model footprint: PositSession::panel_bytes()
+/// deliberately excludes it.
+std::size_t engine_scratch_bytes();
 
 }  // namespace pdnn::quant::detail

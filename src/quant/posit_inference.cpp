@@ -15,6 +15,39 @@ using tensor::Tensor;
 
 namespace detail {
 
+namespace {
+
+/// Per-thread block-decode scratch for the packed panels. The calling
+/// thread's instance holds the whole activation panel for the duration of
+/// one GEMM (codes plus, when the mode consumes them, unpacked lanes —
+/// transient per-call working set, rebuilt from the packed panel each call);
+/// each team thread's instance holds the single weight row it is currently
+/// streaming. Grow-only and thread-local, so the steady-state cost is
+/// bounded by the largest shapes this thread has seen — scratch, not model
+/// footprint (engine_scratch_bytes() reports it).
+struct DecodeScratch {
+  std::vector<std::uint32_t> a_codes;
+  std::vector<std::uint32_t> w_codes;
+  std::vector<Unpacked> a_ops;
+  std::vector<Unpacked> w_ops;
+};
+thread_local DecodeScratch tl_scratch;
+
+/// Caller-thread scratch for the encode paths: codes are produced in
+/// parallel here, then bit-packed serially (the 64-bit RMW pack windows of
+/// adjacent ranges overlap, so packing itself must not be split across
+/// threads).
+thread_local std::vector<std::uint32_t> tl_encode_codes;
+
+}  // namespace
+
+std::size_t engine_scratch_bytes() {
+  const DecodeScratch& s = tl_scratch;
+  return (s.a_codes.capacity() + s.w_codes.capacity() + tl_encode_codes.capacity()) *
+             sizeof(std::uint32_t) +
+         (s.a_ops.capacity() + s.w_ops.capacity()) * sizeof(Unpacked);
+}
+
 EngineLuts resolve_luts(const PositSpec& spec, AccumMode mode) {
   // The tables tabulate the *arithmetic* rounding of the engine
   // (nearest-even, the default of posit::add/mul/fma), which is independent
@@ -37,6 +70,24 @@ void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTe
                  posit::Quire* quire_pool) {
   const PositSpec spec = w.spec;
   const std::size_t tiles = (rows + kActTile - 1) / kActTile;
+  // Which operand forms this (mode, luts) pairing actually reads: the LUT
+  // serial/fma chains index raw codes, everything else consumes Unpacked
+  // lanes. Codes are always unpacked from the packed panels (they are the
+  // decode intermediate); the lane decode is skipped when nothing reads it.
+  const bool lut_serial = mode == AccumMode::kSerial && luts.mul != nullptr && luts.add != nullptr;
+  const bool lut_fma = mode == AccumMode::kFma && luts.fma != nullptr;
+  const bool need_ops = !(lut_serial || lut_fma);
+  // Phase split keeps every panel value's decode to exactly once per call:
+  // the activation panel is block-decoded (kActTile-row slices, in parallel)
+  // into the calling thread's scratch, then the GEMM parallelizes over
+  // output columns so each packed weight row is unpacked once and streamed
+  // against every activation row. Sized buffers are grabbed before the team
+  // starts — the region below only reads them through raw pointers.
+  DecodeScratch& host = tl_scratch;
+  host.a_codes.resize(rows * k);
+  if (need_ops) host.a_ops.resize(rows * k);
+  std::uint32_t* const a_codes_buf = host.a_codes.data();
+  Unpacked* const a_ops_buf = need_ops ? host.a_ops.data() : nullptr;
 #pragma omp parallel
   {
 #ifdef _OPENMP
@@ -49,46 +100,57 @@ void engine_gemm(const EncodedTensor& a, const EncodedTensor& w, const EncodedTe
     for (std::size_t tile = 0; tile < tiles; ++tile) {
       const std::size_t r0 = tile * kActTile;
       const std::size_t r1 = std::min(rows, r0 + kActTile);
-      for (std::size_t o = 0; o < cols; ++o) {
-        const Unpacked* wrow = w.ops.data() + o * k;
-        const std::uint32_t* wcodes = w.codes.data() + o * k;
-        for (std::size_t r = r0; r < r1; ++r) {
-          const Unpacked* arow = a.ops.data() + r * k;
-          const std::uint32_t* acodes = a.codes.data() + r * k;
-          std::uint32_t acc = 0;
-          switch (mode) {
-            case AccumMode::kQuire:
-              quire->clear();
-              quire->accumulate_dot(arow, wrow, k);
-              acc = quire->to_posit();
-              break;
-            case AccumMode::kSerial:
-              if (luts.mul != nullptr && luts.add != nullptr) {
-                // Two table reads per term: the multiply and the accumulator
-                // add both come out of L2-resident LUTs.
-                for (std::size_t i = 0; i < k; ++i) {
-                  acc = luts.add->at(acc, luts.mul->at(acodes[i], wcodes[i]));
-                }
-              } else {
-                for (std::size_t i = 0; i < k; ++i) {
-                  acc = posit::add(acc, posit::mul(arow[i], wrow[i], spec), spec);
-                }
+      posit::unpack_codes(a.packed.data(), r0 * k, (r1 - r0) * k, a.spec, a_codes_buf + r0 * k);
+      if (need_ops) {
+        posit::decode_unpacked(a_codes_buf + r0 * k, (r1 - r0) * k, a.spec, a_ops_buf + r0 * k);
+      }
+    }  // implicit barrier: the whole panel is decoded before any dot reads it
+    DecodeScratch& scratch = tl_scratch;
+    scratch.w_codes.resize(k);
+    if (need_ops) scratch.w_ops.resize(k);
+#pragma omp for schedule(static)
+    for (std::size_t o = 0; o < cols; ++o) {
+      posit::unpack_codes(w.packed.data(), o * k, k, spec, scratch.w_codes.data());
+      const std::uint32_t* wcodes = scratch.w_codes.data();
+      const Unpacked* wrow = scratch.w_ops.data();
+      if (need_ops) posit::decode_unpacked(wcodes, k, spec, scratch.w_ops.data());
+      const std::uint32_t bcode =
+          !bias.empty() ? posit::unpack_one(bias.packed.data(), o, bias.spec) : 0u;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const Unpacked* arow = a_ops_buf + r * k;
+        const std::uint32_t* acodes = a_codes_buf + r * k;
+        std::uint32_t acc = 0;
+        switch (mode) {
+          case AccumMode::kQuire:
+            quire->clear();
+            quire->accumulate_dot(arow, wrow, k);
+            acc = quire->to_posit();
+            break;
+          case AccumMode::kSerial:
+            if (lut_serial) {
+              // Two table reads per term: the multiply and the accumulator
+              // add both come out of L2-resident LUTs.
+              for (std::size_t i = 0; i < k; ++i) {
+                acc = luts.add->at(acc, luts.mul->at(acodes[i], wcodes[i]));
               }
-              break;
-            case AccumMode::kFma:
-              if (luts.fma != nullptr) {
-                for (std::size_t i = 0; i < k; ++i) acc = luts.fma->at(acodes[i], wcodes[i], acc);
-              } else {
-                for (std::size_t i = 0; i < k; ++i) acc = posit::fma(arow[i], wrow[i], acc, spec);
+            } else {
+              for (std::size_t i = 0; i < k; ++i) {
+                acc = posit::add(acc, posit::mul(arow[i], wrow[i], spec), spec);
               }
-              break;
-          }
-          if (!bias.empty()) {
-            acc = luts.add != nullptr ? luts.add->at(acc, bias.codes[o])
-                                      : posit::add(acc, bias.codes[o], spec);
-          }
-          out[r * row_stride + o * col_stride] = static_cast<float>(posit::to_double(acc, spec));
+            }
+            break;
+          case AccumMode::kFma:
+            if (lut_fma) {
+              for (std::size_t i = 0; i < k; ++i) acc = luts.fma->at(acodes[i], wcodes[i], acc);
+            } else {
+              for (std::size_t i = 0; i < k; ++i) acc = posit::fma(arow[i], wrow[i], acc, spec);
+            }
+            break;
         }
+        if (!bias.empty()) {
+          acc = luts.add != nullptr ? luts.add->at(acc, bcode) : posit::add(acc, bcode, spec);
+        }
+        out[r * row_stride + o * col_stride] = static_cast<float>(posit::to_double(acc, spec));
       }
     }
   }
@@ -98,16 +160,20 @@ void encode_conv_panel(const float* cols, std::size_t patch, std::size_t pixels,
                        const PositSpec& spec, EncodedTensor& panel) {
   panel.spec = spec;
   panel.shape = {pixels, patch};
-  panel.codes.resize(pixels * patch);
-  panel.ops.resize(pixels * patch);
+  panel.count = pixels * patch;
+  // Encode transposed (each output pixel's patch contiguous) in parallel
+  // into the code scratch, then bit-pack serially: pack_codes RMWs 64-bit
+  // windows that straddle neighbor ranges, so the pack must not be split.
+  std::vector<std::uint32_t>& codes = tl_encode_codes;
+  codes.resize(panel.count);
 #pragma omp parallel for schedule(static) if (pixels > 8)
   for (std::size_t t = 0; t < pixels; ++t) {
     for (std::size_t p = 0; p < patch; ++p) {
-      const std::uint32_t code = posit::from_double(cols[p * pixels + t], spec, kEncodeRound);
-      panel.codes[t * patch + p] = code;
-      panel.ops[t * patch + p] = posit::decode_unpacked(code, spec);
+      codes[t * patch + p] = posit::from_double(cols[p * pixels + t], spec, kEncodeRound);
     }
   }
+  panel.packed.assign(posit::packed_capacity(panel.count, spec), 0u);
+  posit::pack_codes(codes.data(), 0, panel.count, spec, panel.packed.data());
 }
 
 }  // namespace detail
@@ -167,24 +233,27 @@ std::uint32_t dot(const std::uint32_t* a, const std::uint32_t* b, std::size_t co
 
 }  // namespace
 
-EncodedTensor encode_unpack(const Tensor& t, const PositSpec& spec) {
+EncodedTensor encode_pack(const Tensor& t, const PositSpec& spec) {
   EncodedTensor e;
   e.shape = t.shape();
-  encode_unpack_into(t.data(), t.numel(), spec, e);
+  encode_pack_into(t.data(), t.numel(), spec, e);
   return e;
 }
 
-void encode_unpack_into(const float* src, std::size_t count, const PositSpec& spec,
-                        EncodedTensor& out) {
+void encode_pack_into(const float* src, std::size_t count, const PositSpec& spec,
+                      EncodedTensor& out) {
   out.spec = spec;
-  out.codes.resize(count);
-  out.ops.resize(count);
+  out.count = count;
+  // Parallel encode into the code scratch, serial bit-pack (see
+  // encode_conv_panel for why the pack cannot be split across threads).
+  std::vector<std::uint32_t>& codes = detail::tl_encode_codes;
+  codes.resize(count);
 #pragma omp parallel for schedule(static) if (count > 4096)
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint32_t code = posit::from_double(src[i], spec, kEncodeRound);
-    out.codes[i] = code;
-    out.ops[i] = posit::decode_unpacked(code, spec);
+    codes[i] = posit::from_double(src[i], spec, kEncodeRound);
   }
+  out.packed.assign(posit::packed_capacity(count, spec), 0u);
+  posit::pack_codes(codes.data(), 0, count, spec, out.packed.data());
 }
 
 Tensor posit_linear(const Tensor& x, const EncodedTensor& w, const EncodedTensor& bias,
@@ -200,7 +269,7 @@ Tensor posit_linear(const Tensor& x, const EncodedTensor& w, const EncodedTensor
   if (!bias.empty() && !(bias.spec == w.spec)) {
     throw std::invalid_argument("posit_linear: bias/weight spec mismatch");
   }
-  const EncodedTensor xe = encode_unpack(x, w.spec);
+  const EncodedTensor xe = encode_pack(x, w.spec);
   const detail::EngineLuts luts = detail::resolve_luts(w.spec, mode);
   std::vector<posit::Quire> pool = make_quire_pool(w.spec, mode);
   Tensor y({n, out});
@@ -210,10 +279,10 @@ Tensor posit_linear(const Tensor& x, const EncodedTensor& w, const EncodedTensor
 
 Tensor posit_linear(const Tensor& x, const Tensor& w, const Tensor& bias, const PositSpec& spec,
                     AccumMode mode) {
-  const EncodedTensor we = encode_unpack(w, spec);
+  const EncodedTensor we = encode_pack(w, spec);
   EncodedTensor be;
   be.spec = spec;
-  if (bias.numel() > 0) be = encode_unpack(bias, spec);
+  if (bias.numel() > 0) be = encode_pack(bias, spec);
   return posit_linear(x, we, be, mode);
 }
 
@@ -252,10 +321,10 @@ Tensor posit_conv2d(const Tensor& x, const EncodedTensor& w, const EncodedTensor
 
 Tensor posit_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                     const tensor::Conv2dGeom& geom, const PositSpec& spec, AccumMode mode) {
-  const EncodedTensor we = encode_unpack(w, spec);
+  const EncodedTensor we = encode_pack(w, spec);
   EncodedTensor be;
   be.spec = spec;
-  if (bias.numel() > 0) be = encode_unpack(bias, spec);
+  if (bias.numel() > 0) be = encode_pack(bias, spec);
   return posit_conv2d(x, we, be, geom, mode);
 }
 

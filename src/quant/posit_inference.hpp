@@ -11,14 +11,18 @@
 //   * kFma    — with a fused multiply-add chain (one rounding per term,
 //               the behavior of the paper's Fig. 4 MAC pipeline).
 //
-// Execution is decode-once: every operand is unpacked exactly once into
-// posit::Unpacked fields, the hot loops run on the unpacked panels with
-// per-thread quires OpenMP-distributed over output rows/pixels, and n <= 8
+// Panels are stored bit-packed at format width (EncodedTensor) and decoded
+// blockwise, each packed value exactly once per GEMM: the activation panel
+// into per-call scratch up front, each weight row into O(k) per-thread
+// scratch as the column loop streams it — all through the SIMD batch-of-8
+// decoder (posit/simd.hpp). The hot loops then run on posit::Unpacked lanes
+// with per-thread quires OpenMP-distributed over output columns; n <= 8
 // formats dispatch at runtime onto tabulated kernels (MulLut/AddLut for the
 // serial chain and every bias add, the pair-classed FmaLut for the fma
 // chain). Results are bit-identical to the retained scalar reference path
 // (posit_linear_reference / posit_conv2d_reference) at every spec and
-// accumulation mode, and to single-threaded runs at any thread count.
+// accumulation mode, to single-threaded runs at any thread count, and to
+// the scalar decode path (PDNN_NO_AVX2=1).
 //
 // The free functions below encode their weights per call. Whole-network
 // inference lives in quant::PositSession (posit_session.hpp), which compiles
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "posit/packed.hpp"
 #include "posit/quire.hpp"
 #include "posit/unpacked.hpp"
 #include "quant/policy.hpp"
@@ -47,32 +52,38 @@ enum class AccumMode {
 /// inference path (weights, activations, im2col panels, BN constants).
 constexpr posit::RoundMode kEncodeRound = posit::RoundMode::kNearestEven;
 
-/// Activation rows (or output pixels) per OpenMP work item in the engine
-/// GEMM: the unpacked activation tile stays cache-resident while each weight
-/// row streams through it once per tile.
+/// Activation rows (or output pixels) per work item of the engine GEMM's
+/// block-decode phase: the packed activation panel is unpacked and decoded
+/// in slices of this many rows, team-parallel, before the column loop runs.
 constexpr std::size_t kActTile = 16;
 
-/// Decode-once operand panel: a tensor's n-bit codes plus their unpacked
-/// fields. Codes feed the LUT and serial paths, unpacked fields the
-/// quire/fma hot loops.
+/// Compressed operand panel: a tensor's n-bit posit codes bit-packed at
+/// format width (posit/packed.hpp block codec) — ⌈n/8⌉ bytes per value, the
+/// paper's model-size story as the engine's resident layout. The GEMM inner
+/// loops never touch this form directly: engine_gemm decodes each packed
+/// value exactly once per call into transient scratch (SIMD batch-of-8
+/// group decode, ragged tail scalar), so steady-state panel memory is the
+/// packed payload alone.
 struct EncodedTensor {
   posit::PositSpec spec{8, 1};
   tensor::Shape shape;
-  std::vector<std::uint32_t> codes;
-  std::vector<posit::Unpacked> ops;
+  std::vector<std::uint8_t> packed;  ///< posit::packed_capacity(count, spec) bytes
+  std::size_t count = 0;
 
-  std::size_t numel() const { return codes.size(); }
-  bool empty() const { return codes.empty(); }
+  std::size_t numel() const { return count; }
+  bool empty() const { return count == 0; }
+  /// Payload bytes of the packed codes (the footprint number; slack excluded).
+  std::size_t payload_bytes() const { return posit::packed_bytes(count, spec); }
 };
 
-/// Encode (under kEncodeRound) and unpack a whole tensor in one pass.
-EncodedTensor encode_unpack(const tensor::Tensor& t, const posit::PositSpec& spec);
+/// Encode (under kEncodeRound) and bit-pack a whole tensor in one pass.
+EncodedTensor encode_pack(const tensor::Tensor& t, const posit::PositSpec& spec);
 
 /// Encode `count` floats into an existing panel, reusing its storage — the
 /// session's steady-state activation path (no allocation once shapes
-/// settle). Sets out.spec; the caller owns out.shape.
-void encode_unpack_into(const float* src, std::size_t count, const posit::PositSpec& spec,
-                        EncodedTensor& out);
+/// settle). Sets out.spec/out.count; the caller owns out.shape.
+void encode_pack_into(const float* src, std::size_t count, const posit::PositSpec& spec,
+                      EncodedTensor& out);
 
 /// Dense posit matrix-vector building block: y = x W^T + b, all posit.
 /// x is [N, in] (N = 0 yields an empty [0, out] result), w is [out, in],

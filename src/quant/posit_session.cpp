@@ -130,7 +130,7 @@ struct PositSession::Impl final : exec::Backend {
   void bind(Binding& b, nn::Param& p, const PositSpec& spec) {
     b.param = &p;
     b.version = p.version;
-    b.panel = encode_unpack(p.value, spec);
+    b.panel = encode_pack(p.value, spec);
     ++encodes;
     ++bound;
   }
@@ -245,12 +245,12 @@ void PositSession::Impl::refresh(bool force) {
     StepState& s = state[i];
     if (s.weight.param != nullptr && (force || s.weight.param->version != s.weight.version)) {
       s.weight.version = s.weight.param->version;
-      s.weight.panel = encode_unpack(s.weight.param->value, s.spec);
+      s.weight.panel = encode_pack(s.weight.param->value, s.spec);
       ++encodes;
     }
     if (s.bias.param != nullptr && (force || s.bias.param->version != s.bias.version)) {
       s.bias.version = s.bias.param->version;
-      s.bias.panel = encode_unpack(s.bias.param->value, s.spec);
+      s.bias.panel = encode_pack(s.bias.param->value, s.spec);
       ++encodes;
     }
     if (step.bn != nullptr && (force || step.bn->gamma().version != s.gamma_version ||
@@ -304,7 +304,7 @@ void PositSession::Impl::exec_linear(const exec::Step& step, StepState& s, const
                                      Tensor& out) {
   const std::size_t n = in.shape()[0];
   s.act.shape = {n, step.in_c};
-  encode_unpack_into(in.data(), in.numel(), s.spec, s.act);
+  encode_pack_into(in.data(), in.numel(), s.spec, s.act);
   detail::engine_gemm(s.act, s.weight.panel, s.bias.panel, n, step.in_c, step.out_c, s.mode,
                       out.data(), step.out_c, 1, s.luts, pool(s));
 }
@@ -482,11 +482,16 @@ std::uint64_t PositSession::encode_count() const { return impl_->encodes; }
 std::size_t PositSession::panel_bytes() const {
   std::size_t bytes = 0;
   for (const StepState& s : impl_->state) {
-    for (const Binding* b : {&s.weight, &s.bias}) {
-      bytes += b->panel.codes.size() * sizeof(std::uint32_t) +
-               b->panel.ops.size() * sizeof(posit::Unpacked);
-    }
+    for (const Binding* b : {&s.weight, &s.bias}) bytes += b->panel.payload_bytes();
     bytes += (s.bn_scale.size() + s.bn_mean.size() + s.bn_shift.size()) * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+std::size_t PositSession::panel_scratch_bytes() const {
+  std::size_t bytes = 0;
+  for (const StepState& s : impl_->state) {
+    bytes += s.act.packed.capacity() * sizeof(std::uint8_t) + s.cols.numel() * sizeof(float);
   }
   return bytes;
 }

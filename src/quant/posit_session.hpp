@@ -119,8 +119,18 @@ class PositSession {
   /// Panel/constant encode passes performed, compile included — the
   /// observable for compile-once/run-many and invalidation tests.
   std::uint64_t encode_count() const;
-  /// Bytes held by session-owned weight/bias panels.
+  /// Resident model footprint: packed weight/bias code payloads plus the
+  /// encoded BN constant vectors — the bytes that scale with clone count and
+  /// decide how many worker backends stay cache-resident. Per-step
+  /// activation/decode scratch is deliberately excluded (it used to be
+  /// charged here, double-counting run-time scratch as model size); see
+  /// panel_scratch_bytes().
   std::size_t panel_bytes() const;
+  /// Steady-state run scratch the session owns: per-step packed activation
+  /// panels and im2col column buffers (grow-only, sized by the largest batch
+  /// seen). The engine's per-thread decode scratch is reported separately by
+  /// detail::engine_scratch_bytes().
+  std::size_t panel_scratch_bytes() const;
 
  private:
   PositSession();

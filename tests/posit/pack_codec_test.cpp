@@ -1,0 +1,270 @@
+// pack_codec_test.cpp — exhaustive oracles for the bit-packed code stream and
+// the SIMD posit kernels (streamvbyte/simdbp idiom: every spec, every ragged
+// block length, scalar reference as ground truth).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "posit/packed.hpp"
+#include "posit/quire.hpp"
+#include "posit/simd.hpp"
+#include "posit/unpacked.hpp"
+
+namespace pdnn::posit {
+namespace {
+
+/// RAII: pin the dispatcher to the scalar fallback inside a scope.
+struct ScalarOnly {
+  ScalarOnly() { simd::force_disable(true); }
+  ~ScalarOnly() { simd::force_disable(false); }
+};
+
+std::vector<PositSpec> codec_specs() {
+  std::vector<PositSpec> specs;
+  for (int n = 2; n <= 10; ++n)
+    for (int es = 0; es <= 2; ++es) specs.push_back(PositSpec{n, es});
+  specs.push_back(PositSpec{16, 1});
+  specs.push_back(PositSpec{16, 2});
+  specs.push_back(PositSpec{32, 2});
+  specs.push_back(PositSpec{32, 3});
+  return specs;
+}
+
+/// The interesting boundary codes of a spec: zero, NaR, +-minpos, +-maxpos,
+/// and the codes straddling the sign bit.
+std::vector<std::uint32_t> boundary_codes(const PositSpec& s) {
+  return {0u,
+          s.nar_code(),
+          1u,
+          (0u - 1u) & s.mask(),
+          s.maxpos_code(),
+          (0u - s.maxpos_code()) & s.mask(),
+          (s.nar_code() - 1u) & s.mask(),
+          (s.nar_code() + 1u) & s.mask()};
+}
+
+constexpr std::size_t kBlock = 8;  // the SIMD group size the codec decodes by
+
+TEST(PackCodec, PackUnpackIdentityEveryRaggedRange) {
+  std::mt19937_64 rng(2024);
+  for (const PositSpec& s : codec_specs()) {
+    for (std::size_t len = 0; len <= 3 * kBlock + 1; ++len) {
+      std::vector<std::uint32_t> codes(len);
+      for (auto& c : codes) c = static_cast<std::uint32_t>(rng()) & s.mask();
+      std::vector<std::uint8_t> packed(packed_capacity(len, s), 0u);
+      pack_codes(codes.data(), 0, len, s, packed.data());
+      // Every sub-range [first, first+cnt) must unpack to the identical codes
+      // (ragged heads and tails at every bit phase).
+      for (std::size_t first = 0; first <= len; ++first) {
+        for (std::size_t cnt = 0; first + cnt <= len; ++cnt) {
+          std::vector<std::uint32_t> got(cnt, 0xDEADBEEFu);
+          unpack_codes(packed.data(), first, cnt, s, got.data());
+          for (std::size_t i = 0; i < cnt; ++i)
+            ASSERT_EQ(got[i], codes[first + i])
+                << "n=" << s.n << " es=" << s.es << " len=" << len << " first=" << first;
+        }
+      }
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(unpack_one(packed.data(), i, s), codes[i]) << "n=" << s.n << " i=" << i;
+    }
+  }
+}
+
+TEST(PackCodec, SplitPacksShareBoundaryBytes) {
+  // pack_codes ORs into zeroed bits, so a stream may be packed in arbitrary
+  // chunks even when adjacent chunks share a byte. Split at every index.
+  std::mt19937_64 rng(7);
+  for (const PositSpec& s : codec_specs()) {
+    const std::size_t len = 2 * kBlock + 3;
+    std::vector<std::uint32_t> codes(len);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(rng()) & s.mask();
+    for (std::size_t split = 0; split <= len; ++split) {
+      std::vector<std::uint8_t> packed(packed_capacity(len, s), 0u);
+      pack_codes(codes.data(), 0, split, s, packed.data());
+      pack_codes(codes.data() + split, split, len - split, s, packed.data());
+      std::vector<std::uint32_t> got(len);
+      unpack_codes(packed.data(), 0, len, s, got.data());
+      ASSERT_EQ(got, codes) << "n=" << s.n << " es=" << s.es << " split=" << split;
+    }
+  }
+}
+
+TEST(PackCodec, AllZeroBlocksPackToZeroBytes) {
+  for (const PositSpec& s : codec_specs()) {
+    const std::size_t len = 3 * kBlock + 1;
+    std::vector<std::uint32_t> codes(len, 0u);
+    std::vector<std::uint8_t> packed(packed_capacity(len, s), 0xFFu);
+    std::memset(packed.data(), 0, packed.size());
+    pack_codes(codes.data(), 0, len, s, packed.data());
+    for (std::size_t b = 0; b < packed_bytes(len, s); ++b) ASSERT_EQ(packed[b], 0u) << b;
+    std::vector<std::uint32_t> got(len, 1u);
+    unpack_codes(packed.data(), 0, len, s, got.data());
+    ASSERT_EQ(got, codes);
+  }
+}
+
+TEST(PackCodec, SignBoundaryCodesSurvive) {
+  for (const PositSpec& s : codec_specs()) {
+    const std::vector<std::uint32_t> codes = boundary_codes(s);
+    std::vector<std::uint8_t> packed(packed_capacity(codes.size(), s), 0u);
+    pack_codes(codes.data(), 0, codes.size(), s, packed.data());
+    for (std::size_t i = 0; i < codes.size(); ++i)
+      ASSERT_EQ(unpack_one(packed.data(), i, s), codes[i]) << "n=" << s.n << " i=" << i;
+  }
+}
+
+TEST(PackCodec, PackedBytesMatchesFormatWidth) {
+  EXPECT_EQ(packed_bytes(1000, PositSpec{8, 1}), 1000u);
+  EXPECT_EQ(packed_bytes(1000, PositSpec{16, 1}), 2000u);
+  EXPECT_EQ(packed_bytes(1000, PositSpec{5, 1}), 625u);
+  EXPECT_EQ(packed_bytes(0, PositSpec{8, 1}), 0u);
+  EXPECT_EQ(packed_bytes(3, PositSpec{3, 0}), 2u);  // 9 bits -> 2 bytes
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar decode: the AVX2 batch-of-8 kernel must reproduce
+// decode_unpacked() bit for bit in every field, for every code of every spec
+// (exhaustive through n=16; sampled + boundary-seeded for n=32).
+// ---------------------------------------------------------------------------
+
+void expect_same_decode(const std::vector<std::uint32_t>& codes, const PositSpec& s) {
+  std::vector<Unpacked> vec(codes.size());
+  std::vector<Unpacked> ref(codes.size());
+  decode_unpacked(codes.data(), codes.size(), s, vec.data());
+  {
+    ScalarOnly scalar;
+    decode_unpacked(codes.data(), codes.size(), s, ref.data());
+  }
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ASSERT_EQ(vec[i].sig, ref[i].sig) << "n=" << s.n << " es=" << s.es << " code=" << codes[i];
+    ASSERT_EQ(vec[i].lsb_weight, ref[i].lsb_weight)
+        << "n=" << s.n << " es=" << s.es << " code=" << codes[i];
+    ASSERT_EQ(vec[i].neg, ref[i].neg) << "n=" << s.n << " es=" << s.es << " code=" << codes[i];
+    ASSERT_EQ(vec[i].flags, ref[i].flags) << "n=" << s.n << " es=" << s.es << " code=" << codes[i];
+  }
+}
+
+TEST(SimdDecode, MatchesScalarExhaustiveSmallSpecs) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  for (const PositSpec& s : codec_specs()) {
+    if (s.n > 16) continue;
+    std::vector<std::uint32_t> codes(std::size_t{1} << s.n);
+    for (std::size_t c = 0; c < codes.size(); ++c) codes[c] = static_cast<std::uint32_t>(c);
+    expect_same_decode(codes, s);
+  }
+}
+
+TEST(SimdDecode, MatchesScalarSampledP32) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  std::mt19937_64 rng(99);
+  for (const int es : {0, 2, 3}) {
+    const PositSpec s{32, es};
+    std::vector<std::uint32_t> codes = boundary_codes(s);
+    for (std::size_t i = 0; i < (1u << 16); ++i) codes.push_back(static_cast<std::uint32_t>(rng()));
+    expect_same_decode(codes, s);
+  }
+}
+
+TEST(SimdDecode, RaggedTailLengthsDispatchCorrectly) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  std::mt19937_64 rng(41);
+  const PositSpec s{8, 1};
+  for (std::size_t len = 0; len <= 3 * kBlock + 1; ++len) {
+    std::vector<std::uint32_t> codes(len);
+    for (auto& c : codes) c = static_cast<std::uint32_t>(rng()) & s.mask();
+    expect_same_decode(codes, s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar quire accumulation: same dot products, identical register
+// state (observed through to_posit and to_double), NaR propagation included.
+// ---------------------------------------------------------------------------
+
+std::vector<Unpacked> random_operands(std::size_t count, const PositSpec& s, std::mt19937_64& rng,
+                                      bool with_specials) {
+  std::vector<Unpacked> ops(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t code = static_cast<std::uint32_t>(rng()) & s.mask();
+    if (!with_specials && code == s.nar_code()) code = 1u;
+    ops[i] = decode_unpacked(code, s);
+  }
+  return ops;
+}
+
+void expect_same_dot(const std::vector<Unpacked>& a, const std::vector<Unpacked>& b,
+                     const PositSpec& s) {
+  Quire qv(s);
+  qv.accumulate_dot(a.data(), b.data(), a.size());
+  Quire qr(s);
+  {
+    ScalarOnly scalar;
+    qr.accumulate_dot(a.data(), b.data(), a.size());
+  }
+  ASSERT_EQ(qv.is_nar(), qr.is_nar());
+  ASSERT_EQ(qv.to_posit(), qr.to_posit()) << "n=" << s.n << " count=" << a.size();
+  const double dv = qv.to_double();
+  const double dr = qr.to_double();
+  ASSERT_TRUE(dv == dr || (dv != dv && dr != dr)) << dv << " vs " << dr;
+}
+
+TEST(SimdQuire, MatchesScalarAcrossCountsAndSpecs) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  std::mt19937_64 rng(7777);
+  for (const PositSpec& s : {PositSpec{8, 1}, PositSpec{8, 0}, PositSpec{16, 1}, PositSpec{32, 2}}) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                                    std::size_t{9}, std::size_t{16}, std::size_t{33},
+                                    std::size_t{128}}) {
+      for (int rep = 0; rep < 4; ++rep) {
+        const auto a = random_operands(count, s, rng, /*with_specials=*/false);
+        const auto b = random_operands(count, s, rng, /*with_specials=*/false);
+        expect_same_dot(a, b, s);
+      }
+    }
+  }
+}
+
+TEST(SimdQuire, NarPropagatesFromVectorHeadAndScalarTail) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  const PositSpec s{8, 1};
+  std::mt19937_64 rng(3);
+  for (const std::size_t nar_at : {std::size_t{0}, std::size_t{5}, std::size_t{8},
+                                   std::size_t{15}, std::size_t{16}}) {
+    auto a = random_operands(17, s, rng, false);
+    auto b = random_operands(17, s, rng, false);
+    a[nar_at] = decode_unpacked(s.nar_code(), s);
+    Quire q(s);
+    q.accumulate_dot(a.data(), b.data(), a.size());
+    EXPECT_TRUE(q.is_nar()) << nar_at;
+    EXPECT_EQ(q.to_posit(), s.nar_code());
+    expect_same_dot(a, b, s);
+  }
+}
+
+TEST(SimdQuire, ZeroOperandsDepositNothing) {
+  if (!simd::available()) GTEST_SKIP() << "no AVX2 (or PDNN_NO_AVX2): nothing to cross-check";
+  const PositSpec s{8, 1};
+  std::vector<Unpacked> a(24, decode_unpacked(0u, s));
+  std::vector<Unpacked> b(24);
+  std::mt19937_64 rng(5);
+  for (auto& u : b) u = decode_unpacked(static_cast<std::uint32_t>(rng()) & s.mask(), s);
+  Quire q(s);
+  q.accumulate_dot(a.data(), b.data(), a.size());
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(q.to_posit(), 0u);
+}
+
+TEST(SimdDispatch, ForceDisableIsObservable) {
+  const bool avail = simd::available();
+  EXPECT_EQ(simd::enabled(), avail);
+  {
+    ScalarOnly scalar;
+    EXPECT_FALSE(simd::enabled());
+  }
+  EXPECT_EQ(simd::enabled(), avail);
+}
+
+}  // namespace
+}  // namespace pdnn::posit

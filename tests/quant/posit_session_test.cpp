@@ -283,6 +283,27 @@ TEST(PositSession, CompileOnceRunManyReencodesOnlyOnMutation) {
   EXPECT_TRUE(bit_identical(y3, fresh.run(x)));
 }
 
+TEST(PositSession, PackedPanelsShrinkModelFootprint) {
+  Rng rng(151);
+  auto net = nn::mlp(16, 32, 4, 1, rng);
+  SessionConfig cfg;
+  cfg.spec = {8, 1};
+  PositSession session = PositSession::compile(*net, cfg);
+  std::size_t values = 0;
+  for (const nn::Param* p : net->params()) values += p->value.numel();
+  // 8-bit codes bit-pack to exactly one byte per value; the retired unpacked
+  // layout held a uint32 code plus an 8-byte Unpacked lane per value, so the
+  // packed panels must come in at no more than a quarter of it.
+  EXPECT_EQ(session.panel_bytes(), values);
+  EXPECT_LE(session.panel_bytes() * 4, values * 12);
+  EXPECT_EQ(session.panel_scratch_bytes(), 0u) << "no run yet, so no activation scratch";
+
+  const Tensor x = Tensor::randn({5, 16}, rng);
+  session.run(x);
+  EXPECT_GT(session.panel_scratch_bytes(), 0u) << "run scratch is accounted, just not as model";
+  EXPECT_EQ(session.panel_bytes(), values) << "running must not grow the resident model";
+}
+
 TEST(PositSession, BnRunningStatsRefreshAutomatically) {
   Rng rng(127);
   auto net = nn::plain_cnn(4, 3, rng);
